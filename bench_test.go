@@ -1,0 +1,157 @@
+// Package repro's root benchmarks regenerate every quantitative claim in
+// the paper's narrative (DESIGN.md maps each to its section). Each benchmark
+// runs the corresponding experiment from internal/experiments at a fixed
+// scale and reports the headline ratios via b.ReportMetric, so
+// `go test -bench=. -benchmem` prints the paper-vs-measured shape directly.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// report republishes experiment rows as benchmark metrics.
+func report(b *testing.B, rows []experiments.Row) {
+	b.Helper()
+	for _, r := range rows {
+		b.ReportMetric(r.Value, r.Name+"_"+r.Unit)
+	}
+}
+
+// BenchmarkE1_BackpressureRecovery — §4.2: Storm drains a large backlog
+// superlinearly (hours); Flink's bounded buffers drain linearly (~20 min).
+func BenchmarkE1_BackpressureRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E1(100_000))
+	}
+}
+
+// BenchmarkE2_MicroBatchMemory — §4.2: Spark uses 5-10x the memory of the
+// equivalent Flink job.
+func BenchmarkE2_MicroBatchMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E2(30_000, 2_000))
+	}
+}
+
+// BenchmarkE3_OLAPFootprint — §4.3: Elasticsearch needs ~4x memory and ~8x
+// disk and 2-4x the query latency of Pinot for the same rows.
+func BenchmarkE3_OLAPFootprint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E3(10_000))
+	}
+}
+
+// BenchmarkE4_StarTreeVsScan — §4.3: star-tree and friends give an
+// order-of-magnitude query latency edge over Druid-style scans.
+func BenchmarkE4_StarTreeVsScan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E4(50_000))
+	}
+}
+
+// BenchmarkE5_ConsumerProxyParallelism — Fig 4: push dispatch lifts the
+// consumer-group cap (#partitions) for slow consumers.
+func BenchmarkE5_ConsumerProxyParallelism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E5(200, 2, 32, time.Millisecond))
+	}
+}
+
+// BenchmarkE6_Federation — §4.1.1: right-sized federated clusters beat one
+// oversized cluster; the per-append membership scan is the mechanism.
+func BenchmarkE6_Federation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E6(300, 3, 10_000))
+	}
+}
+
+// BenchmarkE7_DLQStrategies — §4.1.2: DLQ achieves zero loss and zero
+// head-of-line blocking; drop loses data; block clogs the partition.
+func BenchmarkE7_DLQStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E7(400, 20))
+	}
+}
+
+// BenchmarkE8_RebalanceStickiness — §4.1.4: uReplicator's rebalance moves
+// far fewer partitions than naive modulo reassignment.
+func BenchmarkE8_RebalanceStickiness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E8(256, 8))
+	}
+}
+
+// BenchmarkE9_P2PSegmentRecovery — §4.3.4: p2p keeps sealing (freshness)
+// and recovering during a segment-store outage; centralized halts.
+func BenchmarkE9_P2PSegmentRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E9(1_000))
+	}
+}
+
+// BenchmarkE10_Upsert — §4.3.1: shared-nothing upsert sustains high update
+// rates with exactly-one-live-row-per-key reads.
+func BenchmarkE10_Upsert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E10(10_000, 1_000, 4))
+	}
+}
+
+// BenchmarkE11_Pushdown — §4.3.2/§4.5: operator pushdown into Pinot vs
+// scan-and-process-in-engine.
+func BenchmarkE11_Pushdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E11(30_000))
+	}
+}
+
+// BenchmarkE12_Failover — §6 Figs 6-7: active-active convergence and
+// active-passive offset-synced failover.
+func BenchmarkE12_Failover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E12(200))
+	}
+}
+
+// BenchmarkE13_Backfill — §7: Kappa+ reprocesses archived data far faster
+// than real time, with optional throttling.
+func BenchmarkE13_Backfill(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E13(20_000))
+	}
+}
+
+// BenchmarkE15_PreAggTradeoff — §5.2: Flink-side pre-aggregation cuts
+// serving rows and latency at the cost of query flexibility.
+func BenchmarkE15_PreAggTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E15(50_000))
+	}
+}
+
+// BenchmarkA1_StarTreeLeafSweep — ablation: MaxLeafRecords trades tree size
+// for query latency (DESIGN.md design-choice list).
+func BenchmarkA1_StarTreeLeafSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.AblationStarTreeLeaf(30_000))
+	}
+}
+
+// BenchmarkA2_ProxyWorkerSweep — ablation: proxy throughput vs worker pool
+// size past the partition cap.
+func BenchmarkA2_ProxyWorkerSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.AblationProxyWorkers(160, time.Millisecond))
+	}
+}
+
+// BenchmarkA3_CheckpointInterval — ablation: aligned-barrier checkpoint
+// cadence vs steady-state throughput.
+func BenchmarkA3_CheckpointInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.AblationCheckpointInterval(20_000))
+	}
+}

@@ -1,0 +1,44 @@
+// Command rtbench runs the full reproduction suite: every experiment from
+// DESIGN.md's per-experiment index, printed as paper-style tables with the
+// original claim alongside the measured rows.
+//
+// Usage:
+//
+//	rtbench            # run everything
+//	rtbench E3 E11     # run selected experiments
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	want := map[string]bool{}
+	for _, arg := range os.Args[1:] {
+		want[arg] = true
+	}
+	all := experiments.AllWithIntegration()
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		ran++
+		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
+		fmt.Printf("    paper: %s\n", e.Claim)
+		start := time.Now()
+		rows := e.Run()
+		for _, r := range rows {
+			fmt.Printf("    %-42s %14.2f %s\n", r.Name, r.Value, r.Unit)
+		}
+		fmt.Printf("    (%.2fs)\n\n", time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "rtbench: no experiment matched %v\n", os.Args[1:])
+		os.Exit(1)
+	}
+}

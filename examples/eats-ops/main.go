@@ -1,0 +1,134 @@
+// UberEats ops automation (§5.4): ad-hoc federated SQL exploration over
+// fresh courier/restaurant data, then productionizing the discovered insight
+// as a rule in an automation framework that aggregates the last few minutes
+// per geofence and notifies couriers/restaurants — the Covid-era capacity
+// compliance workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metadata"
+	"repro/internal/objstore"
+	"repro/internal/olap"
+	"repro/internal/record"
+	"repro/internal/stream"
+)
+
+// rule is one productionized ops rule: a SQL query plus a threshold.
+type rule struct {
+	name      string
+	sql       string
+	threshold float64
+	action    string
+}
+
+func main() {
+	cluster, err := stream.NewCluster(stream.ClusterConfig{Name: "eats", Nodes: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	platform, err := core.NewPlatform(core.Config{Clusters: []*stream.Cluster{cluster}, Storage: objstore.NewMemStore()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+
+	checkins := &metadata.Schema{
+		Name: "venue_checkins",
+		Fields: []metadata.Field{
+			{Name: "restaurant", Type: metadata.TypeString, Dimension: true},
+			{Name: "geofence", Type: metadata.TypeString, Dimension: true},
+			{Name: "role", Type: metadata.TypeString, Dimension: true}, // courier | customer
+			{Name: "ts", Type: metadata.TypeTimestamp},
+		},
+		TimeField: "ts",
+	}
+	if _, err := platform.CreateStream("eats-ops", checkins, stream.TopicConfig{Partitions: 4}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := platform.CreateOLAPTable("eats-ops", olap.TableConfig{
+		Name:        "venue_checkins",
+		SegmentRows: 500,
+		Indexes:     olap.IndexConfig{InvertedColumns: []string{"geofence", "role"}},
+	}, "venue_checkins", olap.BackupP2P); err != nil {
+		log.Fatal(err)
+	}
+
+	// Live data: one Berlin geofence is over capacity.
+	now := time.Now().UnixMilli()
+	var rows []record.Record
+	for i := 0; i < 3000; i++ {
+		geo := []string{"berlin-mitte", "berlin-kreuzberg", "paris-11e", "madrid-centro"}[i%4]
+		weight := 1
+		if geo == "berlin-mitte" {
+			weight = 3 // crowding
+		}
+		for w := 0; w < weight; w++ {
+			rows = append(rows, record.Record{
+				"restaurant": fmt.Sprintf("r-%03d", i%50),
+				"geofence":   geo,
+				"role":       []string{"courier", "customer"}[(i+w)%2],
+				"ts":         now - int64(i%300)*1000,
+			})
+		}
+	}
+	if err := platform.ProduceRecords("eats-ops", "venue_checkins", rows); err != nil {
+		log.Fatal(err)
+	}
+	if got := platform.WaitForOLAP("venue_checkins", int64(len(rows)), 5*time.Second); got < int64(len(rows)) {
+		log.Fatalf("ingested %d of %d", got, len(rows))
+	}
+
+	// Phase 1 — ad-hoc exploration with interactive SQL (Presto on Pinot).
+	fmt.Println("== ad-hoc exploration ==")
+	res, err := platform.Query("eats-ops", `
+		SELECT geofence, COUNT(*) AS people
+		FROM pinot.venue_checkins
+		GROUP BY geofence ORDER BY people DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("  %-18v %6v\n", row[0], row[1])
+	}
+
+	// Phase 2 — productionize the insight as an automation rule: the same
+	// query, parameterized and attached to a threshold + notification.
+	fmt.Println("\n== automation framework ==")
+	rules := []rule{
+		{
+			name:      "geofence-capacity",
+			sql:       "SELECT geofence, COUNT(*) AS people FROM pinot.venue_checkins WHERE role = 'customer' GROUP BY geofence ORDER BY people DESC",
+			threshold: 1200,
+			action:    "notify couriers+restaurants: stagger pickups",
+		},
+		{
+			name:      "courier-congestion",
+			sql:       "SELECT geofence, COUNT(*) AS people FROM pinot.venue_checkins WHERE role = 'courier' GROUP BY geofence ORDER BY people DESC",
+			threshold: 1200,
+			action:    "notify dispatch: reroute couriers",
+		},
+	}
+	for _, r := range rules {
+		res, err := platform.Query("eats-ops", r.sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fired := 0
+		for _, row := range res.Rows {
+			people, _ := row[1].(int64)
+			if float64(people) > r.threshold {
+				fmt.Printf("  ALERT [%s] %v: %d people > %.0f -> %s\n", r.name, row[0], people, r.threshold, r.action)
+				fired++
+			}
+		}
+		if fired == 0 {
+			fmt.Printf("  ok    [%s] all geofences under threshold\n", r.name)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// UberEats Restaurant Manager (§5.2): a dashboard that trades query
+// flexibility for latency — a Flink preprocessor filters, partially
+// aggregates and rolls up raw order events before they reach Pinot, so the
+// fixed dashboard queries hit a small pre-aggregated table instead of the
+// raw stream.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/metadata"
+	"repro/internal/objstore"
+	"repro/internal/olap"
+	"repro/internal/record"
+	"repro/internal/stream"
+)
+
+func main() {
+	cluster, err := stream.NewCluster(stream.ClusterConfig{Name: "main", Nodes: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	platform, err := core.NewPlatform(core.Config{Clusters: []*stream.Cluster{cluster}, Storage: objstore.NewMemStore()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+
+	// Raw order events.
+	orders := &metadata.Schema{
+		Name: "eats_orders",
+		Fields: []metadata.Field{
+			{Name: "restaurant", Type: metadata.TypeString, Dimension: true},
+			{Name: "item", Type: metadata.TypeString, Dimension: true},
+			{Name: "amount", Type: metadata.TypeDouble},
+			{Name: "rating", Type: metadata.TypeDouble},
+			{Name: "ts", Type: metadata.TypeTimestamp},
+		},
+		TimeField: "ts",
+	}
+	if _, err := platform.CreateStream("restaurant-manager", orders, stream.TopicConfig{Partitions: 4}); err != nil {
+		log.Fatal(err)
+	}
+	// Rolled-up stream the Flink preprocessor produces.
+	rollup := &metadata.Schema{
+		Name: "eats_orders_rollup",
+		Fields: []metadata.Field{
+			{Name: "restaurant", Type: metadata.TypeString, Dimension: true},
+			{Name: "orders", Type: metadata.TypeLong},
+			{Name: "revenue", Type: metadata.TypeDouble},
+			{Name: "avg_rating", Type: metadata.TypeDouble},
+			{Name: "window_start", Type: metadata.TypeTimestamp},
+			{Name: "window_end", Type: metadata.TypeLong, Nullable: true},
+		},
+		TimeField: "window_start",
+	}
+	rollupCodec, err := platform.CreateStream("restaurant-manager", rollup, stream.TopicConfig{Partitions: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pinot serves the rollup with an inverted index on restaurant: the
+	// dashboard's fixed query pattern.
+	if _, err := platform.CreateOLAPTable("restaurant-manager", olap.TableConfig{
+		Name:        "eats_orders_rollup",
+		SegmentRows: 200,
+		Indexes:     olap.IndexConfig{InvertedColumns: []string{"restaurant"}},
+	}, "eats_orders_rollup", olap.BackupP2P); err != nil {
+		log.Fatal(err)
+	}
+
+	// Flink preprocessor: aggressive filtering (cancelled orders dropped
+	// upstream), partial aggregation per restaurant per minute, pushed to
+	// the rollup topic (FlinkSQL → Pinot sink integration, §4.3.3).
+	sink := flow.NewTopicSink(platform.Streams, "eats_orders_rollup", rollupCodec)
+	if err := platform.DeployStreamingSQL("restaurant-manager", "rm-preagg", `
+		SELECT restaurant, COUNT(*) AS orders, SUM(amount) AS revenue, AVG(rating) AS avg_rating
+		FROM eats_orders
+		WHERE amount > 0
+		GROUP BY restaurant, TUMBLE(ts, 60000)`, sink); err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate a dinner rush.
+	base := time.Now().Add(-30 * time.Minute).UnixMilli()
+	restaurants := []string{"taqueria-luz", "pho-75", "bombay-corner", "pasta-rossa"}
+	items := []string{"burrito", "pho", "curry", "carbonara", "salad"}
+	var rows []record.Record
+	for i := 0; i < 4000; i++ {
+		rows = append(rows, record.Record{
+			"restaurant": restaurants[i%len(restaurants)],
+			"item":       items[i%len(items)],
+			"amount":     8 + float64(i%30),
+			"rating":     3.5 + float64(i%3)/2,
+			"ts":         base + int64(i)*250,
+		})
+	}
+	if err := platform.ProduceRecords("restaurant-manager", "eats_orders", rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// Wait for pre-aggregated rows to land in Pinot.
+	deadline := time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := platform.Query("restaurant-manager", "SELECT COUNT(*) FROM pinot.eats_orders_rollup")
+		if err == nil && len(res.Rows) > 0 {
+			if n, ok := res.Rows[0][0].(int64); ok && n >= 40 {
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The dashboard page load: fixed slice-and-dice queries, each hitting
+	// the small rollup table.
+	queries := map[string]string{
+		"top restaurants by revenue": `
+			SELECT restaurant, SUM(revenue) AS total
+			FROM pinot.eats_orders_rollup GROUP BY restaurant ORDER BY total DESC LIMIT 3`,
+		"orders per restaurant": `
+			SELECT restaurant, SUM(orders) AS n
+			FROM pinot.eats_orders_rollup GROUP BY restaurant ORDER BY n DESC LIMIT 3`,
+		"satisfaction (avg rating)": `
+			SELECT restaurant, AVG(avg_rating) AS rating
+			FROM pinot.eats_orders_rollup GROUP BY restaurant ORDER BY rating DESC LIMIT 3`,
+	}
+	for title, sql := range queries {
+		start := time.Now()
+		res, err := platform.Query("restaurant-manager", sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%.1fms):\n", title, float64(time.Since(start).Microseconds())/1000)
+		for _, row := range res.Rows {
+			fmt.Printf("  %-16v %10.5v\n", row[0], row[1])
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/metadata"
+	"repro/internal/olap"
+	"repro/internal/record"
+)
+
+func schema() *metadata.Schema {
+	return &metadata.Schema{
+		Name:    "orders",
+		Version: 1,
+		Fields: []metadata.Field{
+			{Name: "order_id", Type: metadata.TypeString},
+			{Name: "city", Type: metadata.TypeString, Dimension: true},
+			{Name: "amount", Type: metadata.TypeDouble},
+			{Name: "ts", Type: metadata.TypeTimestamp},
+		},
+		TimeField: "ts",
+	}
+}
+
+func rows(n int) []record.Record {
+	cities := []string{"sf", "nyc", "la", "chi"}
+	out := make([]record.Record, n)
+	for i := range out {
+		out[i] = record.Record{
+			"order_id": fmt.Sprintf("o%06d", i),
+			"city":     cities[i%4],
+			"amount":   float64(i % 100),
+			"ts":       int64(1700000000000 + i),
+		}
+	}
+	return out
+}
+
+func TestStormLikeSuperlinearVsPipelinedLinear(t *testing.T) {
+	storm := &StormLike{}
+	small := storm.Drain(2_000, 10)
+	big := storm.Drain(20_000, 10)
+	// 10x backlog must cost much more than 10x for the no-backpressure
+	// engine (superlinear drain).
+	if big < small*30 {
+		t.Errorf("storm drain: 10x backlog cost only %.1fx", float64(big)/float64(small))
+	}
+	pSmall := PipelinedDrain(2_000, 10, 64)
+	pBig := PipelinedDrain(20_000, 10, 64)
+	ratio := float64(pBig) / float64(pSmall)
+	if ratio > 11 || ratio < 9 {
+		t.Errorf("pipelined drain: 10x backlog cost %.1fx, want ~10x (linear)", ratio)
+	}
+	// And at large backlogs the gap is an order of magnitude (E1 shape).
+	if big < 10*pBig {
+		t.Errorf("storm %d vs flink %d at 20k backlog: want >= 10x gap", big, pBig)
+	}
+}
+
+func TestMicroBatchStateAndPeak(t *testing.T) {
+	mb := NewMicroBatch(2)
+	keys := make([]string, 100)
+	vals := make([]float64, 100)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i%10)
+		vals[i] = 1
+	}
+	var state map[string]float64
+	for b := 0; b < 5; b++ {
+		state = mb.ProcessBatch(keys, vals)
+	}
+	if len(state) != 10 {
+		t.Fatalf("keys = %d", len(state))
+	}
+	for k, v := range state {
+		if v != 50 {
+			t.Errorf("state[%s] = %v, want 50", k, v)
+		}
+	}
+	if mb.PeakBytes <= mb.StateBytes() {
+		t.Errorf("peak %d should exceed steady state %d (batch materialization + copies)", mb.PeakBytes, mb.StateBytes())
+	}
+}
+
+func TestDocStoreCorrectnessAndFootprint(t *testing.T) {
+	ds := NewDocStore(schema())
+	data := rows(2000)
+	for _, r := range data {
+		if err := ds.Index(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ds.Count() != 2000 {
+		t.Fatalf("count = %d", ds.Count())
+	}
+	// Equality filter via postings.
+	sf := ds.EqFilter("city", "sf")
+	if len(sf) != 500 {
+		t.Errorf("sf docs = %d, want 500", len(sf))
+	}
+	// Group-by-sum matches a brute-force oracle.
+	got := ds.GroupBySum("", nil, "city", "amount")
+	want := map[string]float64{}
+	for _, r := range data {
+		want[r.String("city")] += r.Double("amount")
+	}
+	for city, sum := range want {
+		if got[city] != sum {
+			t.Errorf("sum[%s] = %v, want %v", city, got[city], sum)
+		}
+	}
+	// Filtered variant.
+	gotSF := ds.GroupBySum("city", "sf", "city", "amount")
+	if gotSF["sf"] != want["sf"] {
+		t.Errorf("filtered sum = %v, want %v", gotSF["sf"], want["sf"])
+	}
+
+	// Footprint: the document store must cost several times more memory
+	// and disk than the equivalent Pinot segment (E3's 4x / 8x shape).
+	seg, err := olap.BuildSegment("s", schema(), data, olap.IndexConfig{InvertedColumns: []string{"city"}}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segData, _ := seg.Encode()
+	if ds.MemBytes() < 2*seg.MemBytes() {
+		t.Errorf("docstore mem %d vs segment mem %d: want >= 2x", ds.MemBytes(), seg.MemBytes())
+	}
+	if ds.DiskBytes() < 3*int64(len(segData)) {
+		t.Errorf("docstore disk %d vs segment disk %d: want >= 3x", ds.DiskBytes(), len(segData))
+	}
+}
+
+func TestDruidLikeCorrectnessAndFootprint(t *testing.T) {
+	data := rows(3000)
+	d := BuildDruidLike(schema(), data)
+	got := d.GroupBySum("", "", "city", "amount")
+	want := map[string]float64{}
+	for _, r := range data {
+		want[r.String("city")] += r.Double("amount")
+	}
+	for city, sum := range want {
+		if got[city] != sum {
+			t.Errorf("sum[%s] = %v, want %v", city, got[city], sum)
+		}
+	}
+	filtered := d.GroupBySum("city", "nyc", "city", "amount")
+	if filtered["nyc"] != want["nyc"] {
+		t.Errorf("filtered = %v, want %v", filtered["nyc"], want["nyc"])
+	}
+	if d.GroupBySum("city", "tokyo", "city", "amount")["tokyo"] != 0 {
+		t.Error("missing filter value should return empty")
+	}
+	if d.GroupCount("city") != 4 {
+		t.Errorf("group count = %d", d.GroupCount("city"))
+	}
+	// Unpacked forward index must cost more than Pinot's bit-packed one.
+	seg, _ := olap.BuildSegment("s", schema(), data, olap.IndexConfig{}, -1)
+	if d.MemBytes() < seg.MemBytes() {
+		t.Errorf("druidlike mem %d vs pinot %d: unpacked codes should cost more", d.MemBytes(), seg.MemBytes())
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	for _, n := range []string{"storm", "spark", "elasticsearch", "druid"} {
+		if Describe(n) == n {
+			t.Errorf("Describe(%s) missing", n)
+		}
+	}
+	if Describe("other") != "other" {
+		t.Error("unknown baseline should pass through")
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestExperimentShapes runs every experiment at reduced scale and asserts
+// the paper's directional claims hold — the repo-level smoke test that the
+// reproduction reproduces.
+func TestExperimentShapes(t *testing.T) {
+	get := func(rows []Row, name string) float64 {
+		for _, r := range rows {
+			if r.Name == name {
+				return r.Value
+			}
+		}
+		t.Fatalf("row %q missing in %v", name, rows)
+		return 0
+	}
+
+	t.Run("E1", func(t *testing.T) {
+		rows := E1(50_000)
+		if ratio := get(rows, "work_ratio"); ratio < 10 {
+			t.Errorf("storm/flink work ratio = %.1f, want >= 10", ratio)
+		}
+	})
+	t.Run("E2", func(t *testing.T) {
+		rows := E2(20_000, 1_000)
+		if ratio := get(rows, "memory_ratio"); ratio < 3 || ratio > 20 {
+			t.Errorf("spark/flink memory ratio = %.1f, want in [3,20]", ratio)
+		}
+	})
+	t.Run("E3", func(t *testing.T) {
+		rows := E3(5_000)
+		if r := get(rows, "mem_ratio"); r < 2 {
+			t.Errorf("mem ratio = %.1f, want >= 2", r)
+		}
+		if r := get(rows, "disk_ratio"); r < 2 {
+			t.Errorf("disk ratio = %.1f, want >= 2", r)
+		}
+		if r := get(rows, "latency_ratio"); r < 1 {
+			t.Errorf("latency ratio = %.2f, want >= 1 (ES slower)", r)
+		}
+	})
+	t.Run("E4", func(t *testing.T) {
+		rows := E4(20_000)
+		if r := get(rows, "startree_speedup_vs_druid"); r < 5 {
+			t.Errorf("star-tree speedup = %.1f, want >= 5", r)
+		}
+	})
+	t.Run("E5", func(t *testing.T) {
+		// Enough messages that per-message service time (2ms) dominates the
+		// poll/commit overheads; the poll model is capped at 2-way
+		// parallelism, the proxy runs 24-way.
+		rows := E5(300, 2, 24, 2*time.Millisecond)
+		if r := get(rows, "throughput_gain"); r < 1.5 {
+			t.Errorf("proxy gain = %.2f, want >= 1.5", r)
+		}
+	})
+	t.Run("E7", func(t *testing.T) {
+		rows := E7(200, 10)
+		if get(rows, "dlq_lost") != 0 || get(rows, "dlq_blocked") != 0 {
+			t.Errorf("DLQ strategy lost/blocked: %v", rows)
+		}
+		if get(rows, "drop_lost") == 0 {
+			t.Error("drop strategy should lose the poison messages")
+		}
+		if get(rows, "block_blocked") == 0 {
+			t.Error("block strategy should clog the partition")
+		}
+	})
+	t.Run("E8", func(t *testing.T) {
+		rows := E8(128, 6)
+		if r := get(rows, "movement_reduction"); r < 2 {
+			t.Errorf("sticky reduction = %.1f, want >= 2", r)
+		}
+	})
+	t.Run("E9", func(t *testing.T) {
+		rows := E9(600)
+		if get(rows, "centralized_rows_sealed_during_outage") != 0 {
+			t.Error("centralized mode should halt sealing during the outage")
+		}
+		if get(rows, "p2p_rows_sealed_during_outage") == 0 {
+			t.Error("p2p mode should keep sealing during the outage")
+		}
+		if get(rows, "p2p_segments_recovered") == 0 {
+			t.Error("p2p mode should recover from peers")
+		}
+	})
+	t.Run("E10", func(t *testing.T) {
+		rows := E10(5_000, 500, 4)
+		if get(rows, "live_rows") != get(rows, "expected_live_rows") {
+			t.Errorf("upsert live rows mismatch: %v", rows)
+		}
+	})
+	t.Run("E11", func(t *testing.T) {
+		rows := E11(20_000)
+		if r := get(rows, "latency_ratio"); r < 2 {
+			t.Errorf("pushdown speedup = %.1f, want >= 2", r)
+		}
+		if get(rows, "pushdown_rows_moved") >= get(rows, "no_pushdown_rows_moved") {
+			t.Error("pushdown should move fewer rows across the connector")
+		}
+	})
+	t.Run("E12", func(t *testing.T) {
+		rows := E12(200)
+		if get(rows, "aa_region0_global_msgs") != get(rows, "aa_region1_global_msgs") {
+			t.Errorf("active-active aggregates diverged: %v", rows)
+		}
+		resumed := get(rows, "ap_resumed_msgs")
+		unconsumed := get(rows, "ap_unconsumed_at_failover")
+		if resumed < unconsumed {
+			t.Errorf("active-passive lost data: resumed %.0f < unconsumed %.0f", resumed, unconsumed)
+		}
+		// The paper's claim is "neither from the high watermark (loss) nor
+		// the low watermark (full backlog)": the replay overlap is bounded
+		// by checkpoint granularity, so it must stay well under the full
+		// 200-message backlog.
+		if resumed >= 200 {
+			t.Errorf("active-passive replayed the full backlog: %.0f", resumed)
+		}
+	})
+	t.Run("E13", func(t *testing.T) {
+		rows := E13(10_000)
+		if get(rows, "rows_reprocessed") != 10_000 {
+			t.Errorf("backfill incomplete: %v", rows)
+		}
+		if get(rows, "backfill_krows_per_s") <= get(rows, "throttled_krows_per_s") {
+			t.Error("throttling should reduce backfill throughput")
+		}
+	})
+	t.Run("E15", func(t *testing.T) {
+		rows := E15(30_000)
+		if get(rows, "rollup_rows_served") >= get(rows, "raw_rows_served") {
+			t.Error("rollup should serve fewer rows")
+		}
+		if r := get(rows, "speedup"); r < 2 {
+			t.Errorf("pre-agg speedup = %.1f, want >= 2", r)
+		}
+	})
+}
+
+func TestAllListsEverything(t *testing.T) {
+	all := AllWithIntegration()
+	ids := map[string]bool{}
+	for _, e := range all {
+		if e.Run == nil || e.Title == "" || e.Claim == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15"} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing from AllWithIntegration", want)
+		}
+	}
+}

@@ -1,0 +1,671 @@
+package fedsql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/record"
+	"repro/internal/sqlparse"
+)
+
+// Result is a federated query result.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+	// Stats aggregates connector-side scan statistics.
+	Stats ScanStats
+}
+
+// Records converts the result rows into records keyed by column name.
+func (r *Result) Records() []record.Record {
+	out := make([]record.Record, len(r.Rows))
+	for i, row := range r.Rows {
+		rec := make(record.Record, len(r.Columns))
+		for ci, c := range r.Columns {
+			if row[ci] != nil {
+				rec[c] = row[ci]
+			}
+		}
+		out[i] = rec
+	}
+	return out
+}
+
+// Engine is the federated query engine: it parses SQL, resolves tables
+// through registered connectors, plans pushdown per connector capabilities,
+// and executes the remainder (joins, subqueries, residual filters and
+// aggregations) in memory with a hash-join + hash-aggregation executor.
+type Engine struct {
+	connectors map[string]Connector
+	defaultCat string
+}
+
+// NewEngine creates an engine. The first registered connector becomes the
+// default catalog for unqualified table names.
+func NewEngine() *Engine {
+	return &Engine{connectors: make(map[string]Connector)}
+}
+
+// Register adds a connector under its catalog name.
+func (e *Engine) Register(c Connector) {
+	if len(e.connectors) == 0 {
+		e.defaultCat = c.Name()
+	}
+	e.connectors[c.Name()] = c
+}
+
+// SetDefaultCatalog changes the catalog used for unqualified table names.
+func (e *Engine) SetDefaultCatalog(name string) error {
+	if _, ok := e.connectors[name]; !ok {
+		return fmt.Errorf("fedsql: unknown catalog %q", name)
+	}
+	e.defaultCat = name
+	return nil
+}
+
+// Catalogs lists registered connector names, sorted.
+func (e *Engine) Catalogs() []string {
+	out := make([]string, 0, len(e.connectors))
+	for n := range e.connectors {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Query parses and executes one SELECT.
+func (e *Engine) Query(sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.execute(stmt)
+}
+
+// relation is an intermediate result: named rows plus the predicates the
+// backend did not absorb.
+type relation struct {
+	rows  []record.Record
+	cols  []string // known column order (may be empty for star)
+	stats ScanStats
+	// residual predicates still to be applied by the engine.
+	residual []sqlparse.Predicate
+	// aggregated marks that the connector already produced the final
+	// aggregate rows, so the engine skips its own aggregation step.
+	aggregated bool
+	// ordered marks that ORDER BY/LIMIT already applied in the backend.
+	ordered bool
+}
+
+func (e *Engine) execute(stmt *sqlparse.SelectStmt) (*Result, error) {
+	if stmt.From == nil {
+		return nil, fmt.Errorf("fedsql: SELECT without FROM is not supported")
+	}
+	if stmt.Window != nil {
+		return nil, fmt.Errorf("fedsql: window functions belong to the streaming SQL layer (flinksql)")
+	}
+	rel, err := e.resolveFrom(stmt)
+	if err != nil {
+		return nil, err
+	}
+	rows := rel.rows
+
+	// Residual filters (anything not pushed down was left in rel by
+	// resolveFrom via the returned residual list — here rel carries rows
+	// already filtered when pushdown happened).
+	if !rel.aggregated {
+		if len(rel.residual) > 0 {
+			rows = filterRows(rows, rel.residual)
+		}
+		if stmt.HasAggregates() {
+			rows, err = aggregateRows(rows, stmt)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	cols, err := outputColumns(stmt, rows, rel)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: cols, Stats: rel.stats}
+	for _, r := range rows {
+		row := make([]any, len(cols))
+		for ci, c := range cols {
+			row[ci] = lookupColumn(r, c)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if !rel.ordered {
+		if err := orderAndLimit(res, stmt); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// resolveFrom evaluates the FROM clause (table / subquery / join) and
+// returns rows plus any predicates the backend did not absorb.
+func (e *Engine) resolveFrom(stmt *sqlparse.SelectStmt) (*relation, error) {
+	return e.resolveRef(stmt.From, stmt)
+}
+
+func (e *Engine) resolveRef(ref *sqlparse.TableRef, stmt *sqlparse.SelectStmt) (*relation, error) {
+	switch {
+	case ref.Join != nil:
+		return e.resolveJoin(ref.Join, stmt)
+	case ref.Sub != nil:
+		sub, err := e.execute(ref.Sub)
+		if err != nil {
+			return nil, err
+		}
+		rel := &relation{rows: sub.Records(), cols: sub.Columns, stats: sub.Stats}
+		// Outer predicates apply in the engine.
+		rel.residual = predicatesFor(stmt.Where, ref.RefName(), true)
+		return rel, nil
+	default:
+		return e.scanTable(ref, stmt)
+	}
+}
+
+// scanTable plans pushdown for a single-table query.
+func (e *Engine) scanTable(ref *sqlparse.TableRef, stmt *sqlparse.SelectStmt) (*relation, error) {
+	catalog := ref.Qualifier
+	if catalog == "" {
+		catalog = e.defaultCat
+	}
+	conn, ok := e.connectors[catalog]
+	if !ok {
+		return nil, fmt.Errorf("fedsql: unknown catalog %q", catalog)
+	}
+	caps := conn.Capabilities()
+	pd := Pushdown{}
+	var residual []sqlparse.Predicate
+
+	mine := predicatesFor(stmt.Where, ref.RefName(), true)
+	if caps.Filters {
+		for _, p := range mine {
+			cp := p
+			cp.Table = ""
+			pd.Filters = append(pd.Filters, cp)
+		}
+	} else {
+		residual = mine
+	}
+
+	// Aggregation pushdown: single-table aggregate query with all filters
+	// absorbed and no window.
+	isJoinless := stmt.From == ref
+	if caps.Aggregations && isJoinless && stmt.HasAggregates() && len(residual) == 0 && stmt.Window == nil {
+		pd.GroupBy = stripQualifiers(stmt.GroupBy)
+		for _, it := range stmt.Items {
+			if it.Func == sqlparse.FuncNone {
+				continue // plain group-by columns come back via GroupBy
+			}
+			item := it
+			item.Table = ""
+			pd.Aggs = append(pd.Aggs, item)
+		}
+		if caps.Limit {
+			for _, o := range stmt.OrderBy {
+				pd.OrderBy = append(pd.OrderBy, o)
+			}
+			pd.Limit = stmt.Limit
+		}
+		rows, stats, err := conn.Scan(ref.Name, pd)
+		if err != nil {
+			return nil, err
+		}
+		return &relation{rows: rows, stats: stats, aggregated: true, ordered: pd.Limit > 0 || len(pd.OrderBy) > 0}, nil
+	}
+
+	// Projection pushdown for plain selections.
+	if !stmt.HasAggregates() && isJoinless {
+		pd.Columns = selectionColumns(stmt, ref.RefName())
+		if caps.Limit && len(residual) == 0 {
+			for _, o := range stmt.OrderBy {
+				pd.OrderBy = append(pd.OrderBy, o)
+			}
+			pd.Limit = stmt.Limit
+		}
+	}
+	rows, stats, err := conn.Scan(ref.Name, pd)
+	if err != nil {
+		return nil, err
+	}
+	return &relation{
+		rows:     rows,
+		stats:    stats,
+		residual: residual,
+		ordered:  len(pd.OrderBy) > 0 || (pd.Limit > 0 && len(stmt.OrderBy) == 0),
+	}, nil
+}
+
+// resolveJoin executes both sides (with their single-table predicates pushed
+// toward the connectors) and hash-joins them.
+func (e *Engine) resolveJoin(j *sqlparse.JoinSpec, stmt *sqlparse.SelectStmt) (*relation, error) {
+	leftStmt := &sqlparse.SelectStmt{
+		Items: []sqlparse.SelectItem{{Star: true}},
+		From:  j.Left,
+		Where: predicatesFor(stmt.Where, j.Left.RefName(), false),
+	}
+	rightStmt := &sqlparse.SelectStmt{
+		Items: []sqlparse.SelectItem{{Star: true}},
+		From:  j.Right,
+		Where: predicatesFor(stmt.Where, j.Right.RefName(), false),
+	}
+	leftRes, err := e.execute(leftStmt)
+	if err != nil {
+		return nil, err
+	}
+	rightRes, err := e.execute(rightStmt)
+	if err != nil {
+		return nil, err
+	}
+	_, leftKey := sqlSplit(j.LeftCol)
+	_, rightKey := sqlSplit(j.RightCol)
+	leftRows := leftRes.Records()
+	rightRows := rightRes.Records()
+	// Build side: the smaller input.
+	swap := len(rightRows) > len(leftRows)
+	build, probe := rightRows, leftRows
+	buildKey, probeKey := rightKey, leftKey
+	buildName, probeName := j.Right.RefName(), j.Left.RefName()
+	if swap {
+		build, probe = leftRows, rightRows
+		buildKey, probeKey = leftKey, rightKey
+		buildName, probeName = j.Left.RefName(), j.Right.RefName()
+	}
+	ht := make(map[string][]record.Record, len(build))
+	for _, r := range build {
+		k := fmt.Sprintf("%v", r[buildKey])
+		ht[k] = append(ht[k], r)
+	}
+	var joined []record.Record
+	for _, pr := range probe {
+		k := fmt.Sprintf("%v", pr[probeKey])
+		for _, br := range ht[k] {
+			out := make(record.Record, len(pr)+len(br))
+			for c, v := range pr {
+				out[c] = v
+				out[probeName+"."+c] = v
+			}
+			for c, v := range br {
+				if _, clash := out[c]; !clash {
+					out[c] = v
+				}
+				out[buildName+"."+c] = v
+			}
+			joined = append(joined, out)
+		}
+	}
+	stats := leftRes.Stats
+	stats.RowsReturned += rightRes.Stats.RowsReturned
+	// Residual: predicates with no side qualifier (must run post-join).
+	var residual []sqlparse.Predicate
+	for _, p := range stmt.Where {
+		if p.Table == "" {
+			residual = append(residual, p)
+		}
+	}
+	return &relation{rows: joined, stats: stats, residual: residual}, nil
+}
+
+// predicatesFor selects WHERE conjuncts for a table ref. includeUnqualified
+// adds predicates with no qualifier (single-table queries).
+func predicatesFor(where []sqlparse.Predicate, refName string, includeUnqualified bool) []sqlparse.Predicate {
+	var out []sqlparse.Predicate
+	for _, p := range where {
+		if p.Table == refName || (includeUnqualified && p.Table == "") {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func stripQualifiers(cols []string) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		_, out[i] = sqlSplit(c)
+	}
+	return out
+}
+
+func sqlSplit(col string) (table, column string) {
+	if i := strings.IndexByte(col, '.'); i >= 0 {
+		return col[:i], col[i+1:]
+	}
+	return "", col
+}
+
+// selectionColumns lists projected column names for pushdown (nil for *).
+func selectionColumns(stmt *sqlparse.SelectStmt, refName string) []string {
+	var cols []string
+	for _, it := range stmt.Items {
+		if it.Star {
+			return nil
+		}
+		if it.Table == "" || it.Table == refName {
+			cols = append(cols, it.Column)
+		}
+	}
+	// WHERE/ORDER BY columns must survive the projection for residual work;
+	// simplest correct choice: fetch all columns when any extra is needed.
+	need := map[string]bool{}
+	for _, c := range cols {
+		need[c] = true
+	}
+	for _, o := range stmt.OrderBy {
+		_, c := sqlSplit(o.Column)
+		if !need[c] {
+			return nil
+		}
+	}
+	return cols
+}
+
+// filterRows applies residual predicates in the engine.
+func filterRows(rows []record.Record, preds []sqlparse.Predicate) []record.Record {
+	var out []record.Record
+	for _, r := range rows {
+		ok := true
+		for _, p := range preds {
+			if !rowSatisfies(r, p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func rowSatisfies(r record.Record, p sqlparse.Predicate) bool {
+	key := p.Column
+	if p.Table != "" {
+		if v, ok := r[p.Table+"."+p.Column]; ok {
+			return literalCompare(v, p)
+		}
+	}
+	v, ok := r[key]
+	if !ok || v == nil {
+		return false
+	}
+	return literalCompare(v, p)
+}
+
+func literalCompare(v any, p sqlparse.Predicate) bool {
+	cmp := compareVals(v, p.Value)
+	switch p.Op {
+	case sqlparse.CmpEq:
+		return cmp == 0
+	case sqlparse.CmpNe:
+		return cmp != 0
+	case sqlparse.CmpLt:
+		return cmp < 0
+	case sqlparse.CmpLe:
+		return cmp <= 0
+	case sqlparse.CmpGt:
+		return cmp > 0
+	case sqlparse.CmpGe:
+		return cmp >= 0
+	case sqlparse.CmpBetween:
+		return compareVals(v, p.Value) >= 0 && compareVals(v, p.Value2) <= 0
+	case sqlparse.CmpIn:
+		for _, want := range p.Values {
+			if compareVals(v, want) == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func compareVals(v, lit any) int {
+	if lf, ok := toFloat(lit); ok {
+		if vf, ok := toFloat(v); ok {
+			switch {
+			case vf < lf:
+				return -1
+			case vf > lf:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	return strings.Compare(fmt.Sprintf("%v", v), fmt.Sprintf("%v", lit))
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int64:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// aggregateRows runs engine-side hash aggregation.
+func aggregateRows(rows []record.Record, stmt *sqlparse.SelectStmt) ([]record.Record, error) {
+	type agg struct {
+		count int64
+		sum   float64
+		min   float64
+		max   float64
+		seen  bool
+	}
+	type group struct {
+		values map[string]any
+		aggs   []agg
+	}
+	groupBy := stripQualifiers(stmt.GroupBy)
+	groups := make(map[string]*group)
+	var order []string
+	for _, r := range rows {
+		var kb strings.Builder
+		for _, g := range stmt.GroupBy {
+			fmt.Fprintf(&kb, "%v|", lookupColumn(r, g))
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{values: map[string]any{}, aggs: make([]agg, len(stmt.Items))}
+			for i, gc := range stmt.GroupBy {
+				g.values[groupBy[i]] = lookupColumn(r, gc)
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, it := range stmt.Items {
+			if it.Func == sqlparse.FuncNone {
+				continue
+			}
+			a := &g.aggs[i]
+			if it.Func == sqlparse.FuncCount && it.Column == "" {
+				a.count++
+				continue
+			}
+			v := lookupColumn(r, qualName(it.Table, it.Column))
+			if v == nil {
+				continue
+			}
+			f, _ := toFloat(v)
+			a.count++
+			a.sum += f
+			if !a.seen || f < a.min {
+				a.min = f
+			}
+			if !a.seen || f > a.max {
+				a.max = f
+			}
+			a.seen = true
+		}
+	}
+	if len(groups) == 0 && len(stmt.GroupBy) == 0 {
+		groups[""] = &group{values: map[string]any{}, aggs: make([]agg, len(stmt.Items))}
+		order = append(order, "")
+	}
+	sort.Strings(order)
+	var out []record.Record
+	for _, k := range order {
+		g := groups[k]
+		rec := make(record.Record, len(stmt.Items))
+		for c, v := range g.values {
+			rec[c] = v
+		}
+		for i, it := range stmt.Items {
+			if it.Func == sqlparse.FuncNone {
+				continue
+			}
+			a := g.aggs[i]
+			switch it.Func {
+			case sqlparse.FuncCount:
+				rec[it.OutputName()] = a.count
+			case sqlparse.FuncSum:
+				rec[it.OutputName()] = a.sum
+			case sqlparse.FuncMin:
+				rec[it.OutputName()] = a.min
+			case sqlparse.FuncMax:
+				rec[it.OutputName()] = a.max
+			case sqlparse.FuncAvg:
+				if a.count == 0 {
+					rec[it.OutputName()] = 0.0
+				} else {
+					rec[it.OutputName()] = a.sum / float64(a.count)
+				}
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func qualName(table, column string) string {
+	if table != "" {
+		return table + "." + column
+	}
+	return column
+}
+
+// lookupColumn resolves a possibly-qualified column in a row.
+func lookupColumn(r record.Record, col string) any {
+	if v, ok := r[col]; ok {
+		return v
+	}
+	// Qualified name requested but row has unqualified (or vice versa).
+	if t, c := sqlSplit(col); t != "" {
+		if v, ok := r[c]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// outputColumns derives the result column list.
+func outputColumns(stmt *sqlparse.SelectStmt, rows []record.Record, rel *relation) ([]string, error) {
+	var cols []string
+	for _, it := range stmt.Items {
+		if it.Star {
+			if len(rel.cols) > 0 {
+				cols = append(cols, rel.cols...)
+				continue
+			}
+			// Derive from row keys (sorted, unqualified only).
+			seen := map[string]bool{}
+			for _, r := range rows {
+				for k := range r {
+					if !strings.Contains(k, ".") && !seen[k] {
+						seen[k] = true
+					}
+				}
+			}
+			var names []string
+			for k := range seen {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			cols = append(cols, names...)
+			continue
+		}
+		if it.Func != sqlparse.FuncNone || it.Table == "" {
+			cols = append(cols, it.OutputName())
+		} else {
+			// Qualified plain column: output name is column (or alias).
+			if it.Alias != "" {
+				cols = append(cols, it.Alias)
+			} else {
+				cols = append(cols, it.Table+"."+it.Column)
+			}
+		}
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("fedsql: empty projection")
+	}
+	return cols, nil
+}
+
+// orderAndLimit applies ORDER BY / LIMIT on the final result.
+func orderAndLimit(res *Result, stmt *sqlparse.SelectStmt) error {
+	if len(stmt.OrderBy) > 0 {
+		idx := make([]int, len(stmt.OrderBy))
+		for i, o := range stmt.OrderBy {
+			_, want := sqlSplit(o.Column)
+			idx[i] = -1
+			for ci, c := range res.Columns {
+				_, cc := sqlSplit(c)
+				if c == o.Column || cc == want {
+					idx[i] = ci
+					break
+				}
+			}
+			if idx[i] < 0 {
+				return fmt.Errorf("fedsql: ORDER BY column %q not in projection", o.Column)
+			}
+		}
+		sort.SliceStable(res.Rows, func(a, b int) bool {
+			for i, o := range stmt.OrderBy {
+				va, vb := res.Rows[a][idx[i]], res.Rows[b][idx[i]]
+				var cmp int
+				if fa, ok := toFloat(va); ok {
+					if fb, ok2 := toFloat(vb); ok2 {
+						switch {
+						case fa < fb:
+							cmp = -1
+						case fa > fb:
+							cmp = 1
+						}
+					}
+				} else {
+					cmp = strings.Compare(fmt.Sprintf("%v", va), fmt.Sprintf("%v", vb))
+				}
+				if cmp == 0 {
+					continue
+				}
+				if o.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+	}
+	if stmt.Limit > 0 && len(res.Rows) > stmt.Limit {
+		res.Rows = res.Rows[:stmt.Limit]
+	}
+	return nil
+}

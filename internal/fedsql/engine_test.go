@@ -1,0 +1,305 @@
+package fedsql
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/metadata"
+	"repro/internal/objstore"
+	"repro/internal/olap"
+	"repro/internal/record"
+)
+
+func ordersSchema() *metadata.Schema {
+	return &metadata.Schema{
+		Name:    "orders",
+		Version: 1,
+		Fields: []metadata.Field{
+			{Name: "order_id", Type: metadata.TypeString},
+			{Name: "city", Type: metadata.TypeString, Dimension: true},
+			{Name: "amount", Type: metadata.TypeDouble},
+			{Name: "ts", Type: metadata.TypeTimestamp},
+		},
+		TimeField: "ts",
+	}
+}
+
+func citiesSchema() *metadata.Schema {
+	return &metadata.Schema{
+		Name:    "cities",
+		Version: 1,
+		Fields: []metadata.Field{
+			{Name: "city", Type: metadata.TypeString, Dimension: true},
+			{Name: "region", Type: metadata.TypeString, Dimension: true},
+		},
+	}
+}
+
+func orderRows(n int) []record.Record {
+	cities := []string{"sf", "nyc", "la"}
+	rows := make([]record.Record, n)
+	for i := range rows {
+		rows[i] = record.Record{
+			"order_id": fmt.Sprintf("o%04d", i),
+			"city":     cities[i%3],
+			"amount":   float64(i % 10),
+			"ts":       int64(1700000000000 + i*1000),
+		}
+	}
+	return rows
+}
+
+// setupEngine builds: pinot.orders (OLAP deployment), hive.orders (archive),
+// hive.cities (dimension table).
+func setupEngine(t *testing.T, n int) (*Engine, *PinotConnector) {
+	t.Helper()
+	// Pinot table.
+	servers := []*olap.Server{olap.NewServer("s0"), olap.NewServer("s1")}
+	d, err := olap.NewDeployment(olap.DeploymentConfig{
+		Table: olap.TableConfig{
+			Name:        "orders",
+			Schema:      ordersSchema(),
+			SegmentRows: 50,
+		},
+		Servers:      servers,
+		SegmentStore: objstore.NewMemStore(),
+		Backup:       olap.BackupP2P,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range orderRows(n) {
+		if err := d.Ingest(i%2, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinot := NewPinotConnector("pinot")
+	pinot.AddTable(d)
+
+	// Archive tables.
+	store := objstore.NewMemStore()
+	codec, _ := record.NewCodec(ordersSchema())
+	w := objstore.NewRawLogWriter(store, "orders", codec)
+	w.Append(orderRows(n))
+	objstore.NewCompactor(store, "orders", codec).Compact()
+
+	cityCodec, _ := record.NewCodec(citiesSchema())
+	cw := objstore.NewRawLogWriter(store, "cities", cityCodec)
+	cw.Append([]record.Record{
+		{"city": "sf", "region": "west"},
+		{"city": "la", "region": "west"},
+		{"city": "nyc", "region": "east"},
+	})
+	objstore.NewCompactor(store, "cities", cityCodec).Compact()
+
+	hive := NewArchiveConnector("hive", store)
+	hive.AddTable("orders", ordersSchema())
+	hive.AddTable("cities", citiesSchema())
+
+	e := NewEngine()
+	e.Register(pinot)
+	e.Register(hive)
+	return e, pinot
+}
+
+func TestSimpleSelectWithPushdown(t *testing.T) {
+	e, _ := setupEngine(t, 90)
+	res, err := e.Query("SELECT order_id, amount FROM pinot.orders WHERE city = 'sf' AND amount > 5 LIMIT 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(res.Rows))
+	}
+	if !res.Stats.PushedFilters {
+		t.Error("filters should have been pushed to pinot")
+	}
+	for _, row := range res.Rows {
+		if row[1].(float64) <= 5 {
+			t.Fatalf("filter violated: %v", row)
+		}
+	}
+}
+
+func TestAggregationPushdownMatchesEngineSide(t *testing.T) {
+	e, pinot := setupEngine(t, 300)
+	sql := "SELECT city, COUNT(*) AS n, SUM(amount) AS total, AVG(amount) AS mean FROM pinot.orders GROUP BY city ORDER BY city"
+
+	pushed, err := e.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pushed.Stats.PushedAggs {
+		t.Error("aggregation should have been pushed down")
+	}
+
+	pinot.DisablePushdown = true
+	unpushed, err := e.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinot.DisablePushdown = false
+	if unpushed.Stats.PushedAggs {
+		t.Error("pushdown disabled but stats claim pushed aggs")
+	}
+	// Same answer either way.
+	if len(pushed.Rows) != len(unpushed.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(pushed.Rows), len(unpushed.Rows))
+	}
+	for i := range pushed.Rows {
+		for c := range pushed.Rows[i] {
+			a := fmt.Sprintf("%v", pushed.Rows[i][c])
+			b := fmt.Sprintf("%v", unpushed.Rows[i][c])
+			if a != b {
+				t.Errorf("row %d col %d: pushed %s vs engine %s", i, c, a, b)
+			}
+		}
+	}
+	// The pushed version moves far fewer rows across the connector.
+	if pushed.Stats.RowsReturned >= unpushed.Stats.RowsReturned {
+		t.Errorf("pushdown returned %d rows, engine-side %d — pushdown should move less",
+			pushed.Stats.RowsReturned, unpushed.Stats.RowsReturned)
+	}
+}
+
+func TestArchiveScanEngineSideAggregation(t *testing.T) {
+	e, _ := setupEngine(t, 120)
+	res, err := e.Query("SELECT city, COUNT(*) AS n FROM hive.orders WHERE amount >= 0 GROUP BY city ORDER BY n DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PushedAggs || res.Stats.PushedFilters {
+		t.Error("archive connector advertises no pushdown")
+	}
+	var total int64
+	for _, row := range res.Rows {
+		total += row[1].(int64)
+	}
+	if total != 120 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestFederatedJoinPinotWithHiveDimension(t *testing.T) {
+	// The §4.3.2 headline: join fresh Pinot data with a Hive dimension
+	// table inside the engine.
+	e, _ := setupEngine(t, 90)
+	res, err := e.Query(`
+		SELECT c.region, SUM(o.amount) AS revenue
+		FROM pinot.orders o JOIN hive.cities c ON o.city = c.city
+		GROUP BY c.region ORDER BY c.region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("regions = %v", res.Rows)
+	}
+	// east = nyc; west = sf + la.
+	var east, west float64
+	for _, r := range orderRows(90) {
+		if r.String("city") == "nyc" {
+			east += r.Double("amount")
+		} else {
+			west += r.Double("amount")
+		}
+	}
+	if res.Rows[0][0] != "east" || res.Rows[0][1].(float64) != east {
+		t.Errorf("east row = %v, want %v", res.Rows[0], east)
+	}
+	if res.Rows[1][0] != "west" || res.Rows[1][1].(float64) != west {
+		t.Errorf("west row = %v, want %v", res.Rows[1], west)
+	}
+}
+
+func TestJoinWithSidePredicates(t *testing.T) {
+	e, _ := setupEngine(t, 90)
+	res, err := e.Query(`
+		SELECT o.order_id, c.region
+		FROM pinot.orders o JOIN hive.cities c ON o.city = c.city
+		WHERE o.city = 'sf' AND c.region = 'west'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 30 {
+		t.Fatalf("rows = %d, want 30 sf orders", len(res.Rows))
+	}
+}
+
+func TestSubqueryInFrom(t *testing.T) {
+	e, _ := setupEngine(t, 90)
+	res, err := e.Query(`
+		SELECT city FROM (
+			SELECT city, COUNT(*) AS n FROM pinot.orders GROUP BY city
+		) t WHERE n >= 30 ORDER BY city`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0] != "la" || res.Rows[2][0] != "sf" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	e, _ := setupEngine(t, 10)
+	res, err := e.Query("SELECT * FROM hive.cities ORDER BY city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || len(res.Columns) != 2 {
+		t.Fatalf("result = %v %v", res.Columns, res.Rows)
+	}
+}
+
+func TestDefaultCatalog(t *testing.T) {
+	e, _ := setupEngine(t, 30)
+	// pinot registered first → default.
+	res, err := e.Query("SELECT COUNT(*) FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 30 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+	if err := e.SetDefaultCatalog("hive"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetDefaultCatalog("nope"); err == nil {
+		t.Error("unknown default catalog should fail")
+	}
+	if got := e.Catalogs(); len(got) != 2 || got[0] != "hive" {
+		t.Errorf("catalogs = %v", got)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	e, _ := setupEngine(t, 10)
+	bad := []string{
+		"SELECT x FROM ghost.t",                     // unknown catalog
+		"SELECT x FROM pinot.ghost",                 // unknown table
+		"not sql",                                   // parse error
+		"SELECT COUNT(*) FROM orders GROUP BY TUMBLE(ts, 1000)", // window in fedsql
+	}
+	for _, sql := range bad {
+		if _, err := e.Query(sql); err == nil {
+			t.Errorf("Query(%q) should fail", sql)
+		}
+	}
+}
+
+func TestConnectorMetadata(t *testing.T) {
+	e, pinot := setupEngine(t, 10)
+	_ = e
+	if got := pinot.Tables(); len(got) != 1 || got[0] != "orders" {
+		t.Errorf("tables = %v", got)
+	}
+	s, err := pinot.Schema("orders")
+	if err != nil || s.Name != "orders" {
+		t.Errorf("schema = %v, %v", s, err)
+	}
+	if _, err := pinot.Schema("nope"); err == nil {
+		t.Error("missing schema should error")
+	}
+}

@@ -1,0 +1,378 @@
+// Package flinksql compiles SQL into dataflow jobs — the FlinkSQL layer of
+// §4.2.1: "the SQL processor compiles the queries to reliable, efficient,
+// distributed Flink applications", letting non-engineers run streaming
+// pipelines. A query compiles into a logical plan (filter → key-extract →
+// window aggregate → project), which maps onto flow stages.
+//
+// The same compiled stages execute in two modes (§7 "SQL based" backfill):
+// streaming over a live topic (DataStream) or bounded over the archived
+// dataset (DataSet / Kappa+), so one query backfills itself.
+package flinksql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/flow"
+	"repro/internal/flow/backfill"
+	"repro/internal/metadata"
+	"repro/internal/objstore"
+	"repro/internal/record"
+	"repro/internal/sqlparse"
+	"repro/internal/stream"
+)
+
+// compositeKeyColumn is the synthetic routing-key column for multi-column
+// GROUP BY.
+const compositeKeyColumn = "__key"
+
+// Plan is a compiled query: flow stages plus output metadata.
+type Plan struct {
+	// Stages are the operator stages implementing the query.
+	Stages []flow.StageSpec
+	// Table is the FROM table (topic / archived dataset name).
+	Table string
+	// TimeColumn is the window time column (empty for non-windowed).
+	TimeColumn string
+	// OutputColumns are the result column names in projection order.
+	OutputColumns []string
+}
+
+// Compile turns a parsed statement into a logical plan. Streaming SQL
+// restrictions: aggregates require a TUMBLE/HOP window (unbounded group-by
+// over an unbounded stream never emits); joins are not supported in this
+// layer (use fedsql for interactive joins or flow's IntervalJoinOp
+// directly); ORDER BY is not supported on unbounded output.
+func Compile(stmt *sqlparse.SelectStmt, parallelism int) (*Plan, error) {
+	if stmt.From == nil || stmt.From.Join != nil || stmt.From.Sub != nil {
+		return nil, fmt.Errorf("flinksql: FROM must be a single table (joins/subqueries belong to the fedsql layer)")
+	}
+	if len(stmt.OrderBy) > 0 {
+		return nil, fmt.Errorf("flinksql: ORDER BY is not defined on an unbounded stream")
+	}
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	plan := &Plan{Table: stmt.From.Name}
+
+	var stages []flow.StageSpec
+	// WHERE → filter stage.
+	if len(stmt.Where) > 0 {
+		preds := stmt.Where
+		stages = append(stages, flow.StageSpec{
+			Name:        "where",
+			Parallelism: parallelism,
+			New: func() flow.Operator {
+				return &flow.FilterOp{Pred: func(e flow.Event) bool {
+					for _, p := range preds {
+						if !evalPredicate(e.Data, p) {
+							return false
+						}
+					}
+					return true
+				}}
+			},
+		})
+	}
+
+	if stmt.HasAggregates() {
+		if stmt.Window == nil {
+			return nil, fmt.Errorf("flinksql: aggregates over an unbounded stream require a TUMBLE/HOP window in GROUP BY")
+		}
+		for _, it := range stmt.Items {
+			if it.Func == sqlparse.FuncNone && !contains(stmt.GroupBy, it.Column) {
+				return nil, fmt.Errorf("flinksql: projection %q is neither aggregated nor grouped", it.Column)
+			}
+		}
+		plan.TimeColumn = stmt.Window.TimeColumn
+		groupBy := append([]string(nil), stmt.GroupBy...)
+		// Key-extraction stage: composite key from the group-by columns.
+		stages = append(stages, flow.StageSpec{
+			Name:        "keyby",
+			Parallelism: parallelism,
+			New: func() flow.Operator {
+				return &flow.MapOp{Fn: func(e flow.Event) (flow.Event, error) {
+					var kb strings.Builder
+					for _, g := range groupBy {
+						fmt.Fprintf(&kb, "%v\x1f", e.Data[g])
+					}
+					e.Data = e.Data.Clone()
+					e.Data[compositeKeyColumn] = kb.String()
+					return e, nil
+				}}
+			},
+		})
+		// Window aggregation stage, keyed by the composite key.
+		var aggs []flow.Aggregation
+		for _, it := range stmt.Items {
+			if it.Func == sqlparse.FuncNone {
+				continue
+			}
+			aggs = append(aggs, flow.Aggregation{
+				Kind:  toFlowAgg(it.Func),
+				Field: it.Column,
+				As:    it.OutputName(),
+			})
+		}
+		size, slide := stmt.Window.SizeMs, stmt.Window.SlideMs
+		stages = append(stages, flow.StageSpec{
+			Name:        "window",
+			Parallelism: parallelism,
+			KeyBy:       compositeKeyColumn,
+			New: func() flow.Operator {
+				op := flow.NewWindowAggOp(size, slide, "", aggs...)
+				op.CarryColumns = groupBy
+				return op
+			},
+		})
+		// Projection stage: group columns + aggregates + window bounds.
+		outCols := append([]string(nil), groupBy...)
+		for _, a := range aggs {
+			outCols = append(outCols, a.As)
+		}
+		outCols = append(outCols, "window_start", "window_end")
+		plan.OutputColumns = outCols
+		stages = append(stages, projectionStage(outCols, parallelism))
+		plan.Stages = stages
+		return plan, nil
+	}
+
+	// Plain selection: projection only.
+	star := false
+	var outCols []string
+	renames := map[string]string{}
+	for _, it := range stmt.Items {
+		if it.Star {
+			star = true
+			continue
+		}
+		outCols = append(outCols, it.OutputName())
+		renames[it.OutputName()] = it.Column
+	}
+	plan.OutputColumns = outCols
+	if !star {
+		stages = append(stages, flow.StageSpec{
+			Name:        "project",
+			Parallelism: parallelism,
+			New: func() flow.Operator {
+				return &flow.MapOp{Fn: func(e flow.Event) (flow.Event, error) {
+					out := make(record.Record, len(outCols))
+					for _, name := range outCols {
+						out[name] = e.Data[renames[name]]
+					}
+					e.Data = out
+					return e, nil
+				}}
+			},
+		})
+	} else if len(stages) == 0 {
+		// SELECT * with no WHERE still needs one stage (jobs require >= 1).
+		stages = append(stages, flow.StageSpec{
+			Name:        "identity",
+			Parallelism: parallelism,
+			New: func() flow.Operator {
+				return &flow.MapOp{Fn: func(e flow.Event) (flow.Event, error) { return e, nil }}
+			},
+		})
+	}
+	plan.Stages = stages
+	return plan, nil
+}
+
+func projectionStage(outCols []string, parallelism int) flow.StageSpec {
+	cols := append([]string(nil), outCols...)
+	return flow.StageSpec{
+		Name:        "project",
+		Parallelism: parallelism,
+		New: func() flow.Operator {
+			return &flow.MapOp{Fn: func(e flow.Event) (flow.Event, error) {
+				out := make(record.Record, len(cols))
+				for _, c := range cols {
+					if v, ok := e.Data[c]; ok {
+						out[c] = v
+					}
+				}
+				e.Data = out
+				return e, nil
+			}}
+		},
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func toFlowAgg(f sqlparse.FuncKind) flow.AggKind {
+	switch f {
+	case sqlparse.FuncSum:
+		return flow.AggSum
+	case sqlparse.FuncMin:
+		return flow.AggMin
+	case sqlparse.FuncMax:
+		return flow.AggMax
+	case sqlparse.FuncAvg:
+		return flow.AggAvg
+	default:
+		return flow.AggCount
+	}
+}
+
+// evalPredicate evaluates one WHERE conjunct against a record.
+func evalPredicate(r record.Record, p sqlparse.Predicate) bool {
+	v, ok := r[p.Column]
+	if !ok || v == nil {
+		return false
+	}
+	cmp := compareAny(v, p.Value)
+	switch p.Op {
+	case sqlparse.CmpEq:
+		return cmp == 0
+	case sqlparse.CmpNe:
+		return cmp != 0
+	case sqlparse.CmpLt:
+		return cmp < 0
+	case sqlparse.CmpLe:
+		return cmp <= 0
+	case sqlparse.CmpGt:
+		return cmp > 0
+	case sqlparse.CmpGe:
+		return cmp >= 0
+	case sqlparse.CmpBetween:
+		return compareAny(v, p.Value) >= 0 && compareAny(v, p.Value2) <= 0
+	case sqlparse.CmpIn:
+		for _, want := range p.Values {
+			if compareAny(v, want) == 0 {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// compareAny orders a record value against a SQL literal (numbers compare
+// numerically, everything else as strings).
+func compareAny(v, lit any) int {
+	switch lv := lit.(type) {
+	case float64:
+		var f float64
+		switch x := v.(type) {
+		case float64:
+			f = x
+		case int64:
+			f = float64(x)
+		case int:
+			f = float64(x)
+		case bool:
+			if x {
+				f = 1
+			}
+		default:
+			return strings.Compare(fmt.Sprintf("%v", v), fmt.Sprintf("%v", lit))
+		}
+		switch {
+		case f < lv:
+			return -1
+		case f > lv:
+			return 1
+		default:
+			return 0
+		}
+	case bool:
+		bv, ok := v.(bool)
+		if !ok {
+			return 1
+		}
+		switch {
+		case bv == lv:
+			return 0
+		case !bv:
+			return -1
+		default:
+			return 1
+		}
+	default:
+		return strings.Compare(fmt.Sprintf("%v", v), fmt.Sprintf("%v", lit))
+	}
+}
+
+// FromTable returns the FROM table of a single-table query — how the
+// platform resolves which stream a SQL job reads before compiling it.
+func FromTable(sql string) (string, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	if stmt.From == nil || stmt.From.Name == "" {
+		return "", fmt.Errorf("flinksql: query has no FROM table")
+	}
+	return stmt.From.Name, nil
+}
+
+// StreamJobConfig wires a compiled query to live infrastructure.
+type StreamJobConfig struct {
+	// Parallelism is the per-stage instance count. Default 1.
+	Parallelism int
+	// LatenessMs is the source watermark lag.
+	LatenessMs int64
+	// CheckpointStore enables checkpointing.
+	CheckpointStore objstore.Store
+}
+
+// StreamJob compiles sql and builds a streaming flow job reading the FROM
+// table as a topic on cluster — the DataStream mode.
+func StreamJob(name, sql string, cluster *stream.Cluster, codec *record.Codec, sink flow.Sink, cfg StreamJobConfig) (*flow.Job, *Plan, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := Compile(stmt, cfg.Parallelism)
+	if err != nil {
+		return nil, nil, err
+	}
+	src, err := flow.NewStreamSource(cluster, plan.Table, codec, flow.StreamSourceConfig{
+		TimeField:  plan.TimeColumn,
+		LatenessMs: cfg.LatenessMs,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	job, err := flow.NewJob(flow.JobSpec{
+		Name:            name,
+		Sources:         []flow.SourceSpec{{Name: plan.Table, Source: src}},
+		Stages:          plan.Stages,
+		Sink:            flow.SinkSpec{Sink: sink},
+		CheckpointStore: cfg.CheckpointStore,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return job, plan, nil
+}
+
+// BackfillJob compiles sql and runs it over the archived FROM dataset — the
+// DataSet mode of §7: "the FlinkSQL compiler will translate the SQL query to
+// two different Flink jobs". The statement is identical to the streaming
+// one; only the source binding changes.
+func BackfillJob(name, sql string, store objstore.Store, schema *metadata.Schema, sink flow.Sink, cfg backfill.Config) (backfill.Result, *Plan, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return backfill.Result{}, nil, err
+	}
+	plan, err := Compile(stmt, 1)
+	if err != nil {
+		return backfill.Result{}, nil, err
+	}
+	res, err := backfill.Run(name, store, plan.Table, schema, plan.Stages, sink, cfg)
+	if err != nil {
+		return backfill.Result{}, nil, err
+	}
+	return res, plan, nil
+}

@@ -1,0 +1,264 @@
+package flinksql
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/flow/backfill"
+	"repro/internal/metadata"
+	"repro/internal/objstore"
+	"repro/internal/record"
+	"repro/internal/sqlparse"
+	"repro/internal/stream"
+)
+
+const base = int64(1700000000000)
+
+func tripsSchema() *metadata.Schema {
+	return &metadata.Schema{
+		Name:    "trips",
+		Version: 1,
+		Fields: []metadata.Field{
+			{Name: "city", Type: metadata.TypeString, Dimension: true},
+			{Name: "product", Type: metadata.TypeString, Dimension: true},
+			{Name: "fare", Type: metadata.TypeDouble},
+			{Name: "ts", Type: metadata.TypeTimestamp},
+		},
+		TimeField: "ts",
+	}
+}
+
+func tripRows(n int) []record.Record {
+	rows := make([]record.Record, n)
+	for i := range rows {
+		rows[i] = record.Record{
+			"city":    []string{"sf", "nyc"}[i%2],
+			"product": []string{"uberx", "eats"}[i%2*0+(i/2)%2],
+			"fare":    float64(i % 20),
+			"ts":      base + int64(i)*1000,
+		}
+	}
+	return rows
+}
+
+func setupTopic(t *testing.T, n int) (*stream.Cluster, *record.Codec) {
+	t.Helper()
+	cluster, err := stream.NewCluster(stream.ClusterConfig{Name: "c", Nodes: 1, ReplicationInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	if err := cluster.CreateTopic("trips", stream.TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	codec, _ := record.NewCodec(tripsSchema())
+	p := stream.NewProducer(cluster, "svc", "", nil)
+	for _, r := range tripRows(n) {
+		payload, _ := codec.Encode(r)
+		if err := p.Produce("trips", []byte(r.String("city")), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cluster, codec
+}
+
+func TestCompileRejections(t *testing.T) {
+	bad := []string{
+		"SELECT city, COUNT(*) FROM trips GROUP BY city",                      // agg without window
+		"SELECT city FROM trips ORDER BY city",                                // order by on stream
+		"SELECT a.x FROM a JOIN b ON a.k = b.k",                               // join
+		"SELECT city FROM (SELECT city FROM trips) t",                         // subquery
+		"SELECT fare, COUNT(*) FROM trips GROUP BY city, TUMBLE(ts, 60000)",   // non-grouped projection
+	}
+	for _, sql := range bad {
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		if _, err := Compile(stmt, 1); err == nil {
+			t.Errorf("Compile(%q) should fail", sql)
+		}
+	}
+}
+
+func TestStreamingWindowedSQL(t *testing.T) {
+	cluster, codec := setupTopic(t, 120)
+	sink := flow.NewCollectSink()
+	job, plan, err := StreamJob("agg", `
+		SELECT city, COUNT(*) AS trips, SUM(fare) AS revenue
+		FROM trips
+		WHERE fare >= 0
+		GROUP BY city, TUMBLE(ts, 60000)`,
+		cluster, codec, sink, StreamJobConfig{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TimeColumn != "ts" || plan.Table != "trips" {
+		t.Errorf("plan = %+v", plan)
+	}
+	if err := job.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { job.Cancel(); job.Wait() }()
+
+	// 120s of data closes at least one 60s window once the watermark
+	// passes; poll for output.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		recs := sink.Records()
+		var total int64
+		for _, r := range recs {
+			total += r.Long("trips")
+			if r.String("city") == "" {
+				t.Fatalf("group column missing in %v", r)
+			}
+			if _, ok := r["window_start"]; !ok {
+				t.Fatalf("window bounds missing in %v", r)
+			}
+		}
+		if total >= 60 { // first full window (both cities) closed
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("windowed SQL produced too little output: %v", sink.Records())
+}
+
+func TestStreamingSelectionSQL(t *testing.T) {
+	cluster, codec := setupTopic(t, 40)
+	sink := flow.NewCollectSink()
+	job, plan, err := StreamJob("sel", "SELECT city AS c, fare FROM trips WHERE city = 'sf' AND fare > 5",
+		cluster, codec, sink, StreamJobConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.OutputColumns) != 2 || plan.OutputColumns[0] != "c" {
+		t.Errorf("output columns = %v", plan.OutputColumns)
+	}
+	if err := job.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { job.Cancel(); job.Wait() }()
+	want := 0
+	for _, r := range tripRows(40) {
+		if r.String("city") == "sf" && r.Double("fare") > 5 {
+			want++
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if sink.Len() >= want {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	recs := sink.Records()
+	if len(recs) != want {
+		t.Fatalf("selection rows = %d, want %d", len(recs), want)
+	}
+	for _, r := range recs {
+		if r.String("c") != "sf" || r.Double("fare") <= 5 {
+			t.Fatalf("bad row %v", r)
+		}
+		if _, leaked := r["city"]; leaked {
+			t.Fatalf("projection leaked source column: %v", r)
+		}
+	}
+}
+
+func TestSQLBackfillMatchesStreaming(t *testing.T) {
+	// §7: the same SQL runs over the archive; aggregate totals must match
+	// what the streaming job would compute over the same data.
+	store := objstore.NewMemStore()
+	codec, _ := record.NewCodec(tripsSchema())
+	w := objstore.NewRawLogWriter(store, "trips", codec)
+	if err := w.Append(tripRows(240)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := objstore.NewCompactor(store, "trips", codec).Compact(); err != nil {
+		t.Fatal(err)
+	}
+	sink := flow.NewCollectSink()
+	sql := `SELECT city, COUNT(*) AS trips, SUM(fare) AS revenue FROM trips GROUP BY city, TUMBLE(ts, 60000)`
+	res, plan, err := BackfillJob("bf", sql, store, tripsSchema(), sink, backfill.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsRead != 240 {
+		t.Errorf("rows read = %d", res.RowsRead)
+	}
+	if plan.Table != "trips" {
+		t.Errorf("plan table = %s", plan.Table)
+	}
+	var total int64
+	var revenue float64
+	for _, r := range sink.Records() {
+		total += r.Long("trips")
+		revenue += r.Double("revenue")
+	}
+	if total != 240 {
+		t.Errorf("backfill total = %d, want 240 (bounded input flushes all windows)", total)
+	}
+	var wantRevenue float64
+	for _, r := range tripRows(240) {
+		wantRevenue += r.Double("fare")
+	}
+	if revenue != wantRevenue {
+		t.Errorf("revenue = %v, want %v", revenue, wantRevenue)
+	}
+}
+
+func TestBackfillBoundary(t *testing.T) {
+	store := objstore.NewMemStore()
+	codec, _ := record.NewCodec(tripsSchema())
+	w := objstore.NewRawLogWriter(store, "trips", codec)
+	w.Append(tripRows(200))
+	objstore.NewCompactor(store, "trips", codec).Compact()
+	sink := flow.NewCollectSink()
+	res, _, err := BackfillJob("bf", "SELECT city, COUNT(*) FROM trips GROUP BY city, TUMBLE(ts, 60000)",
+		store, tripsSchema(), sink, backfill.Config{StartMs: base + 50_000, EndMs: base + 150_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsRead != 100 || res.RowsSkipped != 100 {
+		t.Errorf("boundary read/skip = %d/%d", res.RowsRead, res.RowsSkipped)
+	}
+}
+
+func TestEvalPredicate(t *testing.T) {
+	r := record.Record{"s": "abc", "n": int64(5), "f": 2.5, "b": true}
+	cases := []struct {
+		pred sqlparse.Predicate
+		want bool
+	}{
+		{sqlparse.Predicate{Column: "s", Op: sqlparse.CmpEq, Value: "abc"}, true},
+		{sqlparse.Predicate{Column: "s", Op: sqlparse.CmpNe, Value: "abc"}, false},
+		{sqlparse.Predicate{Column: "n", Op: sqlparse.CmpGt, Value: 4.0}, true},
+		{sqlparse.Predicate{Column: "n", Op: sqlparse.CmpLe, Value: 4.0}, false},
+		{sqlparse.Predicate{Column: "f", Op: sqlparse.CmpBetween, Value: 2.0, Value2: 3.0}, true},
+		{sqlparse.Predicate{Column: "f", Op: sqlparse.CmpIn, Values: []any{2.5, 9.0}}, true},
+		{sqlparse.Predicate{Column: "f", Op: sqlparse.CmpIn, Values: []any{9.0}}, false},
+		{sqlparse.Predicate{Column: "b", Op: sqlparse.CmpEq, Value: true}, true},
+		{sqlparse.Predicate{Column: "missing", Op: sqlparse.CmpEq, Value: 1.0}, false},
+	}
+	for i, tc := range cases {
+		if got := evalPredicate(r, tc.pred); got != tc.want {
+			t.Errorf("case %d: evalPredicate = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestCompileParallelismDefaults(t *testing.T) {
+	stmt, _ := sqlparse.Parse(fmt.Sprintf("SELECT city, COUNT(*) FROM trips GROUP BY city, TUMBLE(ts, %d)", 1000))
+	plan, err := Compile(stmt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range plan.Stages {
+		if st.Parallelism != 1 {
+			t.Errorf("stage %s parallelism = %d", st.Name, st.Parallelism)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package flow implements the stream-processing layer of the stack (Fig 2
+// "Compute"): an in-process substitute for Apache Flink (§4.2). It executes
+// dataflow jobs — sources, chained keyed/parallel operator stages and sinks
+// connected by bounded channels — with the semantics the paper's experiments
+// depend on:
+//
+//   - event-time processing with watermarks and windowed aggregation;
+//   - keyed operator state with aligned checkpoint barriers persisted to the
+//     object store, and restore-from-checkpoint recovery;
+//   - credit-based backpressure: bounded buffers propagate consumer slowness
+//     back to the sources instead of accumulating unbounded queues (the
+//     Storm-vs-Flink backlog recovery experiment, E1);
+//   - a job management layer (§4.2.2) that deploys, monitors and
+//     automatically recovers jobs with a rule-based engine.
+//
+// Kappa+ backfill over archived data (§7) lives in the backfill subpackage.
+package flow
+
+import (
+	"math"
+
+	"repro/internal/record"
+)
+
+// Event is one data element flowing through a job.
+type Event struct {
+	// Key is the routing key for keyed stages; set by the runtime from the
+	// stage's KeyBy field before the event enters a keyed operator.
+	Key string
+	// Time is the event time in ms since the epoch.
+	Time int64
+	// Source is the index of the originating source (join operators use it
+	// to tell sides apart).
+	Source int
+	// Data is the event payload.
+	Data record.Record
+}
+
+// WatermarkMax is the final watermark emitted by bounded sources: it flushes
+// every open window before end-of-stream.
+const WatermarkMax = math.MaxInt64
+
+// elemKind discriminates the channel protocol between operator instances.
+type elemKind uint8
+
+const (
+	elemEvent elemKind = iota
+	// elemWatermark advances event time; the gate forwards the minimum
+	// across inputs.
+	elemWatermark
+	// elemBarrier is an aligned checkpoint barrier (Chandy-Lamport style).
+	elemBarrier
+	// elemEnd signals end-of-stream from one upstream instance.
+	elemEnd
+)
+
+// element is one unit on an inter-instance channel.
+type element struct {
+	kind    elemKind
+	event   Event
+	wm      int64
+	barrier int64 // checkpoint id
+}

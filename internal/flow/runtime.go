@@ -1,0 +1,631 @@
+package flow
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is a deployed dataflow. Create with NewJob, optionally Restore from a
+// checkpoint, then Start/Wait (or Run).
+type Job struct {
+	spec JobSpec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// failure handling: first error wins.
+	errOnce sync.Once
+	errMu   sync.Mutex
+	err     error
+	done    chan struct{}
+
+	// metrics
+	eventsIn   atomic.Int64
+	eventsOut  atomic.Int64
+	sinkWM     atomic.Int64
+	stateBytes []atomic.Int64 // one per operator instance, flat index
+	lateEvents atomic.Int64
+
+	coord *checkpointCoordinator
+
+	// restoreState holds operator/source state loaded before Start.
+	restoreState *Checkpoint
+
+	started atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// NewJob validates the spec and prepares a job.
+func NewJob(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	total := 0
+	for _, st := range spec.Stages {
+		total += st.Parallelism
+	}
+	j := &Job{
+		spec:       spec,
+		ctx:        ctx,
+		cancel:     cancel,
+		done:       make(chan struct{}),
+		stateBytes: make([]atomic.Int64, total),
+	}
+	j.coord = newCheckpointCoordinator(j)
+	return j, nil
+}
+
+// Spec returns the job's (defaulted) spec.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// fail records the first failure and cancels the job.
+func (j *Job) fail(err error) {
+	j.errOnce.Do(func() {
+		j.errMu.Lock()
+		j.err = err
+		j.errMu.Unlock()
+		j.cancel()
+	})
+}
+
+// Start builds the channel topology and launches all goroutines.
+func (j *Job) Start() error {
+	if !j.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("flow: job %q already started", j.spec.Name)
+	}
+	nStages := len(j.spec.Stages)
+	// edges[l][up][down]: channel from sender up at level l to instance
+	// down at level l+1. Level 0 senders are sources; level nStages senders
+	// feed the sink (one instance).
+	edges := make([][][]chan element, nStages+1)
+	senders := func(level int) int {
+		if level == 0 {
+			return len(j.spec.Sources)
+		}
+		return j.spec.Stages[level-1].Parallelism
+	}
+	receivers := func(level int) int {
+		if level == nStages {
+			return 1 // sink
+		}
+		return j.spec.Stages[level].Parallelism
+	}
+	for l := 0; l <= nStages; l++ {
+		edges[l] = make([][]chan element, senders(l))
+		for u := range edges[l] {
+			edges[l][u] = make([]chan element, receivers(l))
+			for d := range edges[l][u] {
+				edges[l][u][d] = make(chan element, j.spec.BufferSize)
+			}
+		}
+	}
+
+	// Sources.
+	for si := range j.spec.Sources {
+		src := j.spec.Sources[si]
+		if j.restoreState != nil && si < len(j.restoreState.SourcePositions) {
+			if err := src.Source.Seek(j.restoreState.SourcePositions[si]); err != nil {
+				return fmt.Errorf("flow: restoring source %d: %w", si, err)
+			}
+		}
+		outs := edges[0][si]
+		j.wg.Add(1)
+		go j.runSource(si, src, outs)
+	}
+
+	// Stages.
+	flat := 0
+	for l := 0; l < nStages; l++ {
+		st := j.spec.Stages[l]
+		for inst := 0; inst < st.Parallelism; inst++ {
+			// Gather inputs: channel from every sender at level l.
+			ins := make([]chan element, senders(l))
+			for u := range ins {
+				ins[u] = edges[l][u][inst]
+			}
+			op := st.New()
+			if j.restoreState != nil {
+				if state, ok := j.restoreState.OperatorState[opStateKey(st.Name, inst)]; ok {
+					if err := op.Restore(state); err != nil {
+						return fmt.Errorf("flow: restoring %s[%d]: %w", st.Name, inst, err)
+					}
+				}
+			}
+			outs := edges[l+1][inst]
+			j.wg.Add(1)
+			go j.runInstance(l, inst, flat, op, ins, outs)
+			flat++
+		}
+	}
+
+	// Sink: inputs from every last-stage instance.
+	sinkIns := make([]chan element, senders(nStages))
+	for u := range sinkIns {
+		sinkIns[u] = edges[nStages][u][0]
+	}
+	j.wg.Add(1)
+	go j.runSink(sinkIns)
+
+	// Auto-checkpoint ticker.
+	if j.spec.CheckpointStore != nil && j.spec.CheckpointInterval > 0 {
+		go j.autoCheckpoint()
+	}
+
+	go func() {
+		j.wg.Wait()
+		close(j.done)
+	}()
+	return nil
+}
+
+// Wait blocks until the job finishes (bounded sources exhausted) or fails.
+func (j *Job) Wait() error {
+	<-j.done
+	return j.Err()
+}
+
+// Run starts the job and waits for completion.
+func (j *Job) Run() error {
+	if err := j.Start(); err != nil {
+		return err
+	}
+	return j.Wait()
+}
+
+// Cancel stops the job; Wait returns context.Canceled unless it already
+// finished or failed.
+func (j *Job) Cancel() {
+	j.fail(context.Canceled)
+}
+
+// Done reports whether the job has finished.
+func (j *Job) Done() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the job's terminal error (nil while running or on success).
+func (j *Job) Err() error {
+	j.errMu.Lock()
+	defer j.errMu.Unlock()
+	return j.err
+}
+
+func (j *Job) autoCheckpoint() {
+	ticker := time.NewTicker(j.spec.CheckpointInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-j.ctx.Done():
+			return
+		case <-j.done:
+			return
+		case <-ticker.C:
+			// Best effort: concurrent triggers and end-of-job races are
+			// resolved by the coordinator's timeout.
+			_, _ = j.TriggerCheckpoint(j.spec.CheckpointInterval)
+		}
+	}
+}
+
+// ---- source loop ----
+
+func (j *Job) runSource(si int, spec SourceSpec, outs []chan element) {
+	defer j.wg.Done()
+	stage0 := j.spec.Stages[0]
+	rr := 0
+	sinceWM := 0
+	lastWM := int64(-1)
+	lastBarrier := int64(0)
+	for {
+		select {
+		case <-j.ctx.Done():
+			j.drainBroadcast(outs, element{kind: elemEnd})
+			return
+		default:
+		}
+		// Barrier request? Snapshot the position, then emit the barrier.
+		if id := j.coord.pendingBarrier(si, lastBarrier); id > lastBarrier {
+			pos, err := spec.Source.Position()
+			if err != nil {
+				j.fail(err)
+				j.drainBroadcast(outs, element{kind: elemEnd})
+				return
+			}
+			j.coord.addSourceSnapshot(id, si, pos)
+			if !j.broadcast(outs, element{kind: elemBarrier, barrier: id}) {
+				return
+			}
+			lastBarrier = id
+		}
+		events, end, err := spec.Source.Next(5 * time.Millisecond)
+		if err != nil {
+			j.fail(err)
+			j.drainBroadcast(outs, element{kind: elemEnd})
+			return
+		}
+		for _, e := range events {
+			e.Source = si
+			dest := 0
+			if stage0.keyed() {
+				e.Key = e.Data.String(stage0.keyField(si))
+				dest = int(hashKey(e.Key) % uint32(len(outs)))
+			} else {
+				dest = rr % len(outs)
+				rr++
+			}
+			if !j.send(outs[dest], element{kind: elemEvent, event: e}) {
+				return
+			}
+			j.eventsIn.Add(1)
+		}
+		sinceWM += len(events)
+		if sinceWM >= spec.WatermarkEvery || len(events) == 0 {
+			sinceWM = 0
+			if wm := spec.Source.Watermark(); wm > lastWM {
+				lastWM = wm
+				if !j.broadcast(outs, element{kind: elemWatermark, wm: wm}) {
+					return
+				}
+			}
+		}
+		if end {
+			// Flush all windows, then end.
+			j.broadcast(outs, element{kind: elemWatermark, wm: WatermarkMax})
+			j.broadcast(outs, element{kind: elemEnd})
+			return
+		}
+	}
+}
+
+// send delivers one element respecting cancellation; false means the job is
+// shutting down.
+func (j *Job) send(ch chan element, el element) bool {
+	select {
+	case ch <- el:
+		return true
+	case <-j.ctx.Done():
+		return false
+	}
+}
+
+// broadcast sends an element to every channel; false on cancellation.
+func (j *Job) broadcast(outs []chan element, el element) bool {
+	for _, ch := range outs {
+		if !j.send(ch, el) {
+			return false
+		}
+	}
+	return true
+}
+
+// drainBroadcast best-effort broadcasts end without blocking forever.
+func (j *Job) drainBroadcast(outs []chan element, el element) {
+	for _, ch := range outs {
+		select {
+		case ch <- el:
+		default:
+		}
+	}
+}
+
+// ---- operator instance loop ----
+
+func (j *Job) runInstance(level, inst, flat int, op Operator, ins []chan element, outs []chan element) {
+	defer j.wg.Done()
+	var nextKeyed bool
+	var nextStage *StageSpec
+	if level+1 < len(j.spec.Stages) {
+		st := j.spec.Stages[level+1]
+		nextStage = &st
+		nextKeyed = st.keyed()
+	}
+	rr := 0
+	ok := true
+	emit := func(e Event) {
+		if !ok {
+			return
+		}
+		dest := 0
+		if nextStage != nil && nextKeyed {
+			e.Key = e.Data.String(nextStage.keyField(e.Source))
+			dest = int(hashKey(e.Key) % uint32(len(outs)))
+		} else if len(outs) > 1 {
+			dest = rr % len(outs)
+			rr++
+		}
+		if !j.send(outs[dest], element{kind: elemEvent, event: e}) {
+			ok = false
+		}
+	}
+
+	gate := newInputGate(ins)
+	stName := j.spec.Stages[level].Name
+	for {
+		el, alive := gate.next(j.ctx)
+		if !alive {
+			return
+		}
+		switch el.kind {
+		case elemEvent:
+			if err := op.ProcessElement(el.event, emit); err != nil {
+				j.fail(fmt.Errorf("flow: %s[%d]: %w", stName, inst, err))
+				j.drainBroadcast(outs, element{kind: elemEnd})
+				return
+			}
+		case elemWatermark:
+			if err := op.OnWatermark(el.wm, emit); err != nil {
+				j.fail(fmt.Errorf("flow: %s[%d] watermark: %w", stName, inst, err))
+				j.drainBroadcast(outs, element{kind: elemEnd})
+				return
+			}
+			if !ok || !j.broadcast(outs, el) {
+				return
+			}
+		case elemBarrier:
+			snap, err := op.Snapshot()
+			if err != nil {
+				j.fail(fmt.Errorf("flow: %s[%d] snapshot: %w", stName, inst, err))
+				j.drainBroadcast(outs, element{kind: elemEnd})
+				return
+			}
+			j.coord.addOperatorSnapshot(el.barrier, opStateKey(stName, inst), snap)
+			if !j.broadcast(outs, el) {
+				return
+			}
+		case elemEnd:
+			j.broadcast(outs, element{kind: elemEnd})
+			return
+		}
+		j.stateBytes[flat].Store(op.StateBytes())
+		if w, isWindow := op.(*WindowAggOp); isWindow {
+			j.lateEvents.Store(w.LateEvents())
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// ---- sink loop ----
+
+func (j *Job) runSink(ins []chan element) {
+	defer j.wg.Done()
+	gate := newInputGate(ins)
+	sink := j.spec.Sink.Sink
+	for {
+		el, alive := gate.next(j.ctx)
+		if !alive {
+			return
+		}
+		switch el.kind {
+		case elemEvent:
+			if err := sink.Write([]Event{el.event}); err != nil {
+				j.fail(fmt.Errorf("flow: sink %s: %w", j.spec.Sink.Name, err))
+				return
+			}
+			j.eventsOut.Add(1)
+		case elemWatermark:
+			if el.wm != WatermarkMax {
+				j.sinkWM.Store(el.wm)
+			}
+		case elemBarrier:
+			if err := sink.Flush(); err != nil {
+				j.fail(err)
+				return
+			}
+			j.coord.ackSink(el.barrier)
+		case elemEnd:
+			if err := sink.Flush(); err != nil {
+				j.fail(err)
+			}
+			return
+		}
+	}
+}
+
+// ---- input gate: merge, watermark min, barrier alignment ----
+
+// inputGate merges the channels from all upstream instances into one ordered
+// stream of elements for an operator instance, implementing watermark
+// min-tracking, aligned checkpoint barriers and end-of-input counting.
+type inputGate struct {
+	ins     []chan element
+	ended   []bool
+	wms     []int64
+	blocked []bool // aligned on the in-flight barrier
+	barrier int64
+	lastWM  int64
+}
+
+func newInputGate(ins []chan element) *inputGate {
+	g := &inputGate{
+		ins:     ins,
+		ended:   make([]bool, len(ins)),
+		wms:     make([]int64, len(ins)),
+		blocked: make([]bool, len(ins)),
+		lastWM:  -1,
+	}
+	for i := range g.wms {
+		g.wms[i] = -1
+	}
+	return g
+}
+
+// next returns the next logical element. alive=false means the job is
+// cancelled or all inputs ended after the final end was already delivered.
+func (g *inputGate) next(ctx context.Context) (element, bool) {
+	for {
+		idx, el, recvOK := g.receive(ctx)
+		if !recvOK {
+			return element{}, false
+		}
+		switch el.kind {
+		case elemEvent:
+			return el, true
+		case elemWatermark:
+			if el.wm > g.wms[idx] {
+				g.wms[idx] = el.wm
+			}
+			if min := g.minWM(); min > g.lastWM {
+				g.lastWM = min
+				return element{kind: elemWatermark, wm: min}, true
+			}
+		case elemBarrier:
+			g.blocked[idx] = true
+			g.barrier = el.barrier
+			if g.allBlocked() {
+				for i := range g.blocked {
+					g.blocked[i] = false
+				}
+				return el, true
+			}
+		case elemEnd:
+			g.ended[idx] = true
+			// An ended channel no longer holds back watermarks or barriers.
+			g.wms[idx] = WatermarkMax
+			if g.allEnded() {
+				return element{kind: elemEnd}, true
+			}
+			if min := g.minWM(); min > g.lastWM && min != WatermarkMax {
+				g.lastWM = min
+				return element{kind: elemWatermark, wm: min}, true
+			}
+			if g.barrier > 0 && g.allBlocked() {
+				for i := range g.blocked {
+					g.blocked[i] = false
+				}
+				b := g.barrier
+				g.barrier = 0
+				return element{kind: elemBarrier, barrier: b}, true
+			}
+		}
+	}
+}
+
+// receive picks the next element from any unblocked, unended channel.
+func (g *inputGate) receive(ctx context.Context) (int, element, bool) {
+	// Fast path: single-input gates dominate; avoid reflect.
+	active := -1
+	nActive := 0
+	for i := range g.ins {
+		if !g.ended[i] && !g.blocked[i] {
+			active = i
+			nActive++
+		}
+	}
+	if nActive == 0 {
+		return 0, element{}, false
+	}
+	if nActive == 1 {
+		select {
+		case el := <-g.ins[active]:
+			return active, el, true
+		case <-ctx.Done():
+			return 0, element{}, false
+		}
+	}
+	cases := make([]reflect.SelectCase, 0, nActive+1)
+	idxs := make([]int, 0, nActive)
+	for i := range g.ins {
+		if !g.ended[i] && !g.blocked[i] {
+			cases = append(cases, reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(g.ins[i])})
+			idxs = append(idxs, i)
+		}
+	}
+	cases = append(cases, reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(ctx.Done())})
+	chosen, val, _ := reflect.Select(cases)
+	if chosen == len(cases)-1 {
+		return 0, element{}, false
+	}
+	return idxs[chosen], val.Interface().(element), true
+}
+
+func (g *inputGate) allEnded() bool {
+	for _, e := range g.ended {
+		if !e {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *inputGate) allBlocked() bool {
+	for i := range g.ins {
+		if !g.ended[i] && !g.blocked[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *inputGate) minWM() int64 {
+	min := int64(WatermarkMax)
+	for i := range g.ins {
+		if g.wms[i] < min {
+			min = g.wms[i]
+		}
+	}
+	return min
+}
+
+// ---- metrics ----
+
+// Metrics is a point-in-time snapshot of job health, consumed by the job
+// manager's rule engine.
+type Metrics struct {
+	// EventsIn counts events read from sources since start.
+	EventsIn int64
+	// EventsOut counts events delivered to the sink.
+	EventsOut int64
+	// SinkWatermark is the event-time progress observed at the sink.
+	SinkWatermark int64
+	// StateBytes approximates total live operator state.
+	StateBytes int64
+	// SourceLag is the total source backlog (for lag-aware sources).
+	SourceLag int64
+	// LateEvents counts window-dropped late events.
+	LateEvents int64
+}
+
+// Metrics returns the current snapshot.
+func (j *Job) Metrics() Metrics {
+	var state int64
+	for i := range j.stateBytes {
+		state += j.stateBytes[i].Load()
+	}
+	var lag int64
+	for _, s := range j.spec.Sources {
+		if lr, ok := s.Source.(LagReporter); ok {
+			lag += lr.Lag()
+		}
+	}
+	return Metrics{
+		EventsIn:      j.eventsIn.Load(),
+		EventsOut:     j.eventsOut.Load(),
+		SinkWatermark: j.sinkWM.Load(),
+		StateBytes:    state,
+		SourceLag:     lag,
+		LateEvents:    j.lateEvents.Load(),
+	}
+}
+
+func hashKey(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+func opStateKey(stage string, inst int) string {
+	return fmt.Sprintf("%s/%d", stage, inst)
+}

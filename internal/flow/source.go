@@ -1,0 +1,327 @@
+package flow
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/record"
+	"repro/internal/stream"
+)
+
+// Source feeds a job with events. Implementations are driven by a single
+// runtime goroutine, so they need no locking.
+type Source interface {
+	// Next returns the next batch of events (possibly empty) within
+	// maxWait. end is true once a bounded source is exhausted; unbounded
+	// sources never end.
+	Next(maxWait time.Duration) (events []Event, end bool, err error)
+	// Watermark returns the source's current event-time watermark.
+	Watermark() int64
+	// Position snapshots the read position for a checkpoint.
+	Position() ([]byte, error)
+	// Seek restores a position saved by Position.
+	Seek(pos []byte) error
+}
+
+// LagReporter is implemented by sources that can report their backlog;
+// the job manager's autoscaling rules consume it.
+type LagReporter interface {
+	Lag() int64
+}
+
+// StreamSource reads a topic from a broker cluster, managing its own
+// per-partition offsets so checkpoints capture the exact read position
+// (Flink's Kafka source contract). Event time comes from the schema's
+// configured time field.
+type StreamSource struct {
+	cluster   *stream.Cluster
+	topic     string
+	codec     *record.Codec
+	timeField string
+	lateness  int64
+	batch     int
+
+	// mu guards positions/maxTime: the runtime's source goroutine mutates
+	// them while Lag() reads from the job-manager goroutine.
+	mu        sync.Mutex
+	positions []int64
+	maxTime   int64
+}
+
+// StreamSourceConfig configures a StreamSource.
+type StreamSourceConfig struct {
+	// TimeField is the event-time column; empty uses the message timestamp.
+	TimeField string
+	// LatenessMs is subtracted from the max observed event time to form the
+	// watermark (bounded out-of-orderness). Default 0.
+	LatenessMs int64
+	// Batch is the per-partition fetch size. Default 128.
+	Batch int
+	// FromLatest starts at the high watermarks instead of the earliest
+	// retained data.
+	FromLatest bool
+}
+
+// NewStreamSource creates a source over the topic. The codec decodes
+// payloads into records.
+func NewStreamSource(cluster *stream.Cluster, topic string, codec *record.Codec, cfg StreamSourceConfig) (*StreamSource, error) {
+	n, err := cluster.Partitions(topic)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 128
+	}
+	s := &StreamSource{
+		cluster:   cluster,
+		topic:     topic,
+		codec:     codec,
+		timeField: cfg.TimeField,
+		lateness:  cfg.LatenessMs,
+		batch:     cfg.Batch,
+		positions: make([]int64, n),
+	}
+	for i := range s.positions {
+		low, high, err := cluster.Watermarks(stream.TopicPartition{Topic: topic, Partition: i})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.FromLatest {
+			s.positions[i] = high
+		} else {
+			s.positions[i] = low
+		}
+	}
+	return s, nil
+}
+
+// Next implements Source.
+func (s *StreamSource) Next(maxWait time.Duration) ([]Event, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Event
+	for i := range s.positions {
+		tp := stream.TopicPartition{Topic: s.topic, Partition: i}
+		msgs, err := s.cluster.Fetch(tp, s.positions[i], s.batch)
+		if err != nil {
+			// Retention moved past us; resume at the low watermark.
+			low, _, werr := s.cluster.Watermarks(tp)
+			if werr == nil && s.positions[i] < low {
+				s.positions[i] = low
+				continue
+			}
+			return nil, false, err
+		}
+		for _, m := range msgs {
+			ev, err := s.decode(m)
+			if err != nil {
+				return nil, false, err
+			}
+			out = append(out, ev)
+		}
+		if len(msgs) > 0 {
+			s.positions[i] = msgs[len(msgs)-1].Offset + 1
+		}
+	}
+	if len(out) == 0 && maxWait > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	return out, false, nil
+}
+
+func (s *StreamSource) decode(m stream.Message) (Event, error) {
+	r, err := s.codec.Decode(m.Value)
+	if err != nil {
+		return Event{}, fmt.Errorf("flow: decoding %s[%d]@%d: %w", m.Topic, m.Partition, m.Offset, err)
+	}
+	t := m.Timestamp
+	if s.timeField != "" {
+		if et := r.Long(s.timeField); et != 0 {
+			t = et
+		}
+	}
+	if t > s.maxTime {
+		s.maxTime = t
+	}
+	return Event{Time: t, Data: r}, nil
+}
+
+// Watermark implements Source.
+func (s *StreamSource) Watermark() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxTime == 0 {
+		return 0
+	}
+	return s.maxTime - s.lateness
+}
+
+// Position implements Source.
+func (s *StreamSource) Position() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return json.Marshal(struct {
+		Positions []int64
+		MaxTime   int64
+	}{s.positions, s.maxTime})
+}
+
+// Seek implements Source.
+func (s *StreamSource) Seek(pos []byte) error {
+	var p struct {
+		Positions []int64
+		MaxTime   int64
+	}
+	if err := json.Unmarshal(pos, &p); err != nil {
+		return fmt.Errorf("flow: bad source position: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(p.Positions) != len(s.positions) {
+		return fmt.Errorf("flow: position has %d partitions, topic has %d", len(p.Positions), len(s.positions))
+	}
+	s.positions = p.Positions
+	s.maxTime = p.MaxTime
+	return nil
+}
+
+// Lag implements LagReporter: total unread backlog across partitions.
+func (s *StreamSource) Lag() int64 {
+	s.mu.Lock()
+	positions := append([]int64(nil), s.positions...)
+	s.mu.Unlock()
+	var lag int64
+	for i, pos := range positions {
+		_, high, err := s.cluster.Watermarks(stream.TopicPartition{Topic: s.topic, Partition: i})
+		if err != nil {
+			continue
+		}
+		if d := high - pos; d > 0 {
+			lag += d
+		}
+	}
+	return lag
+}
+
+// BoundedSource replays an in-memory slice of records — the DataSet-mode
+// input used by backfill (§7) and tests. It supports throttling so Kappa+
+// backfills can bound their resource usage while reading historic data far
+// faster than real time.
+type BoundedSource struct {
+	rows      []record.Record
+	timeField string
+	lateness  int64
+	batch     int
+	// ratePerSec throttles emission; 0 means unthrottled.
+	ratePerSec int
+
+	mu       sync.Mutex
+	idx      int
+	maxTime  int64
+	lastEmit time.Time
+	tokens   float64
+}
+
+// NewBoundedSource creates a bounded source over rows. timeField supplies
+// event time (0 ⇒ all events at time 0).
+func NewBoundedSource(rows []record.Record, timeField string, batch int) *BoundedSource {
+	if batch <= 0 {
+		batch = 128
+	}
+	return &BoundedSource{rows: rows, timeField: timeField, batch: batch}
+}
+
+// SetRate throttles the source to at most eventsPerSec (Kappa+ throttling).
+func (b *BoundedSource) SetRate(eventsPerSec int) { b.ratePerSec = eventsPerSec }
+
+// SetLateness sets the watermark lag in ms.
+func (b *BoundedSource) SetLateness(ms int64) { b.lateness = ms }
+
+// Next implements Source.
+func (b *BoundedSource) Next(maxWait time.Duration) ([]Event, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.idx >= len(b.rows) {
+		return nil, true, nil
+	}
+	n := b.batch
+	if b.ratePerSec > 0 {
+		// Token bucket: tokens accrue at the configured rate, capped at
+		// 50ms worth so idle periods cannot bank unbounded bursts.
+		now := time.Now()
+		if b.lastEmit.IsZero() {
+			b.lastEmit = now
+		}
+		b.tokens += float64(b.ratePerSec) * now.Sub(b.lastEmit).Seconds()
+		b.lastEmit = now
+		if cap := float64(b.ratePerSec) * 0.05; b.tokens > cap {
+			b.tokens = cap
+		}
+		if b.tokens < 1 {
+			time.Sleep(time.Millisecond)
+			return nil, false, nil
+		}
+		if int(b.tokens) < n {
+			n = int(b.tokens)
+		}
+		b.tokens -= float64(n)
+	}
+	if b.idx+n > len(b.rows) {
+		n = len(b.rows) - b.idx
+	}
+	out := make([]Event, 0, n)
+	for _, r := range b.rows[b.idx : b.idx+n] {
+		t := int64(0)
+		if b.timeField != "" {
+			t = r.Long(b.timeField)
+		}
+		if t > b.maxTime {
+			b.maxTime = t
+		}
+		out = append(out, Event{Time: t, Data: r})
+	}
+	b.idx += n
+	return out, b.idx >= len(b.rows), nil
+}
+
+// Watermark implements Source.
+func (b *BoundedSource) Watermark() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.maxTime - b.lateness
+}
+
+// Position implements Source.
+func (b *BoundedSource) Position() ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return json.Marshal(struct {
+		Idx     int
+		MaxTime int64
+	}{b.idx, b.maxTime})
+}
+
+// Seek implements Source.
+func (b *BoundedSource) Seek(pos []byte) error {
+	var p struct {
+		Idx     int
+		MaxTime int64
+	}
+	if err := json.Unmarshal(pos, &p); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.idx = p.Idx
+	b.maxTime = p.MaxTime
+	return nil
+}
+
+// Lag implements LagReporter: remaining rows.
+func (b *BoundedSource) Lag() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int64(len(b.rows) - b.idx)
+}

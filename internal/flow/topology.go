@@ -1,0 +1,141 @@
+package flow
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/objstore"
+)
+
+// SourceSpec declares one job input.
+type SourceSpec struct {
+	// Name identifies the source in metrics and checkpoints.
+	Name string
+	// Source supplies the events.
+	Source Source
+	// WatermarkEvery emits a watermark after every N polled events (and on
+	// idle polls). Default 64.
+	WatermarkEvery int
+}
+
+// StageSpec declares one operator stage.
+type StageSpec struct {
+	// Name identifies the stage in metrics and checkpoints.
+	Name string
+	// Parallelism is the instance count; default 1.
+	Parallelism int
+	// KeyBy routes input events by this record field (hash partitioning).
+	// Empty means round-robin rebalance.
+	KeyBy string
+	// KeyBySource overrides KeyBy per source index — stream-stream joins
+	// key each side by its own column.
+	KeyBySource map[int]string
+	// New constructs one Operator per instance.
+	New OperatorFactory
+}
+
+func (s StageSpec) keyed() bool { return s.KeyBy != "" || len(s.KeyBySource) > 0 }
+
+func (s StageSpec) keyField(source int) string {
+	if f, ok := s.KeyBySource[source]; ok {
+		return f
+	}
+	return s.KeyBy
+}
+
+// SinkSpec declares the job output.
+type SinkSpec struct {
+	// Name identifies the sink in metrics.
+	Name string
+	// Sink receives the output events.
+	Sink Sink
+}
+
+// JobSpec is a complete dataflow definition: sources → stages → sink.
+type JobSpec struct {
+	// Name identifies the job (checkpoint key prefix, job manager handle).
+	Name string
+	// Sources are the inputs; joins use two.
+	Sources []SourceSpec
+	// Stages run in order between sources and sink.
+	Stages []StageSpec
+	// Sink is the single output.
+	Sink SinkSpec
+	// BufferSize is the inter-instance channel capacity — the backpressure
+	// knob: small buffers propagate consumer slowness upstream quickly.
+	// Default 64.
+	BufferSize int
+	// CheckpointStore enables checkpointing when set.
+	CheckpointStore objstore.Store
+	// CheckpointInterval enables automatic periodic checkpoints; zero means
+	// manual TriggerCheckpoint only.
+	CheckpointInterval time.Duration
+	// KeepCheckpoints bounds retained checkpoints. Default 3.
+	KeepCheckpoints int
+}
+
+// Validate checks the spec's structural invariants and applies defaults.
+func (s *JobSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("flow: job has no name")
+	}
+	if len(s.Sources) == 0 {
+		return fmt.Errorf("flow: job %q has no sources", s.Name)
+	}
+	for i, src := range s.Sources {
+		if src.Source == nil {
+			return fmt.Errorf("flow: job %q source %d is nil", s.Name, i)
+		}
+		if src.Name == "" {
+			s.Sources[i].Name = fmt.Sprintf("source-%d", i)
+		}
+		if src.WatermarkEvery <= 0 {
+			s.Sources[i].WatermarkEvery = 64
+		}
+	}
+	if len(s.Stages) == 0 {
+		return fmt.Errorf("flow: job %q has no stages", s.Name)
+	}
+	for i := range s.Stages {
+		st := &s.Stages[i]
+		if st.New == nil {
+			return fmt.Errorf("flow: job %q stage %d has no operator factory", s.Name, i)
+		}
+		if st.Name == "" {
+			st.Name = fmt.Sprintf("stage-%d", i)
+		}
+		if st.Parallelism <= 0 {
+			st.Parallelism = 1
+		}
+		if st.Parallelism > 1 && !st.keyed() && i > 0 {
+			// Round-robin into parallel stateless stages is fine; keyed
+			// state in parallel stages requires KeyBy.
+			_ = st
+		}
+	}
+	if s.Sink.Sink == nil {
+		return fmt.Errorf("flow: job %q has no sink", s.Name)
+	}
+	if s.Sink.Name == "" {
+		s.Sink.Name = "sink"
+	}
+	if s.BufferSize <= 0 {
+		s.BufferSize = 64
+	}
+	if s.KeepCheckpoints <= 0 {
+		s.KeepCheckpoints = 3
+	}
+	if len(s.Sources) > 1 {
+		// Multiple sources all feed stage 0; a keyed stage 0 must know how
+		// to key every source.
+		st := s.Stages[0]
+		if st.keyed() {
+			for i := range s.Sources {
+				if st.keyField(i) == "" {
+					return fmt.Errorf("flow: job %q stage %q keyed but source %d has no key field", s.Name, st.Name, i)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+package flow
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/record"
+)
+
+// AggKind enumerates the built-in window aggregation functions.
+type AggKind int
+
+const (
+	// AggCount counts events.
+	AggCount AggKind = iota
+	// AggSum sums a numeric field.
+	AggSum
+	// AggMin takes a numeric field's minimum.
+	AggMin
+	// AggMax takes a numeric field's maximum.
+	AggMax
+	// AggAvg averages a numeric field.
+	AggAvg
+)
+
+// String names the aggregation.
+func (a AggKind) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	default:
+		return "count"
+	}
+}
+
+// Aggregation describes one output column of a window aggregate.
+type Aggregation struct {
+	Kind AggKind
+	// Field is the input column aggregated (unused for AggCount).
+	Field string
+	// As is the output column name; defaults to kind_field.
+	As string
+}
+
+func (a Aggregation) outName() string {
+	if a.As != "" {
+		return a.As
+	}
+	if a.Kind == AggCount {
+		return "count"
+	}
+	return fmt.Sprintf("%s_%s", a.Kind, a.Field)
+}
+
+// aggState is the running accumulator for one aggregation in one window.
+type aggState struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+	Seen  bool
+}
+
+func (s *aggState) add(v float64) {
+	s.Count++
+	s.Sum += v
+	if !s.Seen || v < s.Min {
+		s.Min = v
+	}
+	if !s.Seen || v > s.Max {
+		s.Max = v
+	}
+	s.Seen = true
+}
+
+func (s *aggState) result(kind AggKind) any {
+	switch kind {
+	case AggSum:
+		return s.Sum
+	case AggMin:
+		return s.Min
+	case AggMax:
+		return s.Max
+	case AggAvg:
+		if s.Count == 0 {
+			return 0.0
+		}
+		return s.Sum / float64(s.Count)
+	default:
+		return s.Count
+	}
+}
+
+// WindowAggOp is a keyed event-time window aggregator supporting tumbling
+// and sliding (hopping) windows. Windows fire when the watermark passes
+// their end; events older than the watermark ("late-arriving messages",
+// §5.1) are dropped and counted.
+type WindowAggOp struct {
+	// Size is the window length in ms; must be > 0.
+	Size int64
+	// Slide is the hop in ms; Slide == Size (or 0) is a tumbling window.
+	Slide int64
+	// Aggs are the output aggregations; at least one.
+	Aggs []Aggregation
+	// KeyColumn, when set, copies the event key into the output record
+	// under this name.
+	KeyColumn string
+	// CarryColumns are copied from the first event of each (key, window)
+	// into the output record — how SQL GROUP BY over multiple columns
+	// rides on a single composite routing key.
+	CarryColumns []string
+
+	// windows[key][windowStart] -> per-agg state
+	windows   map[string]map[int64][]aggState
+	carried   map[string]map[int64]record.Record
+	lastWM    int64
+	lateCount int64
+	bytes     int64
+}
+
+// NewWindowAggOp builds a window aggregator; it panics on invalid config
+// (caught at job validation time).
+func NewWindowAggOp(size, slide int64, keyColumn string, aggs ...Aggregation) *WindowAggOp {
+	if slide <= 0 {
+		slide = size
+	}
+	return &WindowAggOp{
+		Size: size, Slide: slide, Aggs: aggs, KeyColumn: keyColumn,
+		windows: make(map[string]map[int64][]aggState),
+		carried: make(map[string]map[int64]record.Record),
+	}
+}
+
+// assign returns the starts of all windows containing t.
+func (w *WindowAggOp) assign(t int64) []int64 {
+	var starts []int64
+	first := t - t%w.Slide
+	for s := first; s > t-w.Size; s -= w.Slide {
+		starts = append(starts, s)
+	}
+	return starts
+}
+
+// ProcessElement implements Operator.
+func (w *WindowAggOp) ProcessElement(e Event, emit func(Event)) error {
+	if w.watermark() > e.Time {
+		w.lateCount++
+		return nil
+	}
+	perKey, ok := w.windows[e.Key]
+	if !ok {
+		perKey = make(map[int64][]aggState)
+		w.windows[e.Key] = perKey
+		w.bytes += int64(len(e.Key)) + 48
+	}
+	for _, start := range w.assign(e.Time) {
+		states, ok := perKey[start]
+		if !ok {
+			states = make([]aggState, len(w.Aggs))
+			perKey[start] = states
+			w.bytes += int64(len(w.Aggs))*40 + 16
+			if len(w.CarryColumns) > 0 {
+				cm, ok := w.carried[e.Key]
+				if !ok {
+					cm = make(map[int64]record.Record)
+					w.carried[e.Key] = cm
+				}
+				carry := make(record.Record, len(w.CarryColumns))
+				for _, c := range w.CarryColumns {
+					carry[c] = e.Data[c]
+				}
+				cm[start] = carry
+			}
+		}
+		for i, agg := range w.Aggs {
+			if agg.Kind == AggCount {
+				states[i].Count++
+				states[i].Seen = true
+			} else {
+				states[i].add(e.Data.Double(agg.Field))
+			}
+		}
+	}
+	return nil
+}
+
+// watermark returns the highest watermark seen (zero before the first).
+func (w *WindowAggOp) watermark() int64 { return w.lastWM }
+
+// OnWatermark fires every window whose end has passed.
+func (w *WindowAggOp) OnWatermark(wm int64, emit func(Event)) error {
+	w.lastWM = wm
+	type fired struct {
+		key   string
+		start int64
+	}
+	var toFire []fired
+	for key, perKey := range w.windows {
+		for start := range perKey {
+			if start+w.Size <= wm {
+				toFire = append(toFire, fired{key, start})
+			}
+		}
+	}
+	// Deterministic firing order: by window start, then key.
+	sort.Slice(toFire, func(i, j int) bool {
+		if toFire[i].start != toFire[j].start {
+			return toFire[i].start < toFire[j].start
+		}
+		return toFire[i].key < toFire[j].key
+	})
+	for _, f := range toFire {
+		states := w.windows[f.key][f.start]
+		out := record.Record{
+			"window_start": f.start,
+			"window_end":   f.start + w.Size,
+		}
+		if w.KeyColumn != "" {
+			out[w.KeyColumn] = f.key
+		}
+		if cm, ok := w.carried[f.key]; ok {
+			for col, v := range cm[f.start] {
+				out[col] = v
+			}
+			delete(cm, f.start)
+			if len(cm) == 0 {
+				delete(w.carried, f.key)
+			}
+		}
+		for i, agg := range w.Aggs {
+			out[agg.outName()] = states[i].result(agg.Kind)
+		}
+		emit(Event{Key: f.key, Time: f.start + w.Size, Data: out})
+		delete(w.windows[f.key], f.start)
+		w.bytes -= int64(len(w.Aggs))*40 + 16
+		if len(w.windows[f.key]) == 0 {
+			delete(w.windows, f.key)
+			w.bytes -= int64(len(f.key)) + 48
+		}
+	}
+	return nil
+}
+
+// LateEvents returns the number of dropped late events.
+func (w *WindowAggOp) LateEvents() int64 { return w.lateCount }
+
+// windowSnapshot is the serialized checkpoint form.
+type windowSnapshot struct {
+	LastWM  int64
+	Late    int64
+	Windows map[string]map[int64][]aggState
+	Carried map[string]map[int64]record.Record
+}
+
+// Snapshot implements Operator.
+func (w *WindowAggOp) Snapshot() ([]byte, error) {
+	return json.Marshal(windowSnapshot{LastWM: w.lastWM, Late: w.lateCount, Windows: w.windows, Carried: w.carried})
+}
+
+// Restore implements Operator.
+func (w *WindowAggOp) Restore(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var s windowSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("flow: restoring window state: %w", err)
+	}
+	w.lastWM = s.LastWM
+	w.lateCount = s.Late
+	w.windows = s.Windows
+	if w.windows == nil {
+		w.windows = make(map[string]map[int64][]aggState)
+	}
+	w.carried = s.Carried
+	if w.carried == nil {
+		w.carried = make(map[string]map[int64]record.Record)
+	}
+	w.bytes = 0
+	for key, perKey := range w.windows {
+		w.bytes += int64(len(key)) + 48 + int64(len(perKey))*(int64(len(w.Aggs))*40+16)
+	}
+	return nil
+}
+
+// StateBytes implements Operator.
+func (w *WindowAggOp) StateBytes() int64 { return w.bytes }

@@ -1,0 +1,154 @@
+package metadata
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is the centralized metadata repository described in §9.4 ("Data
+// discovery"): the source of truth for schemas across the realtime and
+// offline systems, plus the lineage graph tracking how data flows between
+// them.
+//
+// A Registry is safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	schemas  map[string][]*Schema // name -> versions, ascending
+	lineage  map[string][]Edge    // source dataset -> outgoing edges
+	backward map[string][]Edge    // target dataset -> incoming edges
+}
+
+// Edge records one hop of data lineage: dataset From feeds dataset To via
+// the named component (for example "flink:surge-job" or "pinot-ingest").
+type Edge struct {
+	From, To string
+	Via      string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		schemas:  make(map[string][]*Schema),
+		lineage:  make(map[string][]Edge),
+		backward: make(map[string][]Edge),
+	}
+}
+
+// Register stores a new version of the schema. The first registration for a
+// name becomes version 1. Subsequent registrations must pass the backward
+// compatibility check against the latest version; on success the new schema
+// is stored with the next version number. The stored (versioned) schema is
+// returned.
+func (r *Registry) Register(s *Schema) (*Schema, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	versions := r.schemas[s.Name]
+	c := s.Clone()
+	if len(versions) == 0 {
+		c.Version = 1
+	} else {
+		latest := versions[len(versions)-1]
+		if err := CheckBackwardCompatible(latest, c); err != nil {
+			return nil, err
+		}
+		c.Version = latest.Version + 1
+	}
+	r.schemas[s.Name] = append(versions, c)
+	return c.Clone(), nil
+}
+
+// Latest returns the newest version of the named schema.
+func (r *Registry) Latest(name string) (*Schema, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	versions := r.schemas[name]
+	if len(versions) == 0 {
+		return nil, fmt.Errorf("metadata: schema %q not registered", name)
+	}
+	return versions[len(versions)-1].Clone(), nil
+}
+
+// Version returns a specific version of the named schema.
+func (r *Registry) Version(name string, version int) (*Schema, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, s := range r.schemas[name] {
+		if s.Version == version {
+			return s.Clone(), nil
+		}
+	}
+	return nil, fmt.Errorf("metadata: schema %q version %d not found", name, version)
+}
+
+// Versions returns the number of registered versions for name (0 if absent).
+func (r *Registry) Versions(name string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.schemas[name])
+}
+
+// List returns the names of all registered datasets, sorted.
+func (r *Registry) List() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.schemas))
+	for name := range r.schemas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AddLineage records that data flows from dataset `from` to dataset `to`
+// through component `via`. Duplicate edges are ignored.
+func (r *Registry) AddLineage(from, to, via string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := Edge{From: from, To: to, Via: via}
+	for _, existing := range r.lineage[from] {
+		if existing == e {
+			return
+		}
+	}
+	r.lineage[from] = append(r.lineage[from], e)
+	r.backward[to] = append(r.backward[to], e)
+}
+
+// Downstream returns every dataset reachable from name through the lineage
+// graph, in breadth-first order (name itself excluded).
+func (r *Registry) Downstream(name string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.walk(name, r.lineage, func(e Edge) string { return e.To })
+}
+
+// Upstream returns every dataset that (transitively) feeds name, in
+// breadth-first order (name itself excluded).
+func (r *Registry) Upstream(name string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.walk(name, r.backward, func(e Edge) string { return e.From })
+}
+
+func (r *Registry) walk(start string, edges map[string][]Edge, next func(Edge) string) []string {
+	var out []string
+	seen := map[string]bool{start: true}
+	queue := []string{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range edges[cur] {
+			n := next(e)
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+				queue = append(queue, n)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+// Package metadata implements the metadata layer of the real-time data
+// infrastructure (DESIGN.md, Fig 2 "Metadata"): a versioned schema registry
+// with backward-compatibility checks and data-lineage tracking.
+//
+// Every structured dataset flowing through the stack — a stream topic, an
+// OLAP table, an archival table — registers its schema here. Schemas are
+// versioned; registering a new version runs a compatibility check so that
+// readers built against older versions keep working (the paper's "checks for
+// ensuring backward compatibility across versions").
+package metadata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FieldType enumerates the primitive column types understood by every layer
+// of the stack (stream codecs, flow operators, OLAP segments, SQL planners).
+type FieldType int
+
+const (
+	// TypeInvalid is the zero value and never valid in a registered schema.
+	TypeInvalid FieldType = iota
+	// TypeLong is a 64-bit signed integer.
+	TypeLong
+	// TypeDouble is a 64-bit IEEE-754 float.
+	TypeDouble
+	// TypeString is a UTF-8 string.
+	TypeString
+	// TypeBool is a boolean.
+	TypeBool
+	// TypeBytes is an opaque byte blob (not filterable in OLAP).
+	TypeBytes
+	// TypeTimestamp is milliseconds since the Unix epoch, stored as int64.
+	TypeTimestamp
+)
+
+// String returns the lower-case name used in schema dumps and SQL DDL.
+func (t FieldType) String() string {
+	switch t {
+	case TypeLong:
+		return "long"
+	case TypeDouble:
+		return "double"
+	case TypeString:
+		return "string"
+	case TypeBool:
+		return "bool"
+	case TypeBytes:
+		return "bytes"
+	case TypeTimestamp:
+		return "timestamp"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseFieldType converts a type name (as produced by FieldType.String) back
+// into a FieldType. It returns TypeInvalid for unknown names.
+func ParseFieldType(s string) FieldType {
+	switch strings.ToLower(s) {
+	case "long", "int", "bigint":
+		return TypeLong
+	case "double", "float":
+		return TypeDouble
+	case "string", "varchar", "text":
+		return TypeString
+	case "bool", "boolean":
+		return TypeBool
+	case "bytes", "binary":
+		return TypeBytes
+	case "timestamp", "time":
+		return TypeTimestamp
+	default:
+		return TypeInvalid
+	}
+}
+
+// Numeric reports whether values of this type support arithmetic aggregation
+// (SUM/AVG/MIN/MAX in the OLAP and SQL layers).
+func (t FieldType) Numeric() bool {
+	return t == TypeLong || t == TypeDouble || t == TypeTimestamp
+}
+
+// Field describes one column of a schema.
+type Field struct {
+	// Name is the column name; unique within a schema, case-sensitive.
+	Name string
+	// Type is the column's primitive type.
+	Type FieldType
+	// Nullable marks the column as optional. Adding a non-nullable field is
+	// a backward-incompatible change; adding a nullable one is compatible.
+	Nullable bool
+	// Dimension marks the column as an OLAP dimension (group-by candidate).
+	// Non-dimension numeric columns are treated as metrics.
+	Dimension bool
+}
+
+// Schema is an immutable, versioned description of a structured dataset.
+type Schema struct {
+	// Name identifies the dataset (topic name, table name).
+	Name string
+	// Version is assigned by the registry, starting at 1.
+	Version int
+	// Fields lists the columns in declaration order.
+	Fields []Field
+	// TimeField names the event-time column (must be TypeTimestamp or
+	// TypeLong). Empty for unkeyed-by-time datasets.
+	TimeField string
+	// PrimaryKey names the upsert key column, if any (Pinot upsert, §4.3.1).
+	PrimaryKey string
+}
+
+// Field returns the field with the given name and true, or a zero Field and
+// false if the schema has no such column.
+func (s *Schema) Field(name string) (Field, bool) {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// FieldIndex returns the position of the named field, or -1.
+func (s *Schema) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FieldNames returns the column names in declaration order.
+func (s *Schema) FieldNames() []string {
+	names := make([]string, len(s.Fields))
+	for i, f := range s.Fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	c := *s
+	c.Fields = append([]Field(nil), s.Fields...)
+	return &c
+}
+
+// Validate checks structural invariants: non-empty name, at least one field,
+// unique field names, valid types, and that TimeField/PrimaryKey refer to
+// existing columns of a legal type.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("metadata: schema has empty name")
+	}
+	if len(s.Fields) == 0 {
+		return fmt.Errorf("metadata: schema %q has no fields", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Fields))
+	for _, f := range s.Fields {
+		if f.Name == "" {
+			return fmt.Errorf("metadata: schema %q has a field with empty name", s.Name)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("metadata: schema %q has duplicate field %q", s.Name, f.Name)
+		}
+		seen[f.Name] = true
+		if f.Type == TypeInvalid {
+			return fmt.Errorf("metadata: schema %q field %q has invalid type", s.Name, f.Name)
+		}
+	}
+	if s.TimeField != "" {
+		f, ok := s.Field(s.TimeField)
+		if !ok {
+			return fmt.Errorf("metadata: schema %q time field %q not found", s.Name, s.TimeField)
+		}
+		if f.Type != TypeTimestamp && f.Type != TypeLong {
+			return fmt.Errorf("metadata: schema %q time field %q must be timestamp or long, got %s", s.Name, s.TimeField, f.Type)
+		}
+	}
+	if s.PrimaryKey != "" {
+		if _, ok := s.Field(s.PrimaryKey); !ok {
+			return fmt.Errorf("metadata: schema %q primary key %q not found", s.Name, s.PrimaryKey)
+		}
+	}
+	return nil
+}
+
+// CheckBackwardCompatible reports whether new can replace old without
+// breaking readers written against old. The rules mirror Avro-style backward
+// compatibility:
+//
+//   - removing a field is incompatible (old readers still project it);
+//   - changing a field's type is incompatible, except the widening
+//     long → double promotion;
+//   - adding a non-nullable field is incompatible (old writers cannot have
+//     produced it);
+//   - changing TimeField or PrimaryKey is incompatible.
+func CheckBackwardCompatible(old, new *Schema) error {
+	var problems []string
+	for _, of := range old.Fields {
+		nf, ok := new.Field(of.Name)
+		if !ok {
+			problems = append(problems, fmt.Sprintf("field %q removed", of.Name))
+			continue
+		}
+		if nf.Type != of.Type && !(of.Type == TypeLong && nf.Type == TypeDouble) {
+			problems = append(problems, fmt.Sprintf("field %q type changed %s -> %s", of.Name, of.Type, nf.Type))
+		}
+		if of.Nullable && !nf.Nullable {
+			problems = append(problems, fmt.Sprintf("field %q changed from nullable to required", of.Name))
+		}
+	}
+	for _, nf := range new.Fields {
+		if _, ok := old.Field(nf.Name); !ok && !nf.Nullable {
+			problems = append(problems, fmt.Sprintf("new field %q must be nullable", nf.Name))
+		}
+	}
+	if old.TimeField != new.TimeField {
+		problems = append(problems, fmt.Sprintf("time field changed %q -> %q", old.TimeField, new.TimeField))
+	}
+	if old.PrimaryKey != new.PrimaryKey {
+		problems = append(problems, fmt.Sprintf("primary key changed %q -> %q", old.PrimaryKey, new.PrimaryKey))
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		return fmt.Errorf("metadata: incompatible schema change for %q: %s", old.Name, strings.Join(problems, "; "))
+	}
+	return nil
+}

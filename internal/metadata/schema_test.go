@@ -1,0 +1,256 @@
+package metadata
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func tripSchema() *Schema {
+	return &Schema{
+		Name: "trips",
+		Fields: []Field{
+			{Name: "trip_id", Type: TypeString},
+			{Name: "city", Type: TypeString, Dimension: true},
+			{Name: "fare", Type: TypeDouble},
+			{Name: "ts", Type: TypeTimestamp},
+			{Name: "note", Type: TypeString, Nullable: true},
+		},
+		TimeField:  "ts",
+		PrimaryKey: "trip_id",
+	}
+}
+
+func TestFieldTypeRoundTrip(t *testing.T) {
+	for _, ft := range []FieldType{TypeLong, TypeDouble, TypeString, TypeBool, TypeBytes, TypeTimestamp} {
+		if got := ParseFieldType(ft.String()); got != ft {
+			t.Errorf("ParseFieldType(%q) = %v, want %v", ft.String(), got, ft)
+		}
+	}
+	if ParseFieldType("nonsense") != TypeInvalid {
+		t.Error("unknown type name should parse to TypeInvalid")
+	}
+}
+
+func TestFieldTypeAliases(t *testing.T) {
+	cases := map[string]FieldType{
+		"int": TypeLong, "bigint": TypeLong, "float": TypeDouble,
+		"varchar": TypeString, "TEXT": TypeString, "boolean": TypeBool,
+		"binary": TypeBytes, "time": TypeTimestamp,
+	}
+	for name, want := range cases {
+		if got := ParseFieldType(name); got != want {
+			t.Errorf("ParseFieldType(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestNumeric(t *testing.T) {
+	if !TypeLong.Numeric() || !TypeDouble.Numeric() || !TypeTimestamp.Numeric() {
+		t.Error("long/double/timestamp should be numeric")
+	}
+	if TypeString.Numeric() || TypeBool.Numeric() || TypeBytes.Numeric() {
+		t.Error("string/bool/bytes should not be numeric")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := tripSchema().Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Schema)
+		want   string
+	}{
+		{"empty name", func(s *Schema) { s.Name = "" }, "empty name"},
+		{"no fields", func(s *Schema) { s.Fields = nil }, "no fields"},
+		{"dup field", func(s *Schema) { s.Fields = append(s.Fields, Field{Name: "city", Type: TypeString}) }, "duplicate"},
+		{"invalid type", func(s *Schema) { s.Fields[0].Type = TypeInvalid }, "invalid type"},
+		{"bad time field", func(s *Schema) { s.TimeField = "nope" }, "not found"},
+		{"non-time time field", func(s *Schema) { s.TimeField = "fare" }, "must be timestamp"},
+		{"bad pk", func(s *Schema) { s.PrimaryKey = "nope" }, "not found"},
+		{"empty field name", func(s *Schema) { s.Fields[1].Name = "" }, "empty name"},
+	}
+	for _, tc := range cases {
+		s := tripSchema()
+		tc.mutate(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := tripSchema()
+	if f, ok := s.Field("fare"); !ok || f.Type != TypeDouble {
+		t.Errorf("Field(fare) = %+v, %v", f, ok)
+	}
+	if _, ok := s.Field("nope"); ok {
+		t.Error("Field(nope) should not exist")
+	}
+	if got := s.FieldIndex("city"); got != 1 {
+		t.Errorf("FieldIndex(city) = %d, want 1", got)
+	}
+	if got := s.FieldIndex("nope"); got != -1 {
+		t.Errorf("FieldIndex(nope) = %d, want -1", got)
+	}
+	names := s.FieldNames()
+	if len(names) != 5 || names[0] != "trip_id" || names[4] != "note" {
+		t.Errorf("FieldNames = %v", names)
+	}
+}
+
+func TestSchemaCloneIsDeep(t *testing.T) {
+	s := tripSchema()
+	c := s.Clone()
+	c.Fields[0].Name = "mutated"
+	if s.Fields[0].Name != "trip_id" {
+		t.Error("Clone shares Fields slice with original")
+	}
+}
+
+func TestBackwardCompatible(t *testing.T) {
+	old := tripSchema()
+
+	// Adding a nullable field is compatible.
+	ok := old.Clone()
+	ok.Fields = append(ok.Fields, Field{Name: "tip", Type: TypeDouble, Nullable: true})
+	if err := CheckBackwardCompatible(old, ok); err != nil {
+		t.Errorf("adding nullable field should be compatible: %v", err)
+	}
+
+	// Widening long -> double is compatible.
+	oldLong := &Schema{Name: "x", Fields: []Field{{Name: "v", Type: TypeLong}}}
+	widened := &Schema{Name: "x", Fields: []Field{{Name: "v", Type: TypeDouble}}}
+	if err := CheckBackwardCompatible(oldLong, widened); err != nil {
+		t.Errorf("long->double should be compatible: %v", err)
+	}
+
+	breaking := []struct {
+		name   string
+		mutate func(*Schema)
+	}{
+		{"remove field", func(s *Schema) { s.Fields = s.Fields[1:] }},
+		{"narrow type", func(s *Schema) { s.Fields[2].Type = TypeLong }},
+		{"add required field", func(s *Schema) { s.Fields = append(s.Fields, Field{Name: "req", Type: TypeLong}) }},
+		{"nullable to required", func(s *Schema) { s.Fields[4].Nullable = false }},
+		{"change time field", func(s *Schema) { s.TimeField = "" }},
+		{"change pk", func(s *Schema) { s.PrimaryKey = "city" }},
+	}
+	for _, tc := range breaking {
+		n := old.Clone()
+		tc.mutate(n)
+		if err := CheckBackwardCompatible(old, n); err == nil {
+			t.Errorf("%s: expected incompatibility, got nil", tc.name)
+		}
+	}
+}
+
+func TestRegistryVersioning(t *testing.T) {
+	r := NewRegistry()
+	s1, err := r.Register(tripSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Version != 1 {
+		t.Errorf("first version = %d, want 1", s1.Version)
+	}
+
+	v2 := tripSchema()
+	v2.Fields = append(v2.Fields, Field{Name: "tip", Type: TypeDouble, Nullable: true})
+	s2, err := r.Register(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Version != 2 {
+		t.Errorf("second version = %d, want 2", s2.Version)
+	}
+
+	bad := tripSchema() // drops "tip" again -> incompatible with latest
+	if _, err := r.Register(bad); err == nil {
+		t.Error("re-registering schema without tip should fail compat check")
+	}
+
+	latest, err := r.Latest("trips")
+	if err != nil || latest.Version != 2 {
+		t.Errorf("Latest = v%d, %v; want v2", latest.Version, err)
+	}
+	got1, err := r.Version("trips", 1)
+	if err != nil || len(got1.Fields) != 5 {
+		t.Errorf("Version(1) = %+v, %v", got1, err)
+	}
+	if _, err := r.Version("trips", 9); err == nil {
+		t.Error("missing version should error")
+	}
+	if _, err := r.Latest("nope"); err == nil {
+		t.Error("missing schema should error")
+	}
+	if n := r.Versions("trips"); n != 2 {
+		t.Errorf("Versions = %d, want 2", n)
+	}
+	if list := r.List(); len(list) != 1 || list[0] != "trips" {
+		t.Errorf("List = %v", list)
+	}
+}
+
+func TestRegistryReturnsCopies(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register(tripSchema()); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := r.Latest("trips")
+	a.Fields[0].Name = "mutated"
+	b, _ := r.Latest("trips")
+	if b.Fields[0].Name != "trip_id" {
+		t.Error("Latest returned an aliased schema")
+	}
+}
+
+func TestLineage(t *testing.T) {
+	r := NewRegistry()
+	r.AddLineage("kafka:trips", "flink:surge", "surge-job")
+	r.AddLineage("flink:surge", "pinot:surge_out", "pinot-ingest")
+	r.AddLineage("kafka:trips", "hive:trips_raw", "archiver")
+	r.AddLineage("kafka:trips", "flink:surge", "surge-job") // duplicate ignored
+
+	down := r.Downstream("kafka:trips")
+	if len(down) != 3 {
+		t.Fatalf("Downstream = %v, want 3 datasets", down)
+	}
+	up := r.Upstream("pinot:surge_out")
+	if len(up) != 2 || up[0] != "flink:surge" || up[1] != "kafka:trips" {
+		t.Fatalf("Upstream = %v", up)
+	}
+	if d := r.Downstream("pinot:surge_out"); len(d) != 0 {
+		t.Errorf("leaf should have no downstream, got %v", d)
+	}
+}
+
+func TestCompatReflexiveProperty(t *testing.T) {
+	// Property: every valid schema is backward compatible with itself.
+	f := func(nameSeed uint8, typeSeeds []uint8) bool {
+		if len(typeSeeds) == 0 {
+			typeSeeds = []uint8{1}
+		}
+		if len(typeSeeds) > 12 {
+			typeSeeds = typeSeeds[:12]
+		}
+		s := &Schema{Name: "s"}
+		for i, ts := range typeSeeds {
+			s.Fields = append(s.Fields, Field{
+				Name:     string(rune('a'+i%26)) + string(rune('0'+i/26)),
+				Type:     FieldType(int(ts)%6 + 1),
+				Nullable: ts%2 == 0,
+			})
+		}
+		if s.Validate() != nil {
+			return true // skip invalid shapes
+		}
+		return CheckBackwardCompatible(s, s) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

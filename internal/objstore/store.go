@@ -1,0 +1,260 @@
+// Package objstore implements the storage layer of the stack (Fig 2
+// "Storage"): a generic object/blob store with read-after-write consistency,
+// optimized for a high write rate. It stands in for HDFS/S3/GCS in the paper
+// and serves the same three roles: long-term archival of raw streams, Flink
+// checkpoint backend, and Pinot segment store (§4.4).
+//
+// The store is in-process; "remote" failure modes that the experiments need
+// (segment-store outages halting ingestion, §4.3.4) are modeled by the
+// FaultStore wrapper with injectable error rates, latency and full outages.
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNotFound is returned by Get/Delete for missing keys.
+var ErrNotFound = errors.New("objstore: object not found")
+
+// ErrUnavailable is returned by a FaultStore while an outage is injected.
+var ErrUnavailable = errors.New("objstore: store unavailable")
+
+// Store is the object storage interface shared by all layers above it.
+// Implementations must provide read-after-write consistency: a Get that
+// begins after a successful Put returns the new value.
+type Store interface {
+	// Put stores value under key, overwriting any existing object.
+	Put(key string, value []byte) error
+	// Get returns the object stored under key.
+	Get(key string) ([]byte, error)
+	// Delete removes the object; it is an error to delete a missing key.
+	Delete(key string) error
+	// List returns all keys with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+	// Size returns the stored byte size of an object.
+	Size(key string) (int64, error)
+}
+
+// MemStore is the in-memory reference implementation of Store. It is safe
+// for concurrent use. Values are copied on Put and Get so callers cannot
+// alias the stored bytes.
+type MemStore struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+
+	putBytes  int64
+	putCount  int64
+	getCount  int64
+	listCount int64
+}
+
+// NewMemStore returns an empty in-memory object store.
+func NewMemStore() *MemStore {
+	return &MemStore{objects: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (m *MemStore) Put(key string, value []byte) error {
+	if key == "" {
+		return fmt.Errorf("objstore: empty key")
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	m.mu.Lock()
+	m.objects[key] = cp
+	m.putBytes += int64(len(value))
+	m.putCount++
+	m.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (m *MemStore) Get(key string) ([]byte, error) {
+	m.mu.RLock()
+	v, ok := m.objects[key]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	m.mu.Lock()
+	m.getCount++
+	m.mu.Unlock()
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, nil
+}
+
+// Delete implements Store.
+func (m *MemStore) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.objects[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	delete(m.objects, key)
+	return nil
+}
+
+// List implements Store.
+func (m *MemStore) List(prefix string) ([]string, error) {
+	m.mu.RLock()
+	keys := make([]string, 0, 16)
+	for k := range m.objects {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	m.mu.RUnlock()
+	m.mu.Lock()
+	m.listCount++
+	m.mu.Unlock()
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Size implements Store.
+func (m *MemStore) Size(key string) (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	v, ok := m.objects[key]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return int64(len(v)), nil
+}
+
+// TotalBytes returns the sum of stored object sizes — the store's "disk
+// footprint" as reported by the OLAP footprint experiments.
+func (m *MemStore) TotalBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var total int64
+	for _, v := range m.objects {
+		total += int64(len(v))
+	}
+	return total
+}
+
+// Stats reports cumulative operation counts.
+func (m *MemStore) Stats() (puts, gets, lists int64, putBytes int64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.putCount, m.getCount, m.listCount, m.putBytes
+}
+
+// FaultStore wraps a Store and injects failures, used to reproduce the
+// paper's segment-store outage scenario (§4.3.4) and slow-archival behavior.
+// The zero injection state passes all calls through unchanged.
+type FaultStore struct {
+	inner Store
+
+	mu       sync.RWMutex
+	down     bool
+	putDelay time.Duration
+	getDelay time.Duration
+
+	rejectedPuts int64
+}
+
+// NewFaultStore wraps inner with fault injection controls.
+func NewFaultStore(inner Store) *FaultStore {
+	return &FaultStore{inner: inner}
+}
+
+// SetDown toggles a full outage: every operation fails with ErrUnavailable.
+func (f *FaultStore) SetDown(down bool) {
+	f.mu.Lock()
+	f.down = down
+	f.mu.Unlock()
+}
+
+// Down reports whether the store is currently in an injected outage.
+func (f *FaultStore) Down() bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.down
+}
+
+// SetLatency injects a synchronous delay on every Put and Get, modeling the
+// single-controller archival bottleneck the paper describes.
+func (f *FaultStore) SetLatency(put, get time.Duration) {
+	f.mu.Lock()
+	f.putDelay, f.getDelay = put, get
+	f.mu.Unlock()
+}
+
+// RejectedPuts returns how many Puts failed due to an injected outage.
+func (f *FaultStore) RejectedPuts() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.rejectedPuts
+}
+
+func (f *FaultStore) check(isPut bool) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		if isPut {
+			f.rejectedPuts++
+		}
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// Put implements Store.
+func (f *FaultStore) Put(key string, value []byte) error {
+	if err := f.check(true); err != nil {
+		return err
+	}
+	f.mu.RLock()
+	d := f.putDelay
+	f.mu.RUnlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return f.inner.Put(key, value)
+}
+
+// Get implements Store.
+func (f *FaultStore) Get(key string) ([]byte, error) {
+	if err := f.check(false); err != nil {
+		return nil, err
+	}
+	f.mu.RLock()
+	d := f.getDelay
+	f.mu.RUnlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return f.inner.Get(key)
+}
+
+// Delete implements Store.
+func (f *FaultStore) Delete(key string) error {
+	if err := f.check(false); err != nil {
+		return err
+	}
+	return f.inner.Delete(key)
+}
+
+// List implements Store.
+func (f *FaultStore) List(prefix string) ([]string, error) {
+	if err := f.check(false); err != nil {
+		return nil, err
+	}
+	return f.inner.List(prefix)
+}
+
+// Size implements Store.
+func (f *FaultStore) Size(key string) (int64, error) {
+	if err := f.check(false); err != nil {
+		return 0, err
+	}
+	return f.inner.Size(key)
+}

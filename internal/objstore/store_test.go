@@ -1,0 +1,197 @@
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMemStoreBasics(t *testing.T) {
+	s := NewMemStore()
+	if err := s.Put("a/1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get("a/1")
+	if err != nil || string(v) != "x" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	if err := s.Put("", nil); err == nil {
+		t.Error("empty key should error")
+	}
+	sz, err := s.Size("a/1")
+	if err != nil || sz != 1 {
+		t.Errorf("Size = %d, %v", sz, err)
+	}
+	if _, err := s.Size("missing"); !errors.Is(err, ErrNotFound) {
+		t.Error("Size(missing) should be ErrNotFound")
+	}
+	if err := s.Delete("a/1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a/1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestMemStoreList(t *testing.T) {
+	s := NewMemStore()
+	for _, k := range []string{"b/2", "a/1", "a/2", "c"} {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.List("a/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "a/1" || keys[1] != "a/2" {
+		t.Errorf("List(a/) = %v", keys)
+	}
+	all, _ := s.List("")
+	if len(all) != 4 {
+		t.Errorf("List(\"\") = %v", all)
+	}
+}
+
+func TestMemStoreCopies(t *testing.T) {
+	s := NewMemStore()
+	buf := []byte("orig")
+	s.Put("k", buf)
+	buf[0] = 'X'
+	v, _ := s.Get("k")
+	if string(v) != "orig" {
+		t.Error("Put aliases caller buffer")
+	}
+	v[0] = 'Y'
+	v2, _ := s.Get("k")
+	if string(v2) != "orig" {
+		t.Error("Get aliases stored buffer")
+	}
+}
+
+func TestMemStoreReadAfterWriteConcurrent(t *testing.T) {
+	// Read-after-write consistency under concurrency: a Get issued after a
+	// successful Put must observe that Put's value (or a later one).
+	s := NewMemStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("w%d", w)
+			for i := 0; i < 200; i++ {
+				val := []byte(fmt.Sprintf("%d", i))
+				if err := s.Put(key, val); err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := s.Get(key)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if string(got) != string(val) {
+					t.Errorf("read-after-write violated: got %s want %s", got, val)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestMemStoreTotalBytesAndStats(t *testing.T) {
+	s := NewMemStore()
+	s.Put("a", make([]byte, 10))
+	s.Put("b", make([]byte, 5))
+	if s.TotalBytes() != 15 {
+		t.Errorf("TotalBytes = %d, want 15", s.TotalBytes())
+	}
+	s.Put("a", make([]byte, 2)) // overwrite shrinks
+	if s.TotalBytes() != 7 {
+		t.Errorf("TotalBytes after overwrite = %d, want 7", s.TotalBytes())
+	}
+	puts, gets, lists, putBytes := s.Stats()
+	if puts != 3 || gets != 0 || lists != 0 || putBytes != 17 {
+		t.Errorf("Stats = %d %d %d %d", puts, gets, lists, putBytes)
+	}
+}
+
+func TestFaultStoreOutage(t *testing.T) {
+	f := NewFaultStore(NewMemStore())
+	if err := f.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	f.SetDown(true)
+	if !f.Down() {
+		t.Error("Down() should be true")
+	}
+	if err := f.Put("k2", nil); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("Put during outage = %v", err)
+	}
+	if _, err := f.Get("k"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("Get during outage = %v", err)
+	}
+	if _, err := f.List(""); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("List during outage = %v", err)
+	}
+	if err := f.Delete("k"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("Delete during outage = %v", err)
+	}
+	if _, err := f.Size("k"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("Size during outage = %v", err)
+	}
+	if f.RejectedPuts() != 1 {
+		t.Errorf("RejectedPuts = %d, want 1", f.RejectedPuts())
+	}
+	f.SetDown(false)
+	if v, err := f.Get("k"); err != nil || string(v) != "v" {
+		t.Errorf("after recovery Get = %q, %v", v, err)
+	}
+}
+
+func TestFaultStoreLatency(t *testing.T) {
+	f := NewFaultStore(NewMemStore())
+	f.SetLatency(20*time.Millisecond, 0)
+	start := time.Now()
+	if err := f.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("Put latency %v, want >= 20ms injected", d)
+	}
+}
+
+func TestStorePutGetProperty(t *testing.T) {
+	s := NewMemStore()
+	f := func(key string, val []byte) bool {
+		if key == "" {
+			return true
+		}
+		if err := s.Put(key, val); err != nil {
+			return false
+		}
+		got, err := s.Get(key)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(val) {
+			return false
+		}
+		for i := range got {
+			if got[i] != val[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

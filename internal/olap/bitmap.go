@@ -1,0 +1,98 @@
+// Package olap implements the real-time OLAP layer of the stack (Fig 2
+// "OLAP"): an in-process substitute for Apache Pinot (§4.3). It provides
+// dictionary-encoded, bit-packed columnar segments with inverted, sorted,
+// range and star-tree indexes; realtime ingestion from the stream layer with
+// segment sealing; a scatter-gather-merge broker over replicated servers;
+// shared-nothing upsert (§4.3.1); and both centralized and peer-to-peer
+// segment recovery schemes (§4.3.4).
+package olap
+
+import "math/bits"
+
+// Bitmap is a fixed-capacity bitset over row IDs, the working currency of
+// filter evaluation and inverted indexes.
+type Bitmap struct {
+	Words []uint64
+	N     int
+}
+
+// NewBitmap creates an empty bitmap over n rows.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{Words: make([]uint64, (n+63)/64), N: n}
+}
+
+// Len returns the bitmap's row capacity.
+func (b *Bitmap) Len() int { return b.N }
+
+// Set marks row i.
+func (b *Bitmap) Set(i int) { b.Words[i/64] |= 1 << (i % 64) }
+
+// Clear unmarks row i.
+func (b *Bitmap) Clear(i int) { b.Words[i/64] &^= 1 << (i % 64) }
+
+// Get reports whether row i is set.
+func (b *Bitmap) Get(i int) bool { return b.Words[i/64]&(1<<(i%64)) != 0 }
+
+// Count returns the number of set rows.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.Words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// And intersects other into b.
+func (b *Bitmap) And(other *Bitmap) {
+	for i := range b.Words {
+		b.Words[i] &= other.Words[i]
+	}
+}
+
+// Or unions other into b.
+func (b *Bitmap) Or(other *Bitmap) {
+	for i := range b.Words {
+		b.Words[i] |= other.Words[i]
+	}
+}
+
+// AndNot removes other's rows from b.
+func (b *Bitmap) AndNot(other *Bitmap) {
+	for i := range b.Words {
+		b.Words[i] &^= other.Words[i]
+	}
+}
+
+// Fill sets every row.
+func (b *Bitmap) Fill() {
+	for i := range b.Words {
+		b.Words[i] = ^uint64(0)
+	}
+	if rem := b.N % 64; rem != 0 && len(b.Words) > 0 {
+		b.Words[len(b.Words)-1] = (1 << rem) - 1
+	}
+}
+
+// Clone copies the bitmap.
+func (b *Bitmap) Clone() *Bitmap {
+	c := &Bitmap{Words: make([]uint64, len(b.Words)), N: b.N}
+	copy(c.Words, b.Words)
+	return c
+}
+
+// ForEach calls fn for every set row in ascending order; fn returning false
+// stops iteration early (LIMIT pushdown).
+func (b *Bitmap) ForEach(fn func(i int) bool) {
+	for wi, w := range b.Words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi*64 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// MemBytes approximates the bitmap's memory footprint.
+func (b *Bitmap) MemBytes() int64 { return int64(len(b.Words)*8) + 24 }

@@ -1,0 +1,700 @@
+package olap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/objstore"
+	"repro/internal/record"
+)
+
+// Errors returned by the serving layer.
+var (
+	// ErrServerDown is returned when a subquery lands on a failed server.
+	ErrServerDown = errors.New("olap: server down")
+	// ErrSegmentUnavailable is returned when no live replica holds a
+	// segment and recovery from the segment store failed too.
+	ErrSegmentUnavailable = errors.New("olap: segment unavailable")
+)
+
+// location tracks an upsert key's latest record.
+type location struct {
+	segment string // "" means the consuming (mutable) segment
+	doc     int
+}
+
+// Server hosts segments for one table deployment. All methods are safe for
+// concurrent use.
+type Server struct {
+	name string
+
+	mu       sync.RWMutex
+	segments map[string]*Segment
+	valid    map[string]*Bitmap // upsert: segment -> still-valid docs
+	down     bool
+}
+
+// NewServer creates an empty server.
+func NewServer(name string) *Server {
+	return &Server{
+		name:     name,
+		segments: make(map[string]*Segment),
+		valid:    make(map[string]*Bitmap),
+	}
+}
+
+// Name returns the server name.
+func (s *Server) Name() string { return s.name }
+
+// SetDown injects or clears a server failure.
+func (s *Server) SetDown(down bool) {
+	s.mu.Lock()
+	s.down = down
+	s.mu.Unlock()
+}
+
+// Down reports the injected failure state.
+func (s *Server) Down() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.down
+}
+
+// AddSegment installs a sealed segment (with its upsert validity bitmap,
+// which may be nil for non-upsert tables).
+func (s *Server) AddSegment(seg *Segment, valid *Bitmap) {
+	s.mu.Lock()
+	s.segments[seg.Name] = seg
+	if valid != nil {
+		s.valid[seg.Name] = valid
+	}
+	s.mu.Unlock()
+}
+
+// HasSegment reports whether the server hosts the named segment.
+func (s *Server) HasSegment(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.segments[name]
+	return ok
+}
+
+// Segment returns a hosted segment (nil when absent or server down).
+func (s *Server) Segment(name string) *Segment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.down {
+		return nil
+	}
+	return s.segments[name]
+}
+
+// invalidate clears an upsert-superseded doc in a sealed segment.
+func (s *Server) invalidate(segment string, doc int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bm, ok := s.valid[segment]
+	if !ok {
+		if seg, has := s.segments[segment]; has {
+			bm = NewBitmap(seg.NumRows)
+			bm.Fill()
+			s.valid[segment] = bm
+		} else {
+			return
+		}
+	}
+	bm.Clear(doc)
+}
+
+// ExecuteOn runs a query over the named sealed segments hosted here.
+func (s *Server) ExecuteOn(q *Query, segmentNames []string) (*Result, error) {
+	s.mu.RLock()
+	if s.down {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s", ErrServerDown, s.name)
+	}
+	segs := make([]*Segment, 0, len(segmentNames))
+	valids := make([]*Bitmap, 0, len(segmentNames))
+	for _, name := range segmentNames {
+		seg, ok := s.segments[name]
+		if !ok {
+			s.mu.RUnlock()
+			return nil, fmt.Errorf("%w: %s on %s", ErrSegmentUnavailable, name, s.name)
+		}
+		segs = append(segs, seg)
+		valids = append(valids, s.valid[name]) // nil when fully valid
+	}
+	s.mu.RUnlock()
+	var parts []*Result
+	for i, seg := range segs {
+		r, err := seg.Execute(q, valids[i])
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, r)
+	}
+	return MergeResults(q, parts)
+}
+
+// MemBytes approximates the server's segment memory.
+func (s *Server) MemBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, seg := range s.segments {
+		n += seg.MemBytes()
+	}
+	for _, bm := range s.valid {
+		n += bm.MemBytes()
+	}
+	return n
+}
+
+// BackupMode selects how sealed segments reach the segment store (§4.3.4).
+type BackupMode int
+
+const (
+	// BackupCentralized is the original Pinot design: completed segments
+	// are synchronously backed up through one controller before ingestion
+	// proceeds, and replicas download from the store. A store outage halts
+	// ingestion — the scalability bottleneck the paper describes.
+	BackupCentralized BackupMode = iota
+	// BackupP2P is Uber's scheme: sealed segments replicate directly to
+	// peer servers (which can serve them on failure) while the deep-store
+	// upload happens asynchronously, best-effort.
+	BackupP2P
+)
+
+// String names the mode.
+func (m BackupMode) String() string {
+	if m == BackupP2P {
+		return "p2p"
+	}
+	return "centralized"
+}
+
+// DeploymentConfig wires a table onto servers and a segment store.
+type DeploymentConfig struct {
+	Table TableConfig
+	// Servers host segments; partition p's consuming segment lives on
+	// servers[p % len].
+	Servers []*Server
+	// SegmentStore is the deep store (HDFS stand-in).
+	SegmentStore objstore.Store
+	// Backup selects the §4.3.4 scheme.
+	Backup BackupMode
+}
+
+// Deployment is one table running on a set of servers: it ingests from the
+// stream layer, seals and replicates segments, maintains upsert metadata and
+// answers broker queries.
+type Deployment struct {
+	cfg     TableConfig
+	servers []*Server
+	store   objstore.Store
+	backup  BackupMode
+
+	mu sync.Mutex
+	// consuming per partition.
+	consuming map[int]*mutableSegment
+	segSeq    map[int]int
+	// upsert metadata per partition: pk -> latest location.
+	upsertLoc map[int]map[string]location
+	// segment placement: name -> replica server indexes.
+	placement map[string][]int
+	// partitionOwner: partition -> primary server index.
+	partitionOwner map[int]int
+	// controller serializes centralized backups (the single-controller
+	// bottleneck).
+	controller sync.Mutex
+
+	ingested     int64
+	sealed       int64
+	uploadErrors int64
+	// lastIngestNanos is the wall time of the latest ingested row, for
+	// freshness measurement.
+	lastIngestNanos int64
+
+	asyncWG sync.WaitGroup
+}
+
+// NewDeployment validates the config and prepares a deployment.
+func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
+	tcfg, err := cfg.Table.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Servers) == 0 {
+		return nil, fmt.Errorf("olap: deployment needs servers")
+	}
+	if tcfg.Replicas > len(cfg.Servers) {
+		return nil, fmt.Errorf("olap: %d replicas > %d servers", tcfg.Replicas, len(cfg.Servers))
+	}
+	return &Deployment{
+		cfg:            tcfg,
+		servers:        cfg.Servers,
+		store:          cfg.SegmentStore,
+		backup:         cfg.Backup,
+		consuming:      make(map[int]*mutableSegment),
+		segSeq:         make(map[int]int),
+		upsertLoc:      make(map[int]map[string]location),
+		placement:      make(map[string][]int),
+		partitionOwner: make(map[int]int),
+	}, nil
+}
+
+// Table returns the deployment's table config.
+func (d *Deployment) Table() TableConfig { return d.cfg }
+
+// Ingest adds one record from the given input partition. For upsert tables
+// the record's primary key supersedes any prior record with the same key —
+// the shared-nothing scheme of §4.3.1: all records of one key arrive on one
+// partition, whose metadata lives on exactly one server.
+func (d *Deployment) Ingest(partition int, r record.Record) error {
+	conformed, err := record.Conform(r, d.cfg.Schema)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	owner, ok := d.partitionOwner[partition]
+	if !ok {
+		owner = partition % len(d.servers)
+		d.partitionOwner[partition] = owner
+	}
+	ms, ok := d.consuming[partition]
+	if !ok {
+		ms = newMutableSegment(d.segmentName(partition, d.segSeq[partition]))
+		d.consuming[partition] = ms
+	}
+	if d.cfg.Upsert {
+		pk := conformed.String(d.cfg.Schema.PrimaryKey)
+		locs, ok := d.upsertLoc[partition]
+		if !ok {
+			locs = make(map[string]location)
+			d.upsertLoc[partition] = locs
+		}
+		if old, exists := locs[pk]; exists {
+			if old.segment == "" {
+				ms.invalid[old.doc] = true
+			} else {
+				d.servers[owner].invalidate(old.segment, old.doc)
+				// Keep replica validity consistent too.
+				for _, ri := range d.placement[old.segment] {
+					if ri != owner {
+						d.servers[ri].invalidate(old.segment, old.doc)
+					}
+				}
+			}
+		}
+		doc := ms.add(conformed)
+		locs[pk] = location{segment: "", doc: doc}
+	} else {
+		ms.add(conformed)
+	}
+	d.ingested++
+	d.lastIngestNanos = time.Now().UnixNano()
+	needSeal := len(ms.rows) >= d.cfg.SegmentRows
+	d.mu.Unlock()
+	if needSeal {
+		return d.Seal(partition)
+	}
+	return nil
+}
+
+func (d *Deployment) segmentName(partition, seq int) string {
+	return fmt.Sprintf("%s__%d__%d", d.cfg.Name, partition, seq)
+}
+
+// Seal converts the partition's consuming segment into an immutable sealed
+// segment, places it on replicas and backs it up per the configured mode.
+func (d *Deployment) Seal(partition int) error {
+	d.mu.Lock()
+	ms, ok := d.consuming[partition]
+	if !ok || len(ms.rows) == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	delete(d.consuming, partition)
+	seq := d.segSeq[partition]
+	d.segSeq[partition] = seq + 1
+	owner := d.partitionOwner[partition]
+	upsertPartition := -1
+	if d.cfg.Upsert {
+		upsertPartition = partition
+	}
+	rows := ms.rows
+	invalid := ms.invalid
+	d.mu.Unlock()
+
+	seg, err := BuildSegment(ms.name, d.cfg.Schema, rows, d.cfg.Indexes, upsertPartition)
+	if err != nil {
+		return err
+	}
+	var valid *Bitmap
+	if d.cfg.Upsert {
+		valid = NewBitmap(seg.NumRows)
+		valid.Fill()
+		// BuildSegment may reorder rows when a sorted column is set; upsert
+		// tables therefore must not configure one (Pinot has the same
+		// restriction).
+		for doc := range invalid {
+			valid.Clear(doc)
+		}
+	}
+
+	// Replica placement: owner plus the next Replicas-1 servers.
+	replicas := make([]int, 0, d.cfg.Replicas)
+	for i := 0; i < d.cfg.Replicas; i++ {
+		replicas = append(replicas, (owner+i)%len(d.servers))
+	}
+
+	switch d.backup {
+	case BackupCentralized:
+		// Synchronous upload through the single controller; ingestion (this
+		// caller) blocks, and a store outage fails the seal.
+		d.controller.Lock()
+		data, err := seg.Encode()
+		if err == nil {
+			err = d.store.Put(d.storeKey(seg.Name), data)
+		}
+		d.controller.Unlock()
+		if err != nil {
+			// Put the rows back so ingestion can retry after recovery.
+			d.mu.Lock()
+			restored := newMutableSegment(ms.name)
+			restored.rows = rows
+			restored.invalid = invalid
+			d.consuming[partition] = restored
+			d.segSeq[partition] = seq
+			d.mu.Unlock()
+			return fmt.Errorf("olap: centralized backup of %s: %w", seg.Name, err)
+		}
+		// Replicas download from the store.
+		for _, ri := range replicas {
+			d.servers[ri].AddSegment(seg, cloneValid(valid))
+		}
+	case BackupP2P:
+		// Peer replication first: the segment is immediately durable across
+		// servers and serveable; deep-store upload is async best-effort.
+		for _, ri := range replicas {
+			d.servers[ri].AddSegment(seg, cloneValid(valid))
+		}
+		d.asyncWG.Add(1)
+		go func() {
+			defer d.asyncWG.Done()
+			data, err := seg.Encode()
+			if err == nil {
+				err = d.store.Put(d.storeKey(seg.Name), data)
+			}
+			if err != nil {
+				d.mu.Lock()
+				d.uploadErrors++
+				d.mu.Unlock()
+			}
+		}()
+	}
+
+	d.mu.Lock()
+	d.placement[seg.Name] = replicas
+	d.sealed++
+	if d.cfg.Upsert {
+		// Rewrite mutable locations to the sealed segment.
+		locs := d.upsertLoc[partition]
+		for pk, loc := range locs {
+			if loc.segment == "" {
+				locs[pk] = location{segment: seg.Name, doc: loc.doc}
+			}
+		}
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+func (d *Deployment) storeKey(segment string) string {
+	return fmt.Sprintf("segments/%s/%s", d.cfg.Name, segment)
+}
+
+func cloneValid(v *Bitmap) *Bitmap {
+	if v == nil {
+		return nil
+	}
+	return v.Clone()
+}
+
+// WaitUploads blocks until async P2P deep-store uploads settle.
+func (d *Deployment) WaitUploads() { d.asyncWG.Wait() }
+
+// Stats reports ingestion counters.
+func (d *Deployment) Stats() (ingested, sealed, uploadErrors int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ingested, d.sealed, d.uploadErrors
+}
+
+// RecoverServer re-hosts the segments a failed server held on the remaining
+// live servers: from peer replicas in P2P mode, or by downloading from the
+// segment store in centralized mode. It returns the number of re-hosted
+// segments and an error if any segment could not be recovered.
+func (d *Deployment) RecoverServer(failed int) (int, error) {
+	d.mu.Lock()
+	placement := make(map[string][]int, len(d.placement))
+	for s, r := range d.placement {
+		placement[s] = append([]int(nil), r...)
+	}
+	d.mu.Unlock()
+	recovered := 0
+	var firstErr error
+	for segName, replicas := range placement {
+		holdsFailed := false
+		for _, ri := range replicas {
+			if ri == failed {
+				holdsFailed = true
+			}
+		}
+		if !holdsFailed {
+			continue
+		}
+		// Pick a live target not already holding the segment.
+		target := -1
+		for i := range d.servers {
+			if i == failed || d.servers[i].Down() || d.servers[i].HasSegment(segName) {
+				continue
+			}
+			target = i
+			break
+		}
+		if target < 0 {
+			continue // every live server already has it
+		}
+		var seg *Segment
+		if d.backup == BackupP2P {
+			for _, ri := range replicas {
+				if ri != failed && !d.servers[ri].Down() {
+					seg = d.servers[ri].Segment(segName)
+					if seg != nil {
+						break
+					}
+				}
+			}
+		}
+		if seg == nil {
+			// Centralized path (or no live peer): download from the store.
+			data, err := d.store.Get(d.storeKey(segName))
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: %s: %v", ErrSegmentUnavailable, segName, err)
+				}
+				continue
+			}
+			seg, err = DecodeSegment(data)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+		}
+		d.servers[target].AddSegment(seg, nil)
+		d.mu.Lock()
+		d.placement[segName] = append(d.placement[segName], target)
+		d.mu.Unlock()
+		recovered++
+	}
+	return recovered, firstErr
+}
+
+// Broker answers queries over a deployment with scatter-gather-merge: the
+// query is decomposed into per-server subqueries over the segments each
+// server hosts, executed in parallel, and merged (§4.3). Upsert tables use
+// the partition-aware routing strategy: all segments of one partition go to
+// the partition's owner server so the validity bitmaps stay consistent.
+type Broker struct {
+	d *Deployment
+}
+
+// NewBroker creates a broker over a deployment.
+func NewBroker(d *Deployment) *Broker { return &Broker{d: d} }
+
+// Query executes a structured query. AVG aggregations are rewritten to
+// SUM+COUNT before the scatter so the merge is exact.
+func (b *Broker) Query(q *Query) (*Result, error) {
+	rewritten, finish := rewriteAvg(q)
+
+	// Route sealed segments.
+	b.d.mu.Lock()
+	assignment := make(map[int][]string) // server -> segments
+	for segName, replicas := range b.d.placement {
+		si, err := b.routeSegment(segName, replicas)
+		if err != nil {
+			b.d.mu.Unlock()
+			return nil, err
+		}
+		assignment[si] = append(assignment[si], segName)
+	}
+	// Consuming segments execute on their owner.
+	type consumingRef struct {
+		owner int
+		ms    *mutableSegment
+		part  int
+	}
+	var consuming []consumingRef
+	for part, ms := range b.d.consuming {
+		consuming = append(consuming, consumingRef{owner: b.d.partitionOwner[part], ms: ms, part: part})
+	}
+	upsert := b.d.cfg.Upsert
+	schema := b.d.cfg.Schema
+	b.d.mu.Unlock()
+
+	var parts []*Result
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	servers := make([]int, 0, len(assignment))
+	for si := range assignment {
+		servers = append(servers, si)
+	}
+	sort.Ints(servers)
+	for _, si := range servers {
+		segs := assignment[si]
+		sort.Strings(segs)
+		wg.Add(1)
+		go func(si int, segs []string) {
+			defer wg.Done()
+			r, err := b.d.servers[si].ExecuteOn(rewritten, segs)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			parts = append(parts, r)
+		}(si, segs)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Consuming segments: scan rows under the partition owner's validity.
+	sort.Slice(consuming, func(i, j int) bool { return consuming[i].part < consuming[j].part })
+	for _, cr := range consuming {
+		if b.d.servers[cr.owner].Down() {
+			return nil, fmt.Errorf("%w: consuming partition %d owner %s", ErrServerDown, cr.part, b.d.servers[cr.owner].Name())
+		}
+		b.d.mu.Lock()
+		rowsCopy := append([]record.Record(nil), cr.ms.rows...)
+		invalidCopy := make(map[int]bool, len(cr.ms.invalid))
+		for k, v := range cr.ms.invalid {
+			invalidCopy[k] = v
+		}
+		b.d.mu.Unlock()
+		validFn := func(i int) bool { return true }
+		if upsert {
+			validFn = func(i int) bool { return !invalidCopy[i] }
+		}
+		r, err := executeRows(schema, rowsCopy, rewritten, validFn)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, r)
+	}
+	merged, err := MergeResults(rewritten, parts)
+	if err != nil {
+		return nil, err
+	}
+	merged.Stats.ServersQueried = len(servers)
+	final := finish(merged)
+	if err := sortAndLimit(final, q); err != nil {
+		return nil, err
+	}
+	return final, nil
+}
+
+// routeSegment picks the serving replica for a segment: partition-aware for
+// upsert (owner server), otherwise the first live replica.
+func (b *Broker) routeSegment(segName string, replicas []int) (int, error) {
+	if b.d.cfg.Upsert {
+		// All segments of a partition route to the partition owner (the
+		// routing strategy of §4.3.1). The owner index is replicas[0] by
+		// construction.
+		owner := replicas[0]
+		if b.d.servers[owner].Down() {
+			return 0, fmt.Errorf("%w: upsert partition owner %s", ErrServerDown, b.d.servers[owner].Name())
+		}
+		return owner, nil
+	}
+	for _, ri := range replicas {
+		if !b.d.servers[ri].Down() && b.d.servers[ri].HasSegment(segName) {
+			return ri, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %s (no live replica)", ErrSegmentUnavailable, segName)
+}
+
+// rewriteAvg replaces AVG specs with SUM+COUNT pairs and returns a finisher
+// that reconstructs the AVG columns on the merged result.
+func rewriteAvg(q *Query) (*Query, func(*Result) *Result) {
+	hasAvg := false
+	for _, a := range q.Aggs {
+		if a.Kind == AggAvg {
+			hasAvg = true
+		}
+	}
+	if !hasAvg {
+		return q, func(r *Result) *Result { return r }
+	}
+	rq := *q
+	rq.Aggs = nil
+	rq.OrderBy = nil // order applies after finishing
+	rq.Limit = 0
+	type avgRef struct{ sumIdx, cntIdx, outIdx int }
+	var plan []avgRef
+	outCols := append([]string(nil), q.GroupBy...)
+	for _, a := range q.Aggs {
+		outCols = append(outCols, a.outName())
+	}
+	for _, a := range q.Aggs {
+		if a.Kind == AggAvg {
+			sumIdx := len(rq.Aggs)
+			rq.Aggs = append(rq.Aggs, AggSpec{Kind: AggSum, Column: a.Column, As: "__sum_" + a.Column})
+			cntIdx := len(rq.Aggs)
+			rq.Aggs = append(rq.Aggs, AggSpec{Kind: AggCount, Column: a.Column, As: "__cnt_" + a.Column})
+			plan = append(plan, avgRef{sumIdx: sumIdx, cntIdx: cntIdx})
+		} else {
+			rq.Aggs = append(rq.Aggs, a)
+		}
+	}
+	finish := func(r *Result) *Result {
+		nG := len(q.GroupBy)
+		out := &Result{Columns: outCols, Stats: r.Stats}
+		for _, row := range r.Rows {
+			newRow := append([]any(nil), row[:nG]...)
+			pi := 0
+			ri := 0
+			for _, a := range q.Aggs {
+				if a.Kind == AggAvg {
+					ref := plan[pi]
+					pi++
+					sum, _ := toF64(row[nG+ref.sumIdx])
+					cnt, _ := toF64(row[nG+ref.cntIdx])
+					ri += 2
+					if cnt == 0 {
+						newRow = append(newRow, 0.0)
+					} else {
+						newRow = append(newRow, sum/cnt)
+					}
+				} else {
+					newRow = append(newRow, row[nG+ri])
+					ri++
+				}
+			}
+			out.Rows = append(out.Rows, newRow)
+		}
+		return out
+	}
+	return &rq, finish
+}

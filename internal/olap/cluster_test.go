@@ -1,0 +1,346 @@
+package olap
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/objstore"
+	"repro/internal/record"
+	"repro/internal/stream"
+)
+
+func newDeployment(t *testing.T, nServers, replicas int, upsert bool, backup BackupMode, store objstore.Store) (*Deployment, []*Server) {
+	t.Helper()
+	servers := make([]*Server, nServers)
+	for i := range servers {
+		servers[i] = NewServer(fmt.Sprintf("server-%d", i))
+	}
+	if store == nil {
+		store = objstore.NewMemStore()
+	}
+	d, err := NewDeployment(DeploymentConfig{
+		Table: TableConfig{
+			Name:        "orders",
+			Schema:      ordersSchema(),
+			SegmentRows: 50,
+			Upsert:      upsert,
+			Replicas:    replicas,
+			Indexes:     IndexConfig{InvertedColumns: []string{"city"}},
+		},
+		Servers:      servers,
+		SegmentStore: store,
+		Backup:       backup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, servers
+}
+
+func ingestOrders(t *testing.T, d *Deployment, n, partitions int) {
+	t.Helper()
+	rows := orderRows(n)
+	for i, r := range rows {
+		if err := d.Ingest(i%partitions, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDeploymentIngestSealQuery(t *testing.T) {
+	d, _ := newDeployment(t, 2, 1, false, BackupP2P, nil)
+	ingestOrders(t, d, 220, 2)
+	ingested, sealed, _ := d.Stats()
+	if ingested != 220 {
+		t.Errorf("ingested = %d", ingested)
+	}
+	if sealed != 4 { // 110 rows per partition / 50-row seal = 2 sealed each
+		t.Errorf("sealed = %d, want 4", sealed)
+	}
+	b := NewBroker(d)
+	r, err := b.Query(&Query{Aggs: []AggSpec{{Kind: AggCount}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Rows[0][0].(int64); got != 220 {
+		t.Errorf("count across sealed+consuming = %d, want 220", got)
+	}
+	// Aggregation across consuming + sealed matches a single-segment oracle.
+	oracle, err := BuildSegment("all", ordersSchema(), orderRows(220), IndexConfig{}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &Query{GroupBy: []string{"city"}, Aggs: []AggSpec{{Kind: AggSum, Column: "amount"}, {Kind: AggCount}}}
+	want, _ := oracle.Execute(q, nil)
+	got, err := b.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Errorf("distributed result mismatch:\n got %v\nwant %v", got.Rows, want.Rows)
+	}
+}
+
+func TestBrokerAvgMerge(t *testing.T) {
+	// AVG must merge exactly across segments with different group sizes.
+	d, _ := newDeployment(t, 2, 1, false, BackupP2P, nil)
+	ingestOrders(t, d, 173, 2) // uneven split, consuming + sealed mix
+	oracle, _ := BuildSegment("all", ordersSchema(), orderRows(173), IndexConfig{}, -1)
+	q := &Query{GroupBy: []string{"city"}, Aggs: []AggSpec{{Kind: AggAvg, Column: "amount"}}}
+	want, _ := oracle.Execute(q, nil)
+	got, err := NewBroker(d).Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("rows = %d vs %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		ga := got.Rows[i][1].(float64)
+		wa := want.Rows[i][1].(float64)
+		if diff := ga - wa; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("avg mismatch row %d: %v vs %v", i, ga, wa)
+		}
+	}
+}
+
+func TestUpsertLatestValueWins(t *testing.T) {
+	d, _ := newDeployment(t, 2, 1, true, BackupP2P, nil)
+	// Ingest the same 10 order ids 12 times with increasing amounts so
+	// sealing happens mid-stream (threshold 50).
+	for round := 0; round < 12; round++ {
+		for k := 0; k < 10; k++ {
+			r := record.Record{
+				"order_id": fmt.Sprintf("order-%d", k),
+				"city":     "sf",
+				"status":   "placed",
+				"amount":   float64(round),
+				"items":    int64(1),
+				"ts":       int64(1700000000000 + round),
+			}
+			if err := d.Ingest(k%2, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	b := NewBroker(d)
+	// Count sees exactly 10 live rows (one per key).
+	r, err := b.Query(&Query{Aggs: []AggSpec{{Kind: AggCount}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Rows[0][0].(int64); got != 10 {
+		t.Errorf("upsert count = %d, want 10", got)
+	}
+	// Every surviving row carries the final amount (11).
+	sel, err := b.Query(&Query{Select: []string{"order_id", "amount"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Rows) != 10 {
+		t.Fatalf("selection rows = %d", len(sel.Rows))
+	}
+	for _, row := range sel.Rows {
+		if row[1].(float64) != 11 {
+			t.Errorf("stale value for %v: %v", row[0], row[1])
+		}
+	}
+	// Sum reflects only latest values.
+	sum, _ := b.Query(&Query{Aggs: []AggSpec{{Kind: AggSum, Column: "amount"}}})
+	if got := sum.Rows[0][0].(float64); got != 110 {
+		t.Errorf("upsert sum = %v, want 110", got)
+	}
+}
+
+func TestUpsertRequiresPrimaryKey(t *testing.T) {
+	schema := ordersSchema()
+	schema.PrimaryKey = ""
+	_, err := NewDeployment(DeploymentConfig{
+		Table:        TableConfig{Name: "t", Schema: schema, Upsert: true},
+		Servers:      []*Server{NewServer("s0")},
+		SegmentStore: objstore.NewMemStore(),
+	})
+	if err == nil {
+		t.Error("upsert without primary key should fail")
+	}
+}
+
+func TestReplicaFailover(t *testing.T) {
+	d, servers := newDeployment(t, 3, 2, false, BackupP2P, nil)
+	ingestOrders(t, d, 200, 2)
+	for p := 0; p < 2; p++ {
+		if err := d.Seal(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := NewBroker(d)
+	before, err := b.Query(&Query{Aggs: []AggSpec{{Kind: AggCount}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill one server: every segment has a second replica, so the broker
+	// reroutes and the answer is unchanged.
+	servers[0].SetDown(true)
+	after, err := b.Query(&Query{Aggs: []AggSpec{{Kind: AggCount}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before.Rows, after.Rows) {
+		t.Errorf("failover changed result: %v vs %v", before.Rows, after.Rows)
+	}
+}
+
+func TestP2PRecoveryWithStoreDown(t *testing.T) {
+	// The §4.3.4 scenario: segment store down AND a server lost. P2P mode
+	// recovers from peer replicas; centralized mode cannot.
+	store := objstore.NewFaultStore(objstore.NewMemStore())
+	d, servers := newDeployment(t, 3, 2, false, BackupP2P, store)
+	ingestOrders(t, d, 200, 2)
+	for p := 0; p < 2; p++ {
+		if err := d.Seal(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.WaitUploads()
+	store.SetDown(true)
+	servers[0].SetDown(true)
+	recovered, err := d.RecoverServer(0)
+	if err != nil {
+		t.Fatalf("p2p recovery failed during store outage: %v", err)
+	}
+	if recovered == 0 {
+		t.Fatal("nothing recovered")
+	}
+	r, err := NewBroker(d).Query(&Query{Aggs: []AggSpec{{Kind: AggCount}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Rows[0][0].(int64); got != 200 {
+		t.Errorf("post-recovery count = %d, want 200", got)
+	}
+}
+
+func TestCentralizedRecoveryNeedsStore(t *testing.T) {
+	store := objstore.NewFaultStore(objstore.NewMemStore())
+	d, servers := newDeployment(t, 3, 1, false, BackupCentralized, store)
+	ingestOrders(t, d, 200, 2)
+	for p := 0; p < 2; p++ {
+		if err := d.Seal(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	servers[0].SetDown(true)
+	// With the store up, centralized recovery works (download).
+	if recovered, err := d.RecoverServer(0); err != nil || recovered == 0 {
+		t.Fatalf("centralized recovery with store up = %d, %v", recovered, err)
+	}
+	// With replicas=1 and another server+store failure, recovery fails.
+	servers[1].SetDown(true)
+	store.SetDown(true)
+	if _, err := d.RecoverServer(1); err == nil {
+		t.Error("centralized recovery during store outage should fail for unreplicated segments")
+	}
+}
+
+func TestCentralizedSealBlocksDuringOutage(t *testing.T) {
+	store := objstore.NewFaultStore(objstore.NewMemStore())
+	d, _ := newDeployment(t, 2, 1, false, BackupCentralized, store)
+	// Fill one partition right up to the seal threshold.
+	rows := orderRows(49)
+	for _, r := range rows {
+		if err := d.Ingest(0, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store.SetDown(true)
+	// The 50th row triggers a seal, which must fail (synchronous backup).
+	err := d.Ingest(0, orderRows(50)[49])
+	if !errors.Is(err, objstore.ErrUnavailable) {
+		t.Fatalf("seal during outage = %v, want ErrUnavailable", err)
+	}
+	// Data is not lost: after the store recovers, ingestion resumes and the
+	// seal succeeds with all 50 rows.
+	store.SetDown(false)
+	if err := d.Ingest(0, orderRows(51)[50]); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewBroker(d).Query(&Query{Aggs: []AggSpec{{Kind: AggCount}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Rows[0][0].(int64); got != 51 {
+		t.Errorf("count after recovery = %d, want 51", got)
+	}
+}
+
+func TestP2PSealUnaffectedByOutage(t *testing.T) {
+	store := objstore.NewFaultStore(objstore.NewMemStore())
+	d, _ := newDeployment(t, 2, 2, false, BackupP2P, store)
+	store.SetDown(true)
+	ingestOrders(t, d, 200, 2) // seals happen during the outage
+	d.WaitUploads()
+	_, sealed, uploadErrs := d.Stats()
+	if sealed != 4 {
+		t.Errorf("sealed = %d during outage, want 4 (p2p does not block)", sealed)
+	}
+	if uploadErrs == 0 {
+		t.Error("async uploads should have failed during the outage")
+	}
+	r, err := NewBroker(d).Query(&Query{Aggs: []AggSpec{{Kind: AggCount}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Rows[0][0].(int64); got != 200 {
+		t.Errorf("count = %d, want 200", got)
+	}
+}
+
+func TestRealtimeIngestion(t *testing.T) {
+	cluster, err := stream.NewCluster(stream.ClusterConfig{Name: "c", Nodes: 1, ReplicationInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.CreateTopic("orders", stream.TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	codec, err := record.NewCodec(ordersSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := newDeployment(t, 2, 1, false, BackupP2P, nil)
+	ing, err := NewRealtimeIngester(cluster, "orders", codec, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing.Start()
+	defer ing.Stop()
+
+	p := stream.NewProducer(cluster, "svc", "", nil)
+	for _, r := range orderRows(150) {
+		payload, _ := codec.Encode(r)
+		if err := p.Produce("orders", []byte(r.String("order_id")), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := NewBroker(d)
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		r, err := b.Query(&Query{Aggs: []AggSpec{{Kind: AggCount}}})
+		if err == nil && r.Rows[0][0].(int64) == 150 {
+			if lag := ing.Lag(); lag != 0 {
+				t.Errorf("lag = %d after full ingest", lag)
+			}
+			if n, _ := ing.Errors(); n != 0 {
+				t.Errorf("ingest errors = %d", n)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	r, _ := b.Query(&Query{Aggs: []AggSpec{{Kind: AggCount}}})
+	t.Fatalf("realtime ingestion incomplete: %v", r.Rows)
+}

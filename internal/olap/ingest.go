@@ -1,0 +1,154 @@
+package olap
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/record"
+	"repro/internal/stream"
+)
+
+// RealtimeIngester consumes a topic from the stream layer into a table
+// deployment, one goroutine per input partition — the realtime side of
+// Pinot's lambda architecture (§4.3). Partition i of the topic feeds
+// ingestion partition i, which for upsert tables is exactly the "organize
+// the input stream into multiple partitions by the primary key, and
+// distribute each partition to a node" scheme of §4.3.1.
+type RealtimeIngester struct {
+	cluster *stream.Cluster
+	topic   string
+	codec   *record.Codec
+	d       *Deployment
+	batch   int
+
+	positions []atomic.Int64
+	errs      atomic.Int64
+	lastErr   atomic.Value // error
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewRealtimeIngester wires topic → deployment. The topic must already
+// exist; ingestion starts from the earliest retained offsets.
+func NewRealtimeIngester(cluster *stream.Cluster, topic string, codec *record.Codec, d *Deployment) (*RealtimeIngester, error) {
+	n, err := cluster.Partitions(topic)
+	if err != nil {
+		return nil, err
+	}
+	ri := &RealtimeIngester{
+		cluster:   cluster,
+		topic:     topic,
+		codec:     codec,
+		d:         d,
+		batch:     128,
+		positions: make([]atomic.Int64, n),
+		stop:      make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		low, _, err := cluster.Watermarks(stream.TopicPartition{Topic: topic, Partition: i})
+		if err != nil {
+			return nil, err
+		}
+		ri.positions[i].Store(low)
+	}
+	return ri, nil
+}
+
+// Start launches the per-partition ingestion loops.
+func (ri *RealtimeIngester) Start() {
+	for p := range ri.positions {
+		ri.wg.Add(1)
+		go ri.consumePartition(p)
+	}
+}
+
+// Stop halts ingestion and waits for the loops to exit.
+func (ri *RealtimeIngester) Stop() {
+	select {
+	case <-ri.stop:
+	default:
+		close(ri.stop)
+	}
+	ri.wg.Wait()
+}
+
+// Lag returns the total unconsumed backlog across partitions.
+func (ri *RealtimeIngester) Lag() int64 {
+	var lag int64
+	for p := range ri.positions {
+		_, high, err := ri.cluster.Watermarks(stream.TopicPartition{Topic: ri.topic, Partition: p})
+		if err != nil {
+			continue
+		}
+		if d := high - ri.positions[p].Load(); d > 0 {
+			lag += d
+		}
+	}
+	return lag
+}
+
+// Errors returns the count of ingestion errors (decode or seal failures)
+// and the most recent one.
+func (ri *RealtimeIngester) Errors() (int64, error) {
+	n := ri.errs.Load()
+	if err, ok := ri.lastErr.Load().(error); ok {
+		return n, err
+	}
+	return n, nil
+}
+
+func (ri *RealtimeIngester) consumePartition(p int) {
+	defer ri.wg.Done()
+	tp := stream.TopicPartition{Topic: ri.topic, Partition: p}
+	for {
+		select {
+		case <-ri.stop:
+			return
+		default:
+		}
+		pos := ri.positions[p].Load()
+		msgs, err := ri.cluster.Fetch(tp, pos, ri.batch)
+		if err != nil {
+			// Retention may have advanced; skip to the low watermark.
+			if low, _, werr := ri.cluster.Watermarks(tp); werr == nil && pos < low {
+				ri.positions[p].Store(low)
+				continue
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if len(msgs) == 0 {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		blocked := false
+		for _, m := range msgs {
+			r, err := ri.codec.Decode(m.Value)
+			if err != nil {
+				// Corrupt message: count it and move on (it can never
+				// succeed, unlike a seal failure).
+				ri.errs.Add(1)
+				ri.lastErr.Store(err)
+				ri.positions[p].Store(m.Offset + 1)
+				continue
+			}
+			if err := ri.d.Ingest(p, r); err != nil {
+				ri.errs.Add(1)
+				ri.lastErr.Store(err)
+				// A failed seal (centralized backup outage) blocks this
+				// partition at the failed message: retry after a pause
+				// rather than dropping it — exactly the "all data
+				// ingestion comes to a halt" behavior of §4.3.4.
+				ri.positions[p].Store(m.Offset)
+				blocked = true
+				break
+			}
+			ri.positions[p].Store(m.Offset + 1)
+		}
+		if blocked {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,600 @@
+package olap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metadata"
+)
+
+// FilterOp enumerates filter predicates.
+type FilterOp int
+
+const (
+	// OpEq matches column == value.
+	OpEq FilterOp = iota
+	// OpNe matches column != value.
+	OpNe
+	// OpLt matches column < value.
+	OpLt
+	// OpLe matches column <= value.
+	OpLe
+	// OpGt matches column > value.
+	OpGt
+	// OpGe matches column >= value.
+	OpGe
+	// OpIn matches column ∈ Values.
+	OpIn
+	// OpBetween matches Value <= column <= Value2.
+	OpBetween
+)
+
+// Filter is one predicate over a column.
+type Filter struct {
+	Column string
+	Op     FilterOp
+	Value  any
+	Value2 any   // OpBetween upper bound
+	Values []any // OpIn set
+}
+
+// AggKind enumerates aggregation functions.
+type AggKind int
+
+const (
+	// AggCount counts rows (Column empty) or non-null values.
+	AggCount AggKind = iota
+	// AggSum sums a numeric column.
+	AggSum
+	// AggMin takes the minimum.
+	AggMin
+	// AggMax takes the maximum.
+	AggMax
+	// AggAvg averages.
+	AggAvg
+)
+
+// String names the aggregation as it appears in result columns.
+func (a AggKind) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	default:
+		return "count"
+	}
+}
+
+// AggSpec is one requested aggregation.
+type AggSpec struct {
+	Kind   AggKind
+	Column string // empty for count(*)
+	As     string // output name; default kind(column)
+}
+
+func (a AggSpec) outName() string {
+	if a.As != "" {
+		return a.As
+	}
+	if a.Column == "" {
+		return "count"
+	}
+	return fmt.Sprintf("%s_%s", a.Kind, a.Column)
+}
+
+// OrderSpec is one ORDER BY term over an output column.
+type OrderSpec struct {
+	Column string
+	Desc   bool
+}
+
+// Query is the structured query the OLAP layer executes — the "limited SQL
+// capability" of the Fig 2 OLAP abstraction: filter, aggregate, group-by,
+// order-by, limit. Joins and subqueries belong to the SQL layer above
+// (fedsql).
+type Query struct {
+	Table   string
+	Filters []Filter
+	// GroupBy columns; requires Aggs.
+	GroupBy []string
+	// Aggs to compute; empty means a selection query returning Select
+	// columns.
+	Aggs []AggSpec
+	// Select columns for selection queries.
+	Select  []string
+	OrderBy []OrderSpec
+	Limit   int
+}
+
+// Result is a column-oriented query result.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+	// Stats describe the execution, for experiments and EXPLAIN-style
+	// output.
+	Stats ExecStats
+}
+
+// ExecStats counts work done during execution.
+type ExecStats struct {
+	SegmentsScanned  int
+	RowsScanned      int64
+	StarTreeServed   int  // segments answered from the star-tree
+	ServersQueried   int  // broker-level fan-out
+	UpsertFiltered   int64
+}
+
+// groupAgg accumulates one output group.
+type groupAgg struct {
+	values []any // group-by column values
+	aggs   []starAgg
+}
+
+func newGroupAgg(q *Query, values []any) *groupAgg {
+	return &groupAgg{values: values, aggs: make([]starAgg, len(q.Aggs))}
+}
+
+// normalizeFilterValue coerces a filter literal to the column's dictionary
+// domain (e.g. int → float64 for numeric dictionaries).
+func normalizeFilterValue(c *column, v any) any {
+	if c.Field.Type == metadata.TypeString {
+		if s, ok := v.(string); ok {
+			return s
+		}
+		return fmt.Sprintf("%v", v)
+	}
+	if f, ok := toF64(v); ok {
+		return f
+	}
+	return v
+}
+
+// filterBitmap evaluates all filters on the segment, returning the matching
+// row set. Inverted indexes and the sorted column accelerate when present;
+// otherwise the forward index is scanned.
+func (s *Segment) filterBitmap(filters []Filter) (*Bitmap, error) {
+	result := NewBitmap(s.NumRows)
+	result.Fill()
+	for _, f := range filters {
+		c, ok := s.Columns[f.Column]
+		if !ok {
+			return nil, fmt.Errorf("olap: unknown filter column %q", f.Column)
+		}
+		bm, err := s.evalFilter(c, f)
+		if err != nil {
+			return nil, err
+		}
+		result.And(bm)
+	}
+	return result, nil
+}
+
+func (s *Segment) evalFilter(c *column, f Filter) (*Bitmap, error) {
+	switch f.Op {
+	case OpEq:
+		code := c.Dict.lookup(normalizeFilterValue(c, f.Value))
+		if code < 0 {
+			return NewBitmap(s.NumRows), nil
+		}
+		return s.codeEq(c, code), nil
+	case OpNe:
+		code := c.Dict.lookup(normalizeFilterValue(c, f.Value))
+		bm := NewBitmap(s.NumRows)
+		bm.Fill()
+		if code >= 0 {
+			bm.AndNot(s.codeEq(c, code))
+		}
+		// Nulls never match != either (SQL semantics).
+		bm.And(c.Present)
+		return bm, nil
+	case OpIn:
+		bm := NewBitmap(s.NumRows)
+		for _, v := range f.Values {
+			if code := c.Dict.lookup(normalizeFilterValue(c, v)); code >= 0 {
+				bm.Or(s.codeEq(c, code))
+			}
+		}
+		return bm, nil
+	case OpLt, OpLe, OpGt, OpGe, OpBetween:
+		return s.codeRangeBitmap(c, f)
+	default:
+		return nil, fmt.Errorf("olap: unsupported filter op %d", f.Op)
+	}
+}
+
+// codeEq returns rows whose column equals the dict code, via the inverted
+// index, sorted-column binary search, or a forward scan.
+func (s *Segment) codeEq(c *column, code int) *Bitmap {
+	if c.Inverted != nil {
+		if bm := c.Inverted[code]; bm != nil {
+			return bm.Clone()
+		}
+		return NewBitmap(s.NumRows)
+	}
+	bm := NewBitmap(s.NumRows)
+	if c.Sorted {
+		// Codes are non-decreasing: binary search the run bounds.
+		lo := sort.Search(s.NumRows, func(i int) bool { return c.Codes.Get(i) >= code })
+		hi := sort.Search(s.NumRows, func(i int) bool { return c.Codes.Get(i) > code })
+		for i := lo; i < hi; i++ {
+			if c.Present.Get(i) {
+				bm.Set(i)
+			}
+		}
+		return bm
+	}
+	null := c.Dict.size()
+	for i := 0; i < s.NumRows; i++ {
+		if got := c.Codes.Get(i); got == code && got != null {
+			bm.Set(i)
+		}
+	}
+	return bm
+}
+
+// codeRangeBitmap resolves range predicates to a dictionary code interval
+// and unions the matching rows (the "range index": dictionary order makes
+// ranges cheap).
+func (s *Segment) codeRangeBitmap(c *column, f Filter) (*Bitmap, error) {
+	var min, max any
+	switch f.Op {
+	case OpLt, OpLe:
+		max = normalizeFilterValue(c, f.Value)
+	case OpGt, OpGe:
+		min = normalizeFilterValue(c, f.Value)
+	case OpBetween:
+		min = normalizeFilterValue(c, f.Value)
+		max = normalizeFilterValue(c, f.Value2)
+	}
+	lo, hi := c.Dict.codeRange(min, max)
+	// Adjust exclusive bounds.
+	if f.Op == OpLt && hi > 0 {
+		// codeRange's hi already excludes > max; for strict < drop equals.
+		if code := c.Dict.lookup(max); code >= 0 && code == hi-1 {
+			hi--
+		}
+	}
+	if f.Op == OpGt {
+		if code := c.Dict.lookup(min); code >= 0 && code == lo {
+			lo++
+		}
+	}
+	bm := NewBitmap(s.NumRows)
+	if lo >= hi {
+		return bm, nil
+	}
+	if c.Inverted != nil {
+		for code := lo; code < hi; code++ {
+			if sub := c.Inverted[code]; sub != nil {
+				bm.Or(sub)
+			}
+		}
+		return bm, nil
+	}
+	if c.Sorted {
+		start := sort.Search(s.NumRows, func(i int) bool { return c.Codes.Get(i) >= lo })
+		end := sort.Search(s.NumRows, func(i int) bool { return c.Codes.Get(i) >= hi })
+		for i := start; i < end; i++ {
+			if c.Present.Get(i) {
+				bm.Set(i)
+			}
+		}
+		return bm, nil
+	}
+	null := c.Dict.size()
+	for i := 0; i < s.NumRows; i++ {
+		if code := c.Codes.Get(i); code >= lo && code < hi && code != null {
+			bm.Set(i)
+		}
+	}
+	return bm, nil
+}
+
+// Execute runs a query against this single segment. valid optionally
+// restricts rows to the still-valid set (upsert); nil means all rows count.
+func (s *Segment) Execute(q *Query, valid *Bitmap) (*Result, error) {
+	// Star-tree fast path (only when no upsert filtering applies).
+	if s.Tree != nil && valid == nil && s.Tree.Eligible(q) {
+		groups := s.Tree.query(s, q)
+		res := buildGroupResult(q, groups)
+		res.Stats.SegmentsScanned = 1
+		res.Stats.StarTreeServed = 1
+		return res, nil
+	}
+	bm, err := s.filterBitmap(q.Filters)
+	if err != nil {
+		return nil, err
+	}
+	var upsertFiltered int64
+	if valid != nil {
+		before := bm.Count()
+		bm.And(valid)
+		upsertFiltered = int64(before - bm.Count())
+	}
+	var res *Result
+	if len(q.Aggs) > 0 {
+		res, err = s.executeAgg(q, bm)
+	} else {
+		res, err = s.executeSelect(q, bm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.SegmentsScanned = 1
+	res.Stats.RowsScanned = int64(bm.Count())
+	res.Stats.UpsertFiltered = upsertFiltered
+	return res, nil
+}
+
+func (s *Segment) executeAgg(q *Query, bm *Bitmap) (*Result, error) {
+	for _, g := range q.GroupBy {
+		if _, ok := s.Columns[g]; !ok {
+			return nil, fmt.Errorf("olap: unknown group-by column %q", g)
+		}
+	}
+	for _, a := range q.Aggs {
+		if a.Column != "" {
+			if _, ok := s.Columns[a.Column]; !ok {
+				return nil, fmt.Errorf("olap: unknown aggregation column %q", a.Column)
+			}
+		}
+	}
+	// Fast path: single group-by column. Dict codes index a dense array of
+	// accumulators — the columnar execution style that gives Pinot its
+	// latency edge (no per-row string keys or map hashing).
+	if len(q.GroupBy) == 1 {
+		return s.executeAggSingleGroup(q, bm)
+	}
+	groups := make(map[string]*groupAgg)
+	var keyBuf strings.Builder
+	bm.ForEach(func(i int) bool {
+		keyBuf.Reset()
+		values := make([]any, len(q.GroupBy))
+		for gi, g := range q.GroupBy {
+			c := s.Columns[g]
+			if c.Present.Get(i) {
+				code := c.Codes.Get(i)
+				values[gi] = c.Dict.value(code)
+				fmt.Fprintf(&keyBuf, "%d|", code)
+			} else {
+				keyBuf.WriteString("~|")
+			}
+		}
+		key := keyBuf.String()
+		g, ok := groups[key]
+		if !ok {
+			g = newGroupAgg(q, values)
+			groups[key] = g
+		}
+		for ai, spec := range q.Aggs {
+			switch {
+			case spec.Kind == AggCount && spec.Column == "":
+				g.aggs[ai].Count++
+			case spec.Kind == AggCount:
+				if s.Columns[spec.Column].Present.Get(i) {
+					g.aggs[ai].Count++
+				}
+			default:
+				if s.Columns[spec.Column].Present.Get(i) {
+					g.aggs[ai].add(s.double(spec.Column, i))
+				}
+			}
+		}
+		return true
+	})
+	return buildGroupResult(q, groups), nil
+}
+
+// executeAggSingleGroup aggregates grouped by one column using dense
+// code-indexed accumulators.
+func (s *Segment) executeAggSingleGroup(q *Query, bm *Bitmap) (*Result, error) {
+	gc := s.Columns[q.GroupBy[0]]
+	nCodes := gc.Dict.size() + 1 // +1 for null
+	accs := make([][]starAgg, nCodes)
+	// Pre-resolve aggregation columns.
+	type aggCol struct {
+		countStar bool
+		col       *column
+		nums      []float64
+	}
+	aggCols := make([]aggCol, len(q.Aggs))
+	for ai, spec := range q.Aggs {
+		if spec.Kind == AggCount && spec.Column == "" {
+			aggCols[ai].countStar = true
+			continue
+		}
+		c := s.Columns[spec.Column]
+		aggCols[ai].col = c
+		aggCols[ai].nums = c.Dict.Nums
+	}
+	bm.ForEach(func(i int) bool {
+		code := nCodes - 1
+		if gc.Present.Get(i) {
+			code = gc.Codes.Get(i)
+		}
+		acc := accs[code]
+		if acc == nil {
+			acc = make([]starAgg, len(q.Aggs))
+			accs[code] = acc
+		}
+		for ai := range q.Aggs {
+			ac := &aggCols[ai]
+			switch {
+			case ac.countStar:
+				acc[ai].Count++
+			case q.Aggs[ai].Kind == AggCount:
+				if ac.col.Present.Get(i) {
+					acc[ai].Count++
+				}
+			default:
+				if ac.col.Present.Get(i) {
+					v := 0.0
+					if ac.nums != nil {
+						v = ac.nums[ac.col.Codes.Get(i)]
+					}
+					acc[ai].add(v)
+				}
+			}
+		}
+		return true
+	})
+	groups := make(map[string]*groupAgg, nCodes)
+	for code, acc := range accs {
+		if acc == nil {
+			continue
+		}
+		var val any
+		if code < gc.Dict.size() {
+			val = gc.Dict.value(code)
+		}
+		groups[fmt.Sprintf("%08d", code)] = &groupAgg{values: []any{val}, aggs: acc}
+	}
+	return buildGroupResult(q, groups), nil
+}
+
+// buildGroupResult converts accumulated groups into a Result.
+func buildGroupResult(q *Query, groups map[string]*groupAgg) *Result {
+	cols := append([]string(nil), q.GroupBy...)
+	for _, a := range q.Aggs {
+		cols = append(cols, a.outName())
+	}
+	res := &Result{Columns: cols}
+	if len(groups) == 0 && len(q.GroupBy) == 0 {
+		// SQL semantics: a global aggregate over zero rows still returns
+		// one row (count = 0, sums = 0).
+		row := make([]any, 0, len(q.Aggs))
+		for _, spec := range q.Aggs {
+			row = append(row, aggValue(starAgg{}, spec.Kind))
+		}
+		res.Rows = append(res.Rows, row)
+		return res
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := groups[k]
+		row := append([]any(nil), g.values...)
+		for ai, spec := range q.Aggs {
+			row = append(row, aggValue(g.aggs[ai], spec.Kind))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func aggValue(a starAgg, kind AggKind) any {
+	switch kind {
+	case AggSum:
+		return a.Sum
+	case AggMin:
+		return a.Min
+	case AggMax:
+		return a.Max
+	case AggAvg:
+		if a.Count == 0 {
+			return 0.0
+		}
+		return a.Sum / float64(a.Count)
+	default:
+		return a.Count
+	}
+}
+
+func (s *Segment) executeSelect(q *Query, bm *Bitmap) (*Result, error) {
+	cols := q.Select
+	if len(cols) == 0 {
+		cols = s.Schema.FieldNames()
+	}
+	for _, c := range cols {
+		if _, ok := s.Columns[c]; !ok {
+			return nil, fmt.Errorf("olap: unknown select column %q", c)
+		}
+	}
+	res := &Result{Columns: append([]string(nil), cols...)}
+	limit := q.Limit
+	// Order-by requires materializing all matches; plain limited selects
+	// can stop early.
+	early := limit > 0 && len(q.OrderBy) == 0
+	bm.ForEach(func(i int) bool {
+		row := make([]any, len(cols))
+		for ci, c := range cols {
+			row[ci] = s.value(c, i)
+		}
+		res.Rows = append(res.Rows, row)
+		return !(early && len(res.Rows) >= limit)
+	})
+	return res, nil
+}
+
+// sortAndLimit applies ORDER BY / LIMIT to a merged result in place.
+func sortAndLimit(res *Result, q *Query) error {
+	if len(q.OrderBy) > 0 {
+		idx := make([]int, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			idx[i] = -1
+			for ci, c := range res.Columns {
+				if c == o.Column {
+					idx[i] = ci
+				}
+			}
+			if idx[i] < 0 {
+				return fmt.Errorf("olap: order-by column %q not in result", o.Column)
+			}
+		}
+		sort.SliceStable(res.Rows, func(a, b int) bool {
+			for i, o := range q.OrderBy {
+				cmp := compareValues(res.Rows[a][idx[i]], res.Rows[b][idx[i]])
+				if cmp == 0 {
+					continue
+				}
+				if o.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+	}
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return nil
+}
+
+// compareValues orders mixed result values: nils first, numbers before
+// strings.
+func compareValues(a, b any) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		default:
+			return 1
+		}
+	}
+	fa, aok := toF64(a)
+	fb, bok := toF64(b)
+	if aok && bok {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	sa, sb := fmt.Sprintf("%v", a), fmt.Sprintf("%v", b)
+	return strings.Compare(sa, sb)
+}

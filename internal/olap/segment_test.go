@@ -1,0 +1,452 @@
+package olap
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metadata"
+	"repro/internal/record"
+)
+
+func ordersSchema() *metadata.Schema {
+	return &metadata.Schema{
+		Name:    "orders",
+		Version: 1,
+		Fields: []metadata.Field{
+			{Name: "order_id", Type: metadata.TypeString},
+			{Name: "city", Type: metadata.TypeString, Dimension: true},
+			{Name: "status", Type: metadata.TypeString, Dimension: true},
+			{Name: "amount", Type: metadata.TypeDouble},
+			{Name: "items", Type: metadata.TypeLong},
+			{Name: "rush", Type: metadata.TypeBool, Nullable: true},
+			{Name: "ts", Type: metadata.TypeTimestamp},
+		},
+		TimeField:  "ts",
+		PrimaryKey: "order_id",
+	}
+}
+
+func orderRows(n int) []record.Record {
+	cities := []string{"sf", "nyc", "la", "chi"}
+	statuses := []string{"placed", "cooking", "delivered"}
+	rows := make([]record.Record, n)
+	for i := range rows {
+		rows[i] = record.Record{
+			"order_id": fmt.Sprintf("o-%05d", i),
+			"city":     cities[i%len(cities)],
+			"status":   statuses[i%len(statuses)],
+			"amount":   float64(i%50) + 0.5,
+			"items":    int64(i%7 + 1),
+			"ts":       int64(1700000000000 + i*1000),
+		}
+		if i%2 == 0 {
+			rows[i]["rush"] = i%4 == 0
+		}
+	}
+	return rows
+}
+
+func buildTestSegment(t *testing.T, rows []record.Record, cfg IndexConfig) *Segment {
+	t.Helper()
+	seg, err := BuildSegment("seg0", ordersSchema(), rows, cfg, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+func TestPackedInts(t *testing.T) {
+	values := []int{0, 1, 5, 1023, 7, 512, 0, 1023}
+	p := newPackedInts(values, 1023)
+	if p.Bits != 10 {
+		t.Errorf("bits = %d, want 10", p.Bits)
+	}
+	for i, v := range values {
+		if got := p.Get(i); got != v {
+			t.Errorf("Get(%d) = %d, want %d", i, got, v)
+		}
+	}
+}
+
+func TestPackedIntsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		values := make([]int, len(raw))
+		max := 0
+		for i, v := range raw {
+			values[i] = int(v)
+			if int(v) > max {
+				max = int(v)
+			}
+		}
+		p := newPackedInts(values, max)
+		for i, v := range values {
+			if p.Get(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentBuildAndValues(t *testing.T) {
+	rows := orderRows(100)
+	seg := buildTestSegment(t, rows, IndexConfig{})
+	if seg.NumRows != 100 {
+		t.Fatalf("NumRows = %d", seg.NumRows)
+	}
+	if seg.MinTime != 1700000000000 || seg.MaxTime != 1700000000000+99*1000 {
+		t.Errorf("time bounds = [%d, %d]", seg.MinTime, seg.MaxTime)
+	}
+	// Spot-check decoded values.
+	if got := seg.value("city", 5); got != "nyc" {
+		t.Errorf("value(city,5) = %v", got)
+	}
+	if got := seg.value("items", 6); got != int64(7) {
+		t.Errorf("value(items,6) = %v (%T)", got, got)
+	}
+	if got := seg.value("rush", 1); got != nil {
+		t.Errorf("absent nullable = %v, want nil", got)
+	}
+	if got := seg.value("rush", 4); got != true {
+		t.Errorf("value(rush,4) = %v", got)
+	}
+}
+
+func TestSegmentEncodeDecodeRoundTrip(t *testing.T) {
+	seg := buildTestSegment(t, orderRows(50), IndexConfig{InvertedColumns: []string{"city"}})
+	data, err := seg.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows != seg.NumRows || got.Name != seg.Name {
+		t.Fatalf("round trip header mismatch")
+	}
+	for i := 0; i < seg.NumRows; i++ {
+		for _, col := range []string{"city", "status", "amount", "items"} {
+			if !reflect.DeepEqual(got.value(col, i), seg.value(col, i)) {
+				t.Fatalf("row %d col %s: %v != %v", i, col, got.value(col, i), seg.value(col, i))
+			}
+		}
+	}
+	// The inverted index survives too.
+	q := &Query{Filters: []Filter{{Column: "city", Op: OpEq, Value: "sf"}}, Aggs: []AggSpec{{Kind: AggCount}}}
+	r1, err := seg.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := got.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Rows, r2.Rows) {
+		t.Fatalf("decoded segment answers differently: %v vs %v", r1.Rows, r2.Rows)
+	}
+}
+
+func TestFilterOps(t *testing.T) {
+	rows := orderRows(120)
+	for _, cfg := range []IndexConfig{
+		{},
+		{InvertedColumns: []string{"city", "status", "amount", "items"}},
+		{SortedColumn: "city"},
+	} {
+		seg := buildTestSegment(t, rows, cfg)
+		count := func(f ...Filter) int64 {
+			q := &Query{Filters: f, Aggs: []AggSpec{{Kind: AggCount}}}
+			r, err := seg.Execute(q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.Rows[0][0].(int64)
+		}
+		if got := count(Filter{Column: "city", Op: OpEq, Value: "sf"}); got != 30 {
+			t.Errorf("cfg %+v: eq = %d, want 30", cfg, got)
+		}
+		if got := count(Filter{Column: "city", Op: OpNe, Value: "sf"}); got != 90 {
+			t.Errorf("cfg %+v: ne = %d, want 90", cfg, got)
+		}
+		if got := count(Filter{Column: "city", Op: OpIn, Values: []any{"sf", "la"}}); got != 60 {
+			t.Errorf("cfg %+v: in = %d, want 60", cfg, got)
+		}
+		if got := count(Filter{Column: "items", Op: OpLt, Value: int64(3)}); got != 120/7*2+2 {
+			// items cycles 1..7 over 120 rows: 17 full cycles (119 rows) + 1.
+			// items<3 => items in {1,2}: 17*2 + 1 (row 119 has items=1) + ...
+			// compute directly instead:
+			want := int64(0)
+			for i := 0; i < 120; i++ {
+				if i%7+1 < 3 {
+					want++
+				}
+			}
+			if got != want {
+				t.Errorf("cfg %+v: lt = %d, want %d", cfg, got, want)
+			}
+		}
+		if got := count(Filter{Column: "items", Op: OpBetween, Value: int64(2), Value2: int64(4)}); got > 0 {
+			want := int64(0)
+			for i := 0; i < 120; i++ {
+				if v := i%7 + 1; v >= 2 && v <= 4 {
+					want++
+				}
+			}
+			if got != want {
+				t.Errorf("cfg %+v: between = %d, want %d", cfg, got, want)
+			}
+		}
+		// Compound filter.
+		if got := count(
+			Filter{Column: "city", Op: OpEq, Value: "sf"},
+			Filter{Column: "status", Op: OpEq, Value: "placed"},
+		); got <= 0 || got >= 30 {
+			t.Errorf("cfg %+v: compound = %d, want in (0,30)", cfg, got)
+		}
+		// Missing value.
+		if got := count(Filter{Column: "city", Op: OpEq, Value: "tokyo"}); got != 0 {
+			t.Errorf("cfg %+v: missing value = %d", cfg, got)
+		}
+	}
+}
+
+func TestFilterComparisonOps(t *testing.T) {
+	rows := orderRows(50)
+	seg := buildTestSegment(t, rows, IndexConfig{})
+	count := func(op FilterOp, v int64) int64 {
+		q := &Query{Filters: []Filter{{Column: "items", Op: op, Value: v}}, Aggs: []AggSpec{{Kind: AggCount}}}
+		r, err := seg.Execute(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Rows[0][0].(int64)
+	}
+	brute := func(pred func(int64) bool) int64 {
+		var n int64
+		for i := 0; i < 50; i++ {
+			if pred(int64(i%7 + 1)) {
+				n++
+			}
+		}
+		return n
+	}
+	if got, want := count(OpLe, 3), brute(func(v int64) bool { return v <= 3 }); got != want {
+		t.Errorf("le = %d, want %d", got, want)
+	}
+	if got, want := count(OpGt, 5), brute(func(v int64) bool { return v > 5 }); got != want {
+		t.Errorf("gt = %d, want %d", got, want)
+	}
+	if got, want := count(OpGe, 5), brute(func(v int64) bool { return v >= 5 }); got != want {
+		t.Errorf("ge = %d, want %d", got, want)
+	}
+	if got, want := count(OpLt, 1), brute(func(v int64) bool { return v < 1 }); got != want {
+		t.Errorf("lt-min = %d, want %d", got, want)
+	}
+}
+
+func TestGroupByAggregation(t *testing.T) {
+	rows := orderRows(120)
+	seg := buildTestSegment(t, rows, IndexConfig{})
+	q := &Query{
+		GroupBy: []string{"city"},
+		Aggs: []AggSpec{
+			{Kind: AggCount},
+			{Kind: AggSum, Column: "amount"},
+			{Kind: AggMin, Column: "amount"},
+			{Kind: AggMax, Column: "amount"},
+		},
+	}
+	r, err := seg.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("groups = %d, want 4 cities", len(r.Rows))
+	}
+	var totalCount int64
+	var totalSum float64
+	for _, row := range r.Rows {
+		totalCount += row[1].(int64)
+		totalSum += row[2].(float64)
+		if row[3].(float64) > row[4].(float64) {
+			t.Errorf("min > max in %v", row)
+		}
+	}
+	if totalCount != 120 {
+		t.Errorf("total count = %d", totalCount)
+	}
+	var wantSum float64
+	for i := 0; i < 120; i++ {
+		wantSum += float64(i%50) + 0.5
+	}
+	if totalSum != wantSum {
+		t.Errorf("total sum = %v, want %v", totalSum, wantSum)
+	}
+}
+
+func TestSelectionQueryWithOrderAndLimit(t *testing.T) {
+	seg := buildTestSegment(t, orderRows(50), IndexConfig{})
+	q := &Query{
+		Select:  []string{"order_id", "amount"},
+		Filters: []Filter{{Column: "city", Op: OpEq, Value: "sf"}},
+		OrderBy: []OrderSpec{{Column: "amount", Desc: true}},
+		Limit:   5,
+	}
+	r, err := seg.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sortAndLimit(r, q); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i][1].(float64) > r.Rows[i-1][1].(float64) {
+			t.Fatalf("not descending at %d", i)
+		}
+	}
+}
+
+func TestCountNonNullColumn(t *testing.T) {
+	seg := buildTestSegment(t, orderRows(20), IndexConfig{})
+	q := &Query{Aggs: []AggSpec{{Kind: AggCount, Column: "rush", As: "rush_count"}}}
+	r, err := seg.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Rows[0][0].(int64); got != 10 {
+		t.Errorf("count(rush) = %d, want 10 non-null", got)
+	}
+}
+
+func TestUnknownColumnsError(t *testing.T) {
+	seg := buildTestSegment(t, orderRows(10), IndexConfig{})
+	if _, err := seg.Execute(&Query{Filters: []Filter{{Column: "ghost", Op: OpEq, Value: 1}}, Aggs: []AggSpec{{Kind: AggCount}}}, nil); err == nil {
+		t.Error("unknown filter column should error")
+	}
+	if _, err := seg.Execute(&Query{GroupBy: []string{"ghost"}, Aggs: []AggSpec{{Kind: AggCount}}}, nil); err == nil {
+		t.Error("unknown group-by column should error")
+	}
+	if _, err := seg.Execute(&Query{Select: []string{"ghost"}}, nil); err == nil {
+		t.Error("unknown select column should error")
+	}
+	if _, err := seg.Execute(&Query{Aggs: []AggSpec{{Kind: AggSum, Column: "ghost"}}}, nil); err == nil {
+		t.Error("unknown agg column should error")
+	}
+}
+
+func TestEmptySegmentRejected(t *testing.T) {
+	if _, err := BuildSegment("x", ordersSchema(), nil, IndexConfig{}, -1); err == nil {
+		t.Error("empty segment should be rejected")
+	}
+}
+
+func TestSortedColumnBinarySearchMatchesScan(t *testing.T) {
+	rows := orderRows(200)
+	plain := buildTestSegment(t, rows, IndexConfig{})
+	sorted := buildTestSegment(t, rows, IndexConfig{SortedColumn: "amount"})
+	q := &Query{
+		Filters: []Filter{{Column: "amount", Op: OpBetween, Value: 10.5, Value2: 20.5}},
+		Aggs:    []AggSpec{{Kind: AggCount}, {Kind: AggSum, Column: "amount"}},
+	}
+	r1, err := plain.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sorted.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Rows, r2.Rows) {
+		t.Errorf("sorted path disagrees: %v vs %v", r1.Rows, r2.Rows)
+	}
+}
+
+func TestInvertedIndexMatchesScanProperty(t *testing.T) {
+	// Property: for random filters, inverted-index execution equals scan.
+	rows := orderRows(150)
+	plain := buildTestSegment(t, rows, IndexConfig{})
+	indexed := buildTestSegment(t, rows, IndexConfig{InvertedColumns: []string{"city", "items"}})
+	cities := []string{"sf", "nyc", "la", "chi", "tokyo"}
+	f := func(cityIdx uint8, itemCut uint8) bool {
+		q := &Query{
+			Filters: []Filter{
+				{Column: "city", Op: OpEq, Value: cities[int(cityIdx)%len(cities)]},
+				{Column: "items", Op: OpLe, Value: int64(itemCut % 9)},
+			},
+			Aggs: []AggSpec{{Kind: AggCount}, {Kind: AggSum, Column: "amount"}},
+		}
+		r1, err1 := plain.Execute(q, nil)
+		r2, err2 := indexed.Execute(q, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return reflect.DeepEqual(r1.Rows, r2.Rows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitmapOps(t *testing.T) {
+	a := NewBitmap(130)
+	b := NewBitmap(130)
+	for i := 0; i < 130; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 130; i += 3 {
+		b.Set(i)
+	}
+	union := a.Clone()
+	union.Or(b)
+	inter := a.Clone()
+	inter.And(b)
+	diff := a.Clone()
+	diff.AndNot(b)
+	wantU, wantI, wantD := 0, 0, 0
+	for i := 0; i < 130; i++ {
+		ia, ib := i%2 == 0, i%3 == 0
+		if ia || ib {
+			wantU++
+		}
+		if ia && ib {
+			wantI++
+		}
+		if ia && !ib {
+			wantD++
+		}
+	}
+	if union.Count() != wantU || inter.Count() != wantI || diff.Count() != wantD {
+		t.Errorf("or/and/andnot = %d/%d/%d, want %d/%d/%d",
+			union.Count(), inter.Count(), diff.Count(), wantU, wantI, wantD)
+	}
+	full := NewBitmap(130)
+	full.Fill()
+	if full.Count() != 130 {
+		t.Errorf("Fill count = %d", full.Count())
+	}
+	full.Clear(0)
+	if full.Get(0) || full.Count() != 129 {
+		t.Error("Clear failed")
+	}
+	// Early-exit iteration.
+	n := 0
+	a.ForEach(func(i int) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("ForEach early exit visited %d", n)
+	}
+}

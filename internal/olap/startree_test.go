@@ -1,0 +1,162 @@
+package olap
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/record"
+)
+
+func starConfig(maxLeaf int) IndexConfig {
+	return IndexConfig{
+		StarTree: &StarTreeConfig{
+			Dimensions:     []string{"city", "status"},
+			Metrics:        []string{"amount"},
+			MaxLeafRecords: maxLeaf,
+		},
+	}
+}
+
+func TestStarTreeEligibility(t *testing.T) {
+	seg := buildTestSegment(t, orderRows(100), starConfig(1))
+	tree := seg.Tree
+	if tree == nil {
+		t.Fatal("star tree not built")
+	}
+	eligible := []*Query{
+		{GroupBy: []string{"city"}, Aggs: []AggSpec{{Kind: AggSum, Column: "amount"}}},
+		{GroupBy: []string{"city", "status"}, Aggs: []AggSpec{{Kind: AggCount}}},
+		{Filters: []Filter{{Column: "city", Op: OpEq, Value: "sf"}}, Aggs: []AggSpec{{Kind: AggSum, Column: "amount"}}},
+	}
+	for i, q := range eligible {
+		if !tree.Eligible(q) {
+			t.Errorf("query %d should be star-tree eligible", i)
+		}
+	}
+	ineligible := []*Query{
+		{Select: []string{"city"}},
+		{GroupBy: []string{"items"}, Aggs: []AggSpec{{Kind: AggCount}}},                                  // non-tree dim
+		{Filters: []Filter{{Column: "amount", Op: OpGt, Value: 5.0}}, Aggs: []AggSpec{{Kind: AggCount}}}, // range filter
+		{Aggs: []AggSpec{{Kind: AggSum, Column: "items"}}},                                               // non-tree metric
+	}
+	for i, q := range ineligible {
+		if tree.Eligible(q) {
+			t.Errorf("query %d should NOT be star-tree eligible", i)
+		}
+	}
+}
+
+func TestStarTreeMatchesScan(t *testing.T) {
+	rows := orderRows(500)
+	plain := buildTestSegment(t, rows, IndexConfig{})
+	for _, maxLeaf := range []int{1, 10, 100, 10000} {
+		starred := buildTestSegment(t, rows, starConfig(maxLeaf))
+		queries := []*Query{
+			{GroupBy: []string{"city"}, Aggs: []AggSpec{{Kind: AggSum, Column: "amount"}, {Kind: AggCount}}},
+			{GroupBy: []string{"city", "status"}, Aggs: []AggSpec{{Kind: AggCount}}},
+			{GroupBy: []string{"status"}, Aggs: []AggSpec{{Kind: AggMin, Column: "amount"}, {Kind: AggMax, Column: "amount"}}},
+			{Filters: []Filter{{Column: "city", Op: OpEq, Value: "la"}}, GroupBy: []string{"status"}, Aggs: []AggSpec{{Kind: AggSum, Column: "amount"}}},
+			{Filters: []Filter{{Column: "city", Op: OpEq, Value: "la"}, {Column: "status", Op: OpEq, Value: "placed"}}, Aggs: []AggSpec{{Kind: AggCount}}},
+			{Aggs: []AggSpec{{Kind: AggSum, Column: "amount"}}},
+		}
+		for qi, q := range queries {
+			want, err := plain.Execute(q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := starred.Execute(q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Stats.StarTreeServed != 1 {
+				t.Errorf("maxLeaf=%d q%d: not served by star-tree", maxLeaf, qi)
+			}
+			if !reflect.DeepEqual(got.Rows, want.Rows) {
+				t.Errorf("maxLeaf=%d q%d:\n got %v\nwant %v", maxLeaf, qi, got.Rows, want.Rows)
+			}
+		}
+	}
+}
+
+func TestStarTreeFilterOnMissingValue(t *testing.T) {
+	seg := buildTestSegment(t, orderRows(100), starConfig(10))
+	q := &Query{Filters: []Filter{{Column: "city", Op: OpEq, Value: "tokyo"}}, Aggs: []AggSpec{{Kind: AggCount}}}
+	r, err := seg.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][0].(int64) != 0 {
+		t.Errorf("missing-value star query = %v", r.Rows)
+	}
+}
+
+func TestStarTreeUpsertBypassed(t *testing.T) {
+	// A validity bitmap (upsert) must bypass the star-tree (pre-aggregates
+	// would include superseded rows).
+	seg := buildTestSegment(t, orderRows(100), starConfig(10))
+	valid := NewBitmap(seg.NumRows)
+	valid.Fill()
+	valid.Clear(0)
+	q := &Query{Aggs: []AggSpec{{Kind: AggCount}}}
+	r, err := seg.Execute(q, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.StarTreeServed != 0 {
+		t.Error("star-tree should be bypassed under a validity bitmap")
+	}
+	if r.Rows[0][0].(int64) != 99 {
+		t.Errorf("count = %v, want 99", r.Rows[0][0])
+	}
+}
+
+func TestStarTreeSmallerLeafMoreNodes(t *testing.T) {
+	rows := orderRows(1000)
+	small := buildTestSegment(t, rows, starConfig(1))
+	big := buildTestSegment(t, rows, starConfig(10000))
+	if small.Tree.Nodes <= big.Tree.Nodes {
+		t.Errorf("maxLeaf=1 nodes %d should exceed maxLeaf=10000 nodes %d",
+			small.Tree.Nodes, big.Tree.Nodes)
+	}
+}
+
+func TestStarTreeHighCardinality(t *testing.T) {
+	// Many distinct users, few cities: group-by city via star-tree must
+	// still be exact.
+	var rows []record.Record
+	for i := 0; i < 2000; i++ {
+		rows = append(rows, record.Record{
+			"order_id": fmt.Sprintf("o%d", i),
+			"city":     []string{"sf", "nyc"}[i%2],
+			"status":   fmt.Sprintf("u%d", i%97), // high-cardinality dim
+			"amount":   1.0,
+			"items":    int64(1),
+			"ts":       int64(1700000000000 + i),
+		})
+	}
+	plain := buildTestSegment(t, rows, IndexConfig{})
+	starred := buildTestSegment(t, rows, starConfig(16))
+	q := &Query{GroupBy: []string{"city"}, Aggs: []AggSpec{{Kind: AggSum, Column: "amount"}}}
+	want, _ := plain.Execute(q, nil)
+	got, err := starred.Execute(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Errorf("high-cardinality star-tree mismatch: %v vs %v", got.Rows, want.Rows)
+	}
+}
+
+func TestStarTreeBadConfig(t *testing.T) {
+	if _, err := BuildSegment("x", ordersSchema(), orderRows(10), IndexConfig{
+		StarTree: &StarTreeConfig{Dimensions: []string{"ghost"}, Metrics: []string{"amount"}},
+	}, -1); err == nil {
+		t.Error("unknown star-tree dimension should fail build")
+	}
+	if _, err := BuildSegment("x", ordersSchema(), orderRows(10), IndexConfig{
+		StarTree: &StarTreeConfig{Dimensions: []string{"city"}, Metrics: []string{"ghost"}},
+	}, -1); err == nil {
+		t.Error("unknown star-tree metric should fail build")
+	}
+}

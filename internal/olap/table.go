@@ -1,0 +1,325 @@
+package olap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metadata"
+	"repro/internal/record"
+)
+
+// TableConfig declares one OLAP table.
+type TableConfig struct {
+	// Name is the table name.
+	Name string
+	// Schema describes the columns; TimeField drives segment time bounds
+	// and PrimaryKey (with Upsert) the upsert key.
+	Schema *metadata.Schema
+	// Indexes configure segment index structures.
+	Indexes IndexConfig
+	// SegmentRows is the consuming-segment seal threshold. Default 1000.
+	SegmentRows int
+	// Upsert enables exactly-once-by-key semantics (§4.3.1); requires
+	// Schema.PrimaryKey and a partitioned input keyed by it.
+	Upsert bool
+	// Replicas is the number of servers holding each sealed segment.
+	// Default 1.
+	Replicas int
+}
+
+func (c TableConfig) withDefaults() (TableConfig, error) {
+	if c.Name == "" {
+		return c, fmt.Errorf("olap: table has no name")
+	}
+	if c.Schema == nil {
+		return c, fmt.Errorf("olap: table %q has no schema", c.Name)
+	}
+	if err := c.Schema.Validate(); err != nil {
+		return c, err
+	}
+	if c.Upsert && c.Schema.PrimaryKey == "" {
+		return c, fmt.Errorf("olap: upsert table %q needs a primary key", c.Name)
+	}
+	if c.Upsert && c.Indexes.SortedColumn != "" {
+		// Sorting a segment at build time reorders doc IDs, which would
+		// break the upsert location map (same restriction as Pinot).
+		return c, fmt.Errorf("olap: upsert table %q cannot use a sorted column", c.Name)
+	}
+	if c.SegmentRows <= 0 {
+		c.SegmentRows = 1000
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	return c, nil
+}
+
+// mutableSegment is the consuming (in-flight) segment of one partition:
+// plain rows queried by scan, plus an invalid set for upsert supersedes.
+type mutableSegment struct {
+	name    string
+	rows    []record.Record
+	invalid map[int]bool // docID -> superseded
+}
+
+func newMutableSegment(name string) *mutableSegment {
+	return &mutableSegment{name: name, invalid: make(map[int]bool)}
+}
+
+func (m *mutableSegment) add(r record.Record) int {
+	m.rows = append(m.rows, r)
+	return len(m.rows) - 1
+}
+
+// executeRows runs a query by scanning raw rows — how consuming segments
+// answer queries before sealing. valid(i) gates upsert-superseded docs.
+func executeRows(schema *metadata.Schema, rows []record.Record, q *Query, valid func(int) bool) (*Result, error) {
+	match := func(r record.Record) (bool, error) {
+		for _, f := range q.Filters {
+			ok, err := rowMatches(schema, r, f)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	if len(q.Aggs) > 0 {
+		groups := make(map[string]*groupAgg)
+		for i, r := range rows {
+			if valid != nil && !valid(i) {
+				continue
+			}
+			ok, err := match(r)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			var kb strings.Builder
+			values := make([]any, len(q.GroupBy))
+			for gi, g := range q.GroupBy {
+				values[gi] = r[g]
+				fmt.Fprintf(&kb, "%v|", r[g])
+			}
+			g, ok2 := groups[kb.String()]
+			if !ok2 {
+				g = newGroupAgg(q, values)
+				groups[kb.String()] = g
+			}
+			for ai, spec := range q.Aggs {
+				switch {
+				case spec.Kind == AggCount && spec.Column == "":
+					g.aggs[ai].Count++
+				case spec.Kind == AggCount:
+					if _, has := r[spec.Column]; has {
+						g.aggs[ai].Count++
+					}
+				default:
+					if _, has := r[spec.Column]; has {
+						g.aggs[ai].add(r.Double(spec.Column))
+					}
+				}
+			}
+		}
+		res := buildGroupResult(q, groups)
+		res.Stats.RowsScanned = int64(len(rows))
+		return res, nil
+	}
+	cols := q.Select
+	if len(cols) == 0 {
+		cols = schema.FieldNames()
+	}
+	res := &Result{Columns: append([]string(nil), cols...)}
+	for i, r := range rows {
+		if valid != nil && !valid(i) {
+			continue
+		}
+		ok, err := match(r)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		row := make([]any, len(cols))
+		for ci, c := range cols {
+			row[ci] = r[c]
+		}
+		res.Rows = append(res.Rows, row)
+		if q.Limit > 0 && len(q.OrderBy) == 0 && len(res.Rows) >= q.Limit {
+			break
+		}
+	}
+	res.Stats.RowsScanned = int64(len(rows))
+	return res, nil
+}
+
+func rowMatches(schema *metadata.Schema, r record.Record, f Filter) (bool, error) {
+	field, ok := schema.Field(f.Column)
+	if !ok {
+		return false, fmt.Errorf("olap: unknown filter column %q", f.Column)
+	}
+	v, has := r[f.Column]
+	if !has || v == nil {
+		return false, nil
+	}
+	cmp := func(a, b any) int {
+		if field.Type == metadata.TypeString {
+			return strings.Compare(fmt.Sprintf("%v", a), fmt.Sprintf("%v", b))
+		}
+		fa, _ := toF64(a)
+		fb, _ := toF64(b)
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch f.Op {
+	case OpEq:
+		return cmp(v, f.Value) == 0, nil
+	case OpNe:
+		return cmp(v, f.Value) != 0, nil
+	case OpLt:
+		return cmp(v, f.Value) < 0, nil
+	case OpLe:
+		return cmp(v, f.Value) <= 0, nil
+	case OpGt:
+		return cmp(v, f.Value) > 0, nil
+	case OpGe:
+		return cmp(v, f.Value) >= 0, nil
+	case OpBetween:
+		return cmp(v, f.Value) >= 0 && cmp(v, f.Value2) <= 0, nil
+	case OpIn:
+		for _, want := range f.Values {
+			if cmp(v, want) == 0 {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("olap: unsupported op %d", f.Op)
+	}
+}
+
+// MergeResults combines per-segment/per-server partial results: group
+// aggregates merge by group key; selection rows concatenate. The final
+// ORDER BY / LIMIT applies after the merge (scatter-gather-merge, §4.3).
+func MergeResults(q *Query, parts []*Result) (*Result, error) {
+	if len(parts) == 0 {
+		cols := append([]string(nil), q.GroupBy...)
+		for _, a := range q.Aggs {
+			cols = append(cols, a.outName())
+		}
+		if len(q.Aggs) == 0 {
+			cols = append([]string(nil), q.Select...)
+		}
+		res := &Result{Columns: cols}
+		if len(q.Aggs) > 0 && len(q.GroupBy) == 0 {
+			// Global aggregate over an empty table: one zero row.
+			row := make([]any, 0, len(q.Aggs))
+			for _, spec := range q.Aggs {
+				row = append(row, aggValue(starAgg{}, spec.Kind))
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		return res, nil
+	}
+	merged := &Result{Columns: parts[0].Columns}
+	for _, p := range parts {
+		merged.Stats.SegmentsScanned += p.Stats.SegmentsScanned
+		merged.Stats.RowsScanned += p.Stats.RowsScanned
+		merged.Stats.StarTreeServed += p.Stats.StarTreeServed
+		merged.Stats.UpsertFiltered += p.Stats.UpsertFiltered
+	}
+	if len(q.Aggs) == 0 {
+		for _, p := range parts {
+			merged.Rows = append(merged.Rows, p.Rows...)
+		}
+		if err := sortAndLimit(merged, q); err != nil {
+			return nil, err
+		}
+		return merged, nil
+	}
+	// Re-group by the group-by columns.
+	nG := len(q.GroupBy)
+	type acc struct {
+		values []any
+		aggs   []starAgg
+	}
+	groups := make(map[string]*acc)
+	var order []string
+	for _, p := range parts {
+		for _, row := range p.Rows {
+			var kb strings.Builder
+			for i := 0; i < nG; i++ {
+				fmt.Fprintf(&kb, "%v|", row[i])
+			}
+			k := kb.String()
+			g, ok := groups[k]
+			if !ok {
+				g = &acc{values: append([]any(nil), row[:nG]...), aggs: make([]starAgg, len(q.Aggs))}
+				groups[k] = g
+				order = append(order, k)
+			}
+			for ai, spec := range q.Aggs {
+				v := row[nG+ai]
+				mergePartialAgg(&g.aggs[ai], spec.Kind, v)
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, k := range order {
+		g := groups[k]
+		row := append([]any(nil), g.values...)
+		for ai, spec := range q.Aggs {
+			row = append(row, aggValue(g.aggs[ai], spec.Kind))
+		}
+		merged.Rows = append(merged.Rows, row)
+	}
+	if err := sortAndLimit(merged, q); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// mergePartialAgg folds a partial aggregate value into an accumulator.
+// AVG cannot be merged from averages, so segment executors return AVG as
+// sum and count via the starAgg path — here we reconstruct conservatively:
+// partial results produced by this package carry exact sums for AggAvg via
+// aggValue only at the final merge. To keep merges exact, executors in this
+// package are always merged through MergeResults at most once per level
+// with COUNT piggybacked; AVG at the broker uses SUM/COUNT pairs internally.
+func mergePartialAgg(a *starAgg, kind AggKind, v any) {
+	f, _ := toF64(v)
+	switch kind {
+	case AggCount:
+		a.Count += int64(f)
+	case AggSum:
+		a.Sum += f
+		a.Count++
+	case AggMin:
+		if a.Count == 0 || f < a.Min {
+			a.Min = f
+		}
+		a.Count++
+	case AggMax:
+		if a.Count == 0 || f > a.Max {
+			a.Max = f
+		}
+		a.Count++
+	case AggAvg:
+		// Weighted merge is impossible from a bare average; the broker
+		// rewrites AVG to SUM+COUNT before scattering (see Broker.Query).
+		a.Sum += f
+		a.Count++
+	}
+}

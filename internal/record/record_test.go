@@ -1,0 +1,255 @@
+package record
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metadata"
+)
+
+func testSchema() *metadata.Schema {
+	return &metadata.Schema{
+		Name:    "events",
+		Version: 1,
+		Fields: []metadata.Field{
+			{Name: "id", Type: metadata.TypeLong},
+			{Name: "city", Type: metadata.TypeString, Dimension: true},
+			{Name: "fare", Type: metadata.TypeDouble},
+			{Name: "ok", Type: metadata.TypeBool},
+			{Name: "blob", Type: metadata.TypeBytes, Nullable: true},
+			{Name: "ts", Type: metadata.TypeTimestamp},
+			{Name: "opt", Type: metadata.TypeString, Nullable: true},
+		},
+		TimeField: "ts",
+	}
+}
+
+func sampleRecord() Record {
+	return Record{
+		"id":   int64(42),
+		"city": "sf",
+		"fare": 12.75,
+		"ok":   true,
+		"blob": []byte{1, 2, 3},
+		"ts":   int64(1700000000000),
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := sampleRecord()
+	if r.Long("id") != 42 || r.Long("missing") != 0 {
+		t.Error("Long accessor wrong")
+	}
+	if r.Long("fare") != 12 {
+		t.Errorf("Long(fare) = %d, want truncation to 12", r.Long("fare"))
+	}
+	if r.Long("ok") != 1 {
+		t.Errorf("Long(ok) = %d, want 1", r.Long("ok"))
+	}
+	if r.Double("fare") != 12.75 || r.Double("id") != 42 || r.Double("missing") != 0 {
+		t.Error("Double accessor wrong")
+	}
+	if r.String("city") != "sf" || r.String("missing") != "" {
+		t.Error("String accessor wrong")
+	}
+	if r.String("id") != "42" {
+		t.Errorf("String(id) = %q", r.String("id"))
+	}
+	if !r.Bool("ok") || r.Bool("city") || r.Bool("missing") {
+		t.Error("Bool accessor wrong")
+	}
+	keys := r.Keys()
+	if len(keys) != 6 || keys[0] != "blob" {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+func TestCloneShallow(t *testing.T) {
+	r := sampleRecord()
+	c := r.Clone()
+	c["id"] = int64(7)
+	if r.Long("id") != 42 {
+		t.Error("Clone aliases map")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	if v, err := Coerce(7, metadata.TypeLong); err != nil || v.(int64) != 7 {
+		t.Errorf("Coerce(int) = %v, %v", v, err)
+	}
+	if v, err := Coerce(3.0, metadata.TypeLong); err != nil || v.(int64) != 3 {
+		t.Errorf("Coerce(3.0->long) = %v, %v", v, err)
+	}
+	if _, err := Coerce(3.5, metadata.TypeLong); err == nil {
+		t.Error("3.5 should not coerce to long")
+	}
+	if v, err := Coerce(int64(5), metadata.TypeDouble); err != nil || v.(float64) != 5 {
+		t.Errorf("Coerce(int64->double) = %v, %v", v, err)
+	}
+	if _, err := Coerce("x", metadata.TypeDouble); err == nil {
+		t.Error("string should not coerce to double")
+	}
+	if v, err := Coerce(nil, metadata.TypeString); err != nil || v != nil {
+		t.Errorf("nil should pass through, got %v, %v", v, err)
+	}
+}
+
+func TestConform(t *testing.T) {
+	s := testSchema()
+	r := sampleRecord()
+	r["extra"] = "dropme"
+	out, err := Conform(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out["extra"]; ok {
+		t.Error("Conform kept unknown column")
+	}
+	if _, ok := out["opt"]; ok {
+		t.Error("absent nullable column should stay absent")
+	}
+
+	missing := sampleRecord()
+	delete(missing, "id")
+	if _, err := Conform(missing, s); err == nil {
+		t.Error("missing required field should error")
+	}
+
+	bad := sampleRecord()
+	bad["fare"] = "not-a-number"
+	if _, err := Conform(bad, s); err == nil {
+		t.Error("type mismatch should error")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c, err := NewCodec(testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sampleRecord()
+	data, err := c.Encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Conform(r, c.Schema())
+	if !reflect.DeepEqual(map[string]any(got), map[string]any(want)) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestCodecNullables(t *testing.T) {
+	c, _ := NewCodec(testSchema())
+	r := sampleRecord()
+	delete(r, "blob")
+	data, err := c.Encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["blob"]; ok {
+		t.Error("absent nullable field reappeared after decode")
+	}
+}
+
+func TestCodecVersionMismatch(t *testing.T) {
+	s1 := testSchema()
+	s2 := testSchema()
+	s2.Version = 2
+	c1, _ := NewCodec(s1)
+	c2, _ := NewCodec(s2)
+	data, _ := c1.Encode(sampleRecord())
+	if _, err := c2.Decode(data); err == nil {
+		t.Error("decoding v1 payload with v2 codec should error")
+	}
+}
+
+func TestCodecTruncation(t *testing.T) {
+	c, _ := NewCodec(testSchema())
+	data, _ := c.Encode(sampleRecord())
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := c.Decode(data[:cut]); err == nil {
+			// Cutting after the last present field's bytes can still parse;
+			// only flag cuts that silently decode the full record.
+			r, _ := c.Decode(data[:cut])
+			if len(r) == 6 {
+				t.Errorf("truncation at %d/%d decoded full record", cut, len(data))
+			}
+		}
+	}
+}
+
+func TestCodecRejectsInvalidSchema(t *testing.T) {
+	if _, err := NewCodec(&metadata.Schema{Name: ""}); err == nil {
+		t.Error("NewCodec should validate schema")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := Record{"a": int64(1), "b": "x", "c": true}
+	data, err := EncodeJSON(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String("b") != "x" || !got.Bool("c") || got.Long("a") != 1 {
+		t.Errorf("JSON round trip = %v", got)
+	}
+	if _, err := DecodeJSON([]byte("{")); err == nil {
+		t.Error("bad JSON should error")
+	}
+}
+
+func TestCodecProperty(t *testing.T) {
+	// Property: Encode/Decode round-trips arbitrary long/double/string
+	// values bit-exactly.
+	s := &metadata.Schema{
+		Name:    "prop",
+		Version: 1,
+		Fields: []metadata.Field{
+			{Name: "l", Type: metadata.TypeLong},
+			{Name: "d", Type: metadata.TypeDouble},
+			{Name: "s", Type: metadata.TypeString},
+		},
+	}
+	c, _ := NewCodec(s)
+	f := func(l int64, d float64, str string) bool {
+		if math.IsNaN(d) {
+			return true // NaN != NaN; skip
+		}
+		data, err := c.Encode(Record{"l": l, "d": d, "s": str})
+		if err != nil {
+			return false
+		}
+		got, err := c.Decode(data)
+		if err != nil {
+			return false
+		}
+		return got.Long("l") == l && got.Double("d") == d && got.String("s") == str
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecDeterministic(t *testing.T) {
+	c, _ := NewCodec(testSchema())
+	a, _ := c.Encode(sampleRecord())
+	b, _ := c.Encode(sampleRecord())
+	if !bytes.Equal(a, b) {
+		t.Error("encoding is not deterministic")
+	}
+}

@@ -1,0 +1,147 @@
+// Package sqlparse is the shared SQL frontend of the stack: a lexer, parser
+// and AST for the dialect used by both the FlinkSQL layer (streaming SQL,
+// §4.2.1, including TUMBLE/HOP window functions) and the federated
+// interactive query layer (§4.5, joins and subqueries). Keeping one frontend
+// mirrors Uber's "language consolidation" lesson (§9.2): PrestoSQL-style
+// syntax everywhere.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+const (
+	// TokEOF terminates the token stream.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier or keyword (keywords resolve at parse time).
+	TokIdent
+	// TokNumber is an integer or decimal literal.
+	TokNumber
+	// TokString is a single-quoted string literal (quotes stripped).
+	TokString
+	// TokSymbol is punctuation or an operator: ( ) , . * = != < <= > >= ;
+	TokSymbol
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// Lex tokenizes a SQL string. It returns an error for unterminated strings
+// and unexpected characters.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("sqlparse: unterminated string at %d", start)
+				}
+				if input[i] == '\'' {
+					// '' escapes a quote.
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case unicode.IsDigit(c) || (c == '-' && i+1 < n && unicode.IsDigit(rune(input[i+1])) && startsValue(toks)):
+			start := i
+			i++
+			for i < n && (unicode.IsDigit(rune(input[i])) || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: input[start:i], Pos: start})
+		case strings.ContainsRune("(),.*;", c):
+			toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: i})
+			i++
+		case c == '=':
+			toks = append(toks, Token{Kind: TokSymbol, Text: "=", Pos: i})
+			i++
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokSymbol, Text: "!=", Pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sqlparse: unexpected '!' at %d", i)
+			}
+		case c == '<':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokSymbol, Text: "<=", Pos: i})
+				i += 2
+			} else if i+1 < n && input[i+1] == '>' {
+				toks = append(toks, Token{Kind: TokSymbol, Text: "!=", Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokSymbol, Text: "<", Pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokSymbol, Text: ">=", Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokSymbol, Text: ">", Pos: i})
+				i++
+			}
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+// startsValue reports whether a '-' at the current position begins a number
+// (i.e. the previous token cannot end a value expression).
+func startsValue(toks []Token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	if last.Kind == TokNumber || last.Kind == TokString {
+		return false
+	}
+	if last.Kind == TokSymbol && last.Text == ")" {
+		return false
+	}
+	if last.Kind == TokIdent {
+		// After identifiers like column names '-' would be arithmetic
+		// (unsupported); after keywords like WHERE/AND it's a sign.
+		switch strings.ToUpper(last.Text) {
+		case "WHERE", "AND", "OR", "IN", "BETWEEN", "LIMIT", "SELECT", "BY", "ON", "NOT", "THEN", "ELSE":
+			return true
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,509 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SELECT statement.
+func Parse(sql string) (*SelectStmt, error) {
+	toks, err := Lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokSymbol, ";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sqlparse: trailing input at %q", p.peek().Text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().Kind == TokEOF }
+
+// acceptKeyword consumes the next token if it is the given keyword.
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.Kind == TokIdent && strings.EqualFold(t.Text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sqlparse: expected %s, got %q at %d", kw, p.peek().Text, p.peek().Pos)
+	}
+	return nil
+}
+
+// accept consumes the next token if it matches kind and text.
+func (p *parser) accept(kind TokenKind, text string) bool {
+	t := p.peek()
+	if t.Kind == kind && t.Text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind, text string) error {
+	if !p.accept(kind, text) {
+		return fmt.Errorf("sqlparse: expected %q, got %q at %d", text, p.peek().Text, p.peek().Pos)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return "", fmt.Errorf("sqlparse: expected identifier, got %q at %d", t.Text, t.Pos)
+	}
+	if isReserved(t.Text) {
+		return "", fmt.Errorf("sqlparse: unexpected keyword %q at %d", t.Text, t.Pos)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+func isReserved(s string) bool {
+	switch strings.ToUpper(s) {
+	case "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "LIMIT", "JOIN",
+		"ON", "AND", "OR", "AS", "IN", "BETWEEN", "ASC", "DESC", "WITHIN":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		from, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = from
+	}
+	if p.acceptKeyword("WHERE") {
+		preds, err := p.parsePredicates()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = preds
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			if w, ok, err := p.tryParseWindow(); err != nil {
+				return nil, err
+			} else if ok {
+				if stmt.Window != nil {
+					return nil, fmt.Errorf("sqlparse: multiple window functions in GROUP BY")
+				}
+				stmt.Window = w
+			} else {
+				col, err := p.qualifiedColumn()
+				if err != nil {
+					return nil, err
+				}
+				stmt.GroupBy = append(stmt.GroupBy, col)
+			}
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.qualifiedColumn()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Column: col}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.next()
+		if t.Kind != TokNumber {
+			return nil, fmt.Errorf("sqlparse: LIMIT expects a number, got %q", t.Text)
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sqlparse: bad LIMIT %q", t.Text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+// qualifiedColumn parses col or table.col, returning "table.col" or "col".
+func (p *parser) qualifiedColumn() (string, error) {
+	first, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.accept(TokSymbol, ".") {
+		second, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		return first + "." + second, nil
+	}
+	return first, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(TokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return SelectItem{}, fmt.Errorf("sqlparse: expected projection, got %q at %d", t.Text, t.Pos)
+	}
+	fn := parseFunc(t.Text)
+	if fn != FuncNone && p.toks[p.pos+1].Kind == TokSymbol && p.toks[p.pos+1].Text == "(" {
+		p.pos += 2 // func name + (
+		item := SelectItem{Func: fn}
+		if p.accept(TokSymbol, "*") {
+			if fn != FuncCount {
+				return SelectItem{}, fmt.Errorf("sqlparse: %s(*) is not supported", fn)
+			}
+		} else {
+			col, err := p.qualifiedColumn()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Table, item.Column = splitQualified(col)
+		}
+		if err := p.expect(TokSymbol, ")"); err != nil {
+			return SelectItem{}, err
+		}
+		if p.acceptKeyword("AS") {
+			alias, err := p.ident()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Alias = alias
+		}
+		return item, nil
+	}
+	col, err := p.qualifiedColumn()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{}
+	item.Table, item.Column = splitQualified(col)
+	if p.acceptKeyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	}
+	return item, nil
+}
+
+func splitQualified(col string) (table, column string) {
+	if i := strings.IndexByte(col, '.'); i >= 0 {
+		return col[:i], col[i+1:]
+	}
+	return "", col
+}
+
+func parseFunc(name string) FuncKind {
+	switch strings.ToUpper(name) {
+	case "COUNT":
+		return FuncCount
+	case "SUM":
+		return FuncSum
+	case "MIN":
+		return FuncMin
+	case "MAX":
+		return FuncMax
+	case "AVG":
+		return FuncAvg
+	default:
+		return FuncNone
+	}
+}
+
+// tryParseWindow parses TUMBLE(col, size) or HOP(col, slide, size); sizes
+// are millisecond literals.
+func (p *parser) tryParseWindow() (*WindowSpec, bool, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return nil, false, nil
+	}
+	upper := strings.ToUpper(t.Text)
+	if upper != "TUMBLE" && upper != "HOP" {
+		return nil, false, nil
+	}
+	p.pos++
+	if err := p.expect(TokSymbol, "("); err != nil {
+		return nil, false, err
+	}
+	col, err := p.qualifiedColumn()
+	if err != nil {
+		return nil, false, err
+	}
+	nums := []int64{}
+	for p.accept(TokSymbol, ",") {
+		nt := p.next()
+		if nt.Kind != TokNumber {
+			return nil, false, fmt.Errorf("sqlparse: window size must be a number, got %q", nt.Text)
+		}
+		v, err := strconv.ParseInt(nt.Text, 10, 64)
+		if err != nil || v <= 0 {
+			return nil, false, fmt.Errorf("sqlparse: bad window size %q", nt.Text)
+		}
+		nums = append(nums, v)
+	}
+	if err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, false, err
+	}
+	w := &WindowSpec{TimeColumn: col}
+	switch {
+	case upper == "TUMBLE" && len(nums) == 1:
+		w.SizeMs, w.SlideMs = nums[0], nums[0]
+	case upper == "HOP" && len(nums) == 2:
+		w.SlideMs, w.SizeMs = nums[0], nums[1]
+	default:
+		return nil, false, fmt.Errorf("sqlparse: %s expects %d size arguments", upper, map[string]int{"TUMBLE": 1, "HOP": 2}[upper])
+	}
+	return w, true, nil
+}
+
+func (p *parser) parseTableRef() (*TableRef, error) {
+	ref, err := p.parseTableAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("JOIN") {
+		right, err := p.parseTableAtom()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		leftCol, err := p.qualifiedColumn()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokSymbol, "="); err != nil {
+			return nil, err
+		}
+		rightCol, err := p.qualifiedColumn()
+		if err != nil {
+			return nil, err
+		}
+		join := &JoinSpec{Left: ref, Right: right, LeftCol: leftCol, RightCol: rightCol}
+		if p.acceptKeyword("WITHIN") {
+			nt := p.next()
+			if nt.Kind != TokNumber {
+				return nil, fmt.Errorf("sqlparse: WITHIN expects milliseconds, got %q", nt.Text)
+			}
+			v, err := strconv.ParseInt(nt.Text, 10, 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("sqlparse: bad WITHIN %q", nt.Text)
+			}
+			join.WithinMs = v
+		}
+		ref = &TableRef{Join: join}
+	}
+	return ref, nil
+}
+
+func (p *parser) parseTableAtom() (*TableRef, error) {
+	if p.accept(TokSymbol, "(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		ref := &TableRef{Sub: sub}
+		p.acceptKeyword("AS")
+		if p.peek().Kind == TokIdent && !isReserved(p.peek().Text) {
+			alias, _ := p.ident()
+			ref.Alias = alias
+		}
+		return ref, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ref := &TableRef{Name: name}
+	if p.accept(TokSymbol, ".") {
+		second, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ref.Qualifier = name
+		ref.Name = second
+	}
+	p.acceptKeyword("AS")
+	if p.peek().Kind == TokIdent && !isReserved(p.peek().Text) {
+		alias, _ := p.ident()
+		ref.Alias = alias
+	}
+	return ref, nil
+}
+
+func (p *parser) parsePredicates() ([]Predicate, error) {
+	var preds []Predicate
+	for {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pred)
+		if !p.acceptKeyword("AND") {
+			break
+		}
+	}
+	return preds, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	col, err := p.qualifiedColumn()
+	if err != nil {
+		return Predicate{}, err
+	}
+	pred := Predicate{}
+	pred.Table, pred.Column = splitQualified(col)
+	if p.acceptKeyword("IN") {
+		if err := p.expect(TokSymbol, "("); err != nil {
+			return Predicate{}, err
+		}
+		pred.Op = CmpIn
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return Predicate{}, err
+			}
+			pred.Values = append(pred.Values, v)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if err := p.expect(TokSymbol, ")"); err != nil {
+			return Predicate{}, err
+		}
+		return pred, nil
+	}
+	if p.acceptKeyword("BETWEEN") {
+		pred.Op = CmpBetween
+		lo, err := p.literal()
+		if err != nil {
+			return Predicate{}, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return Predicate{}, err
+		}
+		hi, err := p.literal()
+		if err != nil {
+			return Predicate{}, err
+		}
+		pred.Value, pred.Value2 = lo, hi
+		return pred, nil
+	}
+	t := p.next()
+	if t.Kind != TokSymbol {
+		return Predicate{}, fmt.Errorf("sqlparse: expected comparison, got %q at %d", t.Text, t.Pos)
+	}
+	switch t.Text {
+	case "=":
+		pred.Op = CmpEq
+	case "!=":
+		pred.Op = CmpNe
+	case "<":
+		pred.Op = CmpLt
+	case "<=":
+		pred.Op = CmpLe
+	case ">":
+		pred.Op = CmpGt
+	case ">=":
+		pred.Op = CmpGe
+	default:
+		return Predicate{}, fmt.Errorf("sqlparse: unsupported operator %q at %d", t.Text, t.Pos)
+	}
+	v, err := p.literal()
+	if err != nil {
+		return Predicate{}, err
+	}
+	pred.Value = v
+	return pred, nil
+}
+
+func (p *parser) literal() (any, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokNumber:
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlparse: bad number %q", t.Text)
+		}
+		return f, nil
+	case TokString:
+		return t.Text, nil
+	case TokIdent:
+		switch strings.ToUpper(t.Text) {
+		case "TRUE":
+			return true, nil
+		case "FALSE":
+			return false, nil
+		}
+	}
+	return nil, fmt.Errorf("sqlparse: expected literal, got %q at %d", t.Text, t.Pos)
+}

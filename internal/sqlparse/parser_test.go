@@ -1,0 +1,180 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	s := mustParse(t, "SELECT city, fare AS f FROM trips WHERE fare > 10 LIMIT 5")
+	if len(s.Items) != 2 || s.Items[0].Column != "city" || s.Items[1].Alias != "f" {
+		t.Errorf("items = %+v", s.Items)
+	}
+	if s.From.Name != "trips" {
+		t.Errorf("from = %+v", s.From)
+	}
+	if len(s.Where) != 1 || s.Where[0].Op != CmpGt || s.Where[0].Value.(float64) != 10 {
+		t.Errorf("where = %+v", s.Where)
+	}
+	if s.Limit != 5 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM t")
+	if len(s.Items) != 1 || !s.Items[0].Star {
+		t.Errorf("items = %+v", s.Items)
+	}
+}
+
+func TestParseAggregatesAndGroupBy(t *testing.T) {
+	s := mustParse(t, "SELECT city, COUNT(*), SUM(fare) AS total, AVG(fare) FROM trips GROUP BY city ORDER BY total DESC LIMIT 10")
+	if !s.HasAggregates() {
+		t.Error("should have aggregates")
+	}
+	if s.Items[1].Func != FuncCount || s.Items[1].Column != "" {
+		t.Errorf("count item = %+v", s.Items[1])
+	}
+	if s.Items[2].Func != FuncSum || s.Items[2].OutputName() != "total" {
+		t.Errorf("sum item = %+v", s.Items[2])
+	}
+	if s.Items[3].OutputName() != "avg_fare" {
+		t.Errorf("avg output name = %q", s.Items[3].OutputName())
+	}
+	if len(s.GroupBy) != 1 || s.GroupBy[0] != "city" {
+		t.Errorf("group by = %v", s.GroupBy)
+	}
+	if len(s.OrderBy) != 1 || !s.OrderBy[0].Desc {
+		t.Errorf("order by = %+v", s.OrderBy)
+	}
+}
+
+func TestParseWindowTumble(t *testing.T) {
+	s := mustParse(t, "SELECT city, COUNT(*) FROM trips GROUP BY city, TUMBLE(ts, 60000)")
+	if s.Window == nil || s.Window.SizeMs != 60000 || s.Window.SlideMs != 60000 || s.Window.TimeColumn != "ts" {
+		t.Errorf("window = %+v", s.Window)
+	}
+}
+
+func TestParseWindowHop(t *testing.T) {
+	s := mustParse(t, "SELECT COUNT(*) FROM trips GROUP BY HOP(ts, 30000, 60000)")
+	if s.Window == nil || s.Window.SizeMs != 60000 || s.Window.SlideMs != 30000 {
+		t.Errorf("window = %+v", s.Window)
+	}
+}
+
+func TestParsePredicateKinds(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM t WHERE a = 'x' AND b != 2 AND c <= 3 AND d IN ('p', 'q') AND e BETWEEN 1 AND 5 AND f = true AND g = -4")
+	if len(s.Where) != 7 {
+		t.Fatalf("predicates = %d", len(s.Where))
+	}
+	if s.Where[0].Value != "x" || s.Where[1].Op != CmpNe || s.Where[2].Op != CmpLe {
+		t.Errorf("preds = %+v", s.Where[:3])
+	}
+	if len(s.Where[3].Values) != 2 {
+		t.Errorf("in = %+v", s.Where[3])
+	}
+	if s.Where[4].Value.(float64) != 1 || s.Where[4].Value2.(float64) != 5 {
+		t.Errorf("between = %+v", s.Where[4])
+	}
+	if s.Where[5].Value != true {
+		t.Errorf("bool literal = %+v", s.Where[5])
+	}
+	if s.Where[6].Value.(float64) != -4 {
+		t.Errorf("negative literal = %+v", s.Where[6])
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	s := mustParse(t, "SELECT a.city, b.label FROM preds AS a JOIN labels AS b ON a.model = b.model WITHIN 1000 WHERE a.city = 'sf'")
+	j := s.From.Join
+	if j == nil {
+		t.Fatal("no join parsed")
+	}
+	if j.Left.RefName() != "a" || j.Right.RefName() != "b" {
+		t.Errorf("join refs = %s/%s", j.Left.RefName(), j.Right.RefName())
+	}
+	if j.LeftCol != "a.model" || j.RightCol != "b.model" || j.WithinMs != 1000 {
+		t.Errorf("join = %+v", j)
+	}
+	if s.Items[0].Table != "a" || s.Items[0].Column != "city" {
+		t.Errorf("qualified item = %+v", s.Items[0])
+	}
+	if s.Where[0].Table != "a" {
+		t.Errorf("qualified predicate = %+v", s.Where[0])
+	}
+}
+
+func TestParseSubquery(t *testing.T) {
+	s := mustParse(t, "SELECT city FROM (SELECT city, COUNT(*) AS n FROM trips GROUP BY city) t WHERE n > 10")
+	if s.From.Sub == nil || s.From.Alias != "t" {
+		t.Fatalf("subquery = %+v", s.From)
+	}
+	if len(s.From.Sub.GroupBy) != 1 {
+		t.Errorf("inner group by = %v", s.From.Sub.GroupBy)
+	}
+}
+
+func TestParseQualifiedTable(t *testing.T) {
+	s := mustParse(t, "SELECT x FROM pinot.orders")
+	if s.From.Qualifier != "pinot" || s.From.Name != "orders" {
+		t.Errorf("from = %+v", s.From)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"UPDATE t SET x = 1",
+		"SELECT * FROM t WHERE a ~ 1",
+		"SELECT * FROM t WHERE a =",
+		"SELECT SUM(*) FROM t",
+		"SELECT * FROM t GROUP BY TUMBLE(ts)",
+		"SELECT * FROM t GROUP BY HOP(ts, 10)",
+		"SELECT * FROM t LIMIT x",
+		"SELECT * FROM t trailing garbage extra",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT a b c FROM t",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM t WHERE a = 'it''s'")
+	if s.Where[0].Value != "it's" {
+		t.Errorf("escaped string = %q", s.Where[0].Value)
+	}
+}
+
+func TestStmtString(t *testing.T) {
+	s := mustParse(t, "SELECT city, COUNT(*) FROM trips WHERE fare > 1 GROUP BY city LIMIT 3")
+	str := s.String()
+	for _, want := range []string{"SELECT", "city", "COUNT", "FROM trips", "LIMIT 3"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	s := mustParse(t, "select City from Trips where Fare >= 2 group by City order by City asc limit 1")
+	if s.From.Name != "Trips" || len(s.GroupBy) != 1 {
+		t.Errorf("case-insensitive parse failed: %+v", s)
+	}
+}

@@ -1,0 +1,175 @@
+// Package chaperone implements the Chaperone end-to-end auditing service of
+// §4.1.4: every stage of a data pipeline (regional Kafka, aggregate Kafka,
+// Flink, Pinot, Hive, ...) reports per-tumbling-window message statistics,
+// and the auditor compares the collected statistics across stages,
+// generating alerts when a mismatch (data loss or duplication) is detected.
+//
+// Counting is keyed by the message's application timestamp (the
+// stream.HeaderAppTime audit header stamped by producers), so the same
+// message counts into the same window at every stage regardless of when the
+// stage processed it.
+package chaperone
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// WindowStats holds one stage's statistics for one tumbling window.
+type WindowStats struct {
+	WindowStart int64 // ms since epoch, inclusive
+	Count       int64 // total messages observed
+	Unique      int64 // distinct message UUIDs observed
+}
+
+// Alert reports a cross-stage mismatch for one window.
+type Alert struct {
+	WindowStart int64
+	StageA      string
+	StageB      string
+	CountA      int64
+	CountB      int64
+}
+
+// String formats the alert for logs.
+func (a Alert) String() string {
+	return fmt.Sprintf("chaperone: window %d mismatch: %s=%d %s=%d",
+		a.WindowStart, a.StageA, a.CountA, a.StageB, a.CountB)
+}
+
+// Auditor collects per-stage window statistics and detects mismatches. It is
+// safe for concurrent use — stages report from independent goroutines.
+type Auditor struct {
+	window time.Duration
+
+	mu     sync.Mutex
+	stages map[string]map[int64]*windowAgg // stage -> windowStart -> agg
+	order  []string                        // stage registration order (pipeline order)
+}
+
+type windowAgg struct {
+	count int64
+	uuids map[string]bool
+}
+
+// NewAuditor creates an auditor with the given tumbling window size.
+func NewAuditor(window time.Duration) *Auditor {
+	return &Auditor{
+		window: window,
+		stages: make(map[string]map[int64]*windowAgg),
+	}
+}
+
+// RegisterStage declares a pipeline stage. Stages are compared pairwise in
+// registration order (stage i vs stage i+1), mirroring the replication
+// pipeline's upstream→downstream flow.
+func (a *Auditor) RegisterStage(name string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.stages[name]; !ok {
+		a.stages[name] = make(map[int64]*windowAgg)
+		a.order = append(a.order, name)
+	}
+}
+
+// windowStart truncates an app timestamp to its tumbling window start.
+func (a *Auditor) windowStart(appTS int64) int64 {
+	w := a.window.Milliseconds()
+	return appTS - appTS%w
+}
+
+// Observe records one message at a stage. The message's application
+// timestamp header decides its window; messages without the header fall
+// back to the event timestamp.
+func (a *Auditor) Observe(stage string, m stream.Message) {
+	appTS := m.Timestamp
+	if v := m.HeaderOr(stream.HeaderAppTime, ""); v != "" {
+		if parsed, err := strconv.ParseInt(v, 10, 64); err == nil {
+			appTS = parsed
+		}
+	}
+	ws := a.windowStart(appTS)
+	uuid := m.HeaderOr(stream.HeaderUUID, "")
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	windows, ok := a.stages[stage]
+	if !ok {
+		windows = make(map[int64]*windowAgg)
+		a.stages[stage] = windows
+		a.order = append(a.order, stage)
+	}
+	agg, ok := windows[ws]
+	if !ok {
+		agg = &windowAgg{uuids: make(map[string]bool)}
+		windows[ws] = agg
+	}
+	agg.count++
+	if uuid != "" {
+		agg.uuids[uuid] = true
+	}
+}
+
+// Stats returns a stage's statistics sorted by window start.
+func (a *Auditor) Stats(stage string) []WindowStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	windows := a.stages[stage]
+	out := make([]WindowStats, 0, len(windows))
+	for ws, agg := range windows {
+		out = append(out, WindowStats{WindowStart: ws, Count: agg.count, Unique: int64(len(agg.uuids))})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].WindowStart < out[j].WindowStart })
+	return out
+}
+
+// Audit compares unique-message counts between consecutive stages for every
+// window closed strictly before the horizon timestamp (open windows would
+// produce false positives) and returns an alert per mismatch.
+func (a *Auditor) Audit(horizon int64) []Alert {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var alerts []Alert
+	horizonWindow := a.windowStart(horizon)
+	for i := 0; i+1 < len(a.order); i++ {
+		up, down := a.order[i], a.order[i+1]
+		windows := make(map[int64]bool)
+		for ws := range a.stages[up] {
+			windows[ws] = true
+		}
+		for ws := range a.stages[down] {
+			windows[ws] = true
+		}
+		sorted := make([]int64, 0, len(windows))
+		for ws := range windows {
+			if ws < horizonWindow {
+				sorted = append(sorted, ws)
+			}
+		}
+		sort.Slice(sorted, func(x, y int) bool { return sorted[x] < sorted[y] })
+		for _, ws := range sorted {
+			var cu, cd int64
+			if agg, ok := a.stages[up][ws]; ok {
+				cu = int64(len(agg.uuids))
+			}
+			if agg, ok := a.stages[down][ws]; ok {
+				cd = int64(len(agg.uuids))
+			}
+			if cu != cd {
+				alerts = append(alerts, Alert{WindowStart: ws, StageA: up, StageB: down, CountA: cu, CountB: cd})
+			}
+		}
+	}
+	return alerts
+}
+
+// StageTap wraps the auditor as a convenient per-stage observation callback
+// for wiring into consumers and replicators.
+func (a *Auditor) StageTap(stage string) func(stream.Message) {
+	a.RegisterStage(stage)
+	return func(m stream.Message) { a.Observe(stage, m) }
+}

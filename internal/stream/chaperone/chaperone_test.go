@@ -1,0 +1,176 @@
+package chaperone
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+func msg(uuid string, appTS int64) stream.Message {
+	return stream.Message{
+		Timestamp: appTS,
+		Headers: map[string]string{
+			stream.HeaderUUID:    uuid,
+			stream.HeaderAppTime: fmt.Sprintf("%d", appTS),
+		},
+	}
+}
+
+func TestWindowing(t *testing.T) {
+	a := NewAuditor(time.Minute)
+	a.RegisterStage("regional")
+	base := int64(1700000000000)
+	base -= base % 60000 // align to window start
+	for i := 0; i < 10; i++ {
+		a.Observe("regional", msg(fmt.Sprintf("u%d", i), base+int64(i)*1000))
+	}
+	// Three more in the next window.
+	for i := 0; i < 3; i++ {
+		a.Observe("regional", msg(fmt.Sprintf("n%d", i), base+60000+int64(i)))
+	}
+	stats := a.Stats("regional")
+	if len(stats) != 2 {
+		t.Fatalf("windows = %d, want 2", len(stats))
+	}
+	if stats[0].Count != 10 || stats[0].Unique != 10 {
+		t.Errorf("window 0 = %+v", stats[0])
+	}
+	if stats[1].Count != 3 {
+		t.Errorf("window 1 = %+v", stats[1])
+	}
+}
+
+func TestDuplicatesCountedOnceInUnique(t *testing.T) {
+	a := NewAuditor(time.Minute)
+	base := int64(1700000000000)
+	for i := 0; i < 5; i++ {
+		a.Observe("s", msg("same-uuid", base))
+	}
+	stats := a.Stats("s")
+	if stats[0].Count != 5 || stats[0].Unique != 1 {
+		t.Errorf("stats = %+v, want count 5 unique 1", stats[0])
+	}
+}
+
+func TestAuditDetectsLoss(t *testing.T) {
+	a := NewAuditor(time.Minute)
+	a.RegisterStage("regional")
+	a.RegisterStage("aggregate")
+	base := int64(1700000000000)
+	base -= base % 60000
+	for i := 0; i < 10; i++ {
+		m := msg(fmt.Sprintf("u%d", i), base+int64(i))
+		a.Observe("regional", m)
+		if i != 3 { // one message lost in replication
+			a.Observe("aggregate", m)
+		}
+	}
+	alerts := a.Audit(base + 2*60000) // window closed
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %v, want 1", alerts)
+	}
+	al := alerts[0]
+	if al.CountA != 10 || al.CountB != 9 || al.StageA != "regional" {
+		t.Errorf("alert = %+v", al)
+	}
+	if !strings.Contains(al.String(), "mismatch") {
+		t.Errorf("alert string = %q", al.String())
+	}
+}
+
+func TestAuditIgnoresOpenWindows(t *testing.T) {
+	a := NewAuditor(time.Minute)
+	a.RegisterStage("up")
+	a.RegisterStage("down")
+	base := int64(1700000000000)
+	base -= base % 60000
+	a.Observe("up", msg("u1", base))
+	// Downstream hasn't seen it yet, but the window is still open: horizon
+	// inside the same window → no alert.
+	if alerts := a.Audit(base + 30000); len(alerts) != 0 {
+		t.Errorf("open-window alerts = %v", alerts)
+	}
+	// After the window closes the mismatch is real.
+	if alerts := a.Audit(base + 120000); len(alerts) != 1 {
+		t.Errorf("closed-window alerts = %v", alerts)
+	}
+}
+
+func TestAuditCleanPipeline(t *testing.T) {
+	a := NewAuditor(time.Minute)
+	stages := []string{"regional", "aggregate", "flink", "pinot"}
+	for _, s := range stages {
+		a.RegisterStage(s)
+	}
+	base := int64(1700000000000)
+	base -= base % 60000
+	for i := 0; i < 100; i++ {
+		m := msg(fmt.Sprintf("u%d", i), base+int64(i)*10)
+		for _, s := range stages {
+			a.Observe(s, m)
+		}
+	}
+	if alerts := a.Audit(base + 10*60000); len(alerts) != 0 {
+		t.Errorf("clean pipeline alerts = %v", alerts)
+	}
+}
+
+func TestDuplicationDoesNotAlertOnUnique(t *testing.T) {
+	// Replication retries duplicate deliveries; unique counts still match.
+	a := NewAuditor(time.Minute)
+	a.RegisterStage("up")
+	a.RegisterStage("down")
+	base := int64(1700000000000)
+	base -= base % 60000
+	for i := 0; i < 10; i++ {
+		m := msg(fmt.Sprintf("u%d", i), base)
+		a.Observe("up", m)
+		a.Observe("down", m)
+		if i < 3 {
+			a.Observe("down", m) // duplicates
+		}
+	}
+	if alerts := a.Audit(base + 120000); len(alerts) != 0 {
+		t.Errorf("duplicate delivery should not alert on unique counts: %v", alerts)
+	}
+}
+
+func TestStageTapAndConcurrency(t *testing.T) {
+	a := NewAuditor(time.Minute)
+	tap1 := a.StageTap("s1")
+	tap2 := a.StageTap("s2")
+	base := int64(1700000000000)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m := msg(fmt.Sprintf("w%d-u%d", w, i), base)
+				tap1(m)
+				tap2(m)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s1 := a.Stats("s1")
+	if s1[0].Unique != 400 {
+		t.Errorf("unique = %d, want 400", s1[0].Unique)
+	}
+	if alerts := a.Audit(base + 10*60000); len(alerts) != 0 {
+		t.Errorf("alerts = %v", alerts)
+	}
+}
+
+func TestObserveWithoutHeadersFallsBack(t *testing.T) {
+	a := NewAuditor(time.Minute)
+	a.Observe("s", stream.Message{Timestamp: 1700000000000})
+	stats := a.Stats("s")
+	if len(stats) != 1 || stats[0].Count != 1 || stats[0].Unique != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}

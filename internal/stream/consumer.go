@@ -1,0 +1,326 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ResetPolicy selects where a consumer group starts reading a partition with
+// no committed offset.
+type ResetPolicy int
+
+const (
+	// ResetEarliest starts at the low watermark (all retained data).
+	ResetEarliest ResetPolicy = iota
+	// ResetLatest starts at the high watermark (only new data).
+	ResetLatest
+)
+
+// groupState is the broker-side coordinator state for one consumer group.
+type groupState struct {
+	mu            sync.Mutex
+	name          string
+	generation    int64
+	nextMember    int64
+	subscriptions map[string][]string // memberID -> topics
+	assignments   map[string][]TopicPartition
+	committed     map[TopicPartition]int64
+}
+
+func (c *Cluster) group(name string) *groupState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.groups[name]
+	if !ok {
+		g = &groupState{
+			name:          name,
+			subscriptions: make(map[string][]string),
+			assignments:   make(map[string][]TopicPartition),
+			committed:     make(map[TopicPartition]int64),
+		}
+		c.groups[name] = g
+	}
+	return g
+}
+
+// rebalanceLocked recomputes range assignments: for each topic, its
+// partitions are split into contiguous ranges over the subscribed members in
+// member-id order. Members beyond the partition count receive nothing —
+// the open-source consumer-group parallelism cap the consumer proxy
+// (§4.1.3) exists to remove.
+func (g *groupState) rebalanceLocked(c *Cluster) {
+	g.generation++
+	g.assignments = make(map[string][]TopicPartition, len(g.subscriptions))
+	members := make([]string, 0, len(g.subscriptions))
+	for m := range g.subscriptions {
+		members = append(members, m)
+		g.assignments[m] = nil
+	}
+	sort.Strings(members)
+	topicSubs := make(map[string][]string)
+	for _, m := range members {
+		for _, t := range g.subscriptions[m] {
+			topicSubs[t] = append(topicSubs[t], m)
+		}
+	}
+	for topic, subs := range topicSubs {
+		n, err := c.Partitions(topic)
+		if err != nil {
+			continue
+		}
+		per := n / len(subs)
+		extra := n % len(subs)
+		next := 0
+		for i, m := range subs {
+			count := per
+			if i < extra {
+				count++
+			}
+			for j := 0; j < count && next < n; j++ {
+				g.assignments[m] = append(g.assignments[m], TopicPartition{Topic: topic, Partition: next})
+				next++
+			}
+		}
+	}
+}
+
+// Consumer reads topics as a member of a consumer group, with broker-side
+// committed offsets. It is NOT safe for concurrent use; each goroutine
+// should own its consumer (matching the Kafka client contract).
+type Consumer struct {
+	cluster *Cluster
+	g       *groupState
+	id      string
+	topics  []string
+	reset   ResetPolicy
+
+	generation int64
+	assigned   []TopicPartition
+	positions  map[TopicPartition]int64
+	nextIdx    int // round-robin cursor over assigned partitions
+	closed     bool
+}
+
+// NewConsumer joins the group, subscribing to the given topics, and triggers
+// a rebalance. The default reset policy is ResetEarliest.
+func (c *Cluster) NewConsumer(group string, topics ...string) *Consumer {
+	g := c.group(group)
+	g.mu.Lock()
+	g.nextMember++
+	id := fmt.Sprintf("%s-member-%d", group, g.nextMember)
+	g.subscriptions[id] = append([]string(nil), topics...)
+	g.rebalanceLocked(c)
+	g.mu.Unlock()
+	return &Consumer{
+		cluster:   c,
+		g:         g,
+		id:        id,
+		topics:    topics,
+		positions: make(map[TopicPartition]int64),
+	}
+}
+
+// SetResetPolicy changes where unpositioned partitions start. It affects
+// partitions first read after the call.
+func (k *Consumer) SetResetPolicy(p ResetPolicy) { k.reset = p }
+
+// ID returns the group member id.
+func (k *Consumer) ID() string { return k.id }
+
+// Assignment returns the partitions currently assigned to this member.
+func (k *Consumer) Assignment() []TopicPartition {
+	k.refreshAssignment()
+	return append([]TopicPartition(nil), k.assigned...)
+}
+
+func (k *Consumer) refreshAssignment() {
+	k.g.mu.Lock()
+	gen := k.g.generation
+	if gen == k.generation {
+		k.g.mu.Unlock()
+		return
+	}
+	assigned := append([]TopicPartition(nil), k.g.assignments[k.id]...)
+	committed := make(map[TopicPartition]int64, len(assigned))
+	for _, tp := range assigned {
+		if off, ok := k.g.committed[tp]; ok {
+			committed[tp] = off
+		}
+	}
+	k.g.mu.Unlock()
+
+	k.generation = gen
+	k.assigned = assigned
+	k.nextIdx = 0
+	positions := make(map[TopicPartition]int64, len(assigned))
+	for _, tp := range assigned {
+		if pos, ok := k.positions[tp]; ok {
+			positions[tp] = pos // kept from before rebalance
+			continue
+		}
+		if off, ok := committed[tp]; ok {
+			positions[tp] = off
+			continue
+		}
+		low, high, err := k.cluster.Watermarks(tp)
+		if err != nil {
+			continue
+		}
+		if k.reset == ResetLatest {
+			positions[tp] = high
+		} else {
+			positions[tp] = low
+		}
+	}
+	k.positions = positions
+}
+
+// Poll returns up to max messages, waiting up to maxWait for data. It cycles
+// fairly over assigned partitions. An empty return means no data arrived
+// within maxWait.
+func (k *Consumer) Poll(maxWait time.Duration, max int) []Message {
+	if k.closed || max <= 0 {
+		return nil
+	}
+	deadline := k.cluster.clock().Add(maxWait)
+	for {
+		k.refreshAssignment()
+		if len(k.assigned) > 0 {
+			var out []Message
+			for range k.assigned {
+				tp := k.assigned[k.nextIdx%len(k.assigned)]
+				k.nextIdx++
+				pos := k.positions[tp]
+				msgs, err := k.cluster.Fetch(tp, pos, max-len(out))
+				if err != nil {
+					// Retention may have moved past our position: skip ahead
+					// rather than stall (matching auto.offset.reset).
+					low, high, werr := k.cluster.Watermarks(tp)
+					if werr == nil && pos < low {
+						k.positions[tp] = low
+					} else if werr == nil && pos > high {
+						k.positions[tp] = high
+					}
+					continue
+				}
+				if len(msgs) > 0 {
+					k.positions[tp] = msgs[len(msgs)-1].Offset + 1
+					out = append(out, msgs...)
+				}
+				if len(out) >= max {
+					return out
+				}
+			}
+			if len(out) > 0 {
+				return out
+			}
+		}
+		if !k.cluster.clock().Before(deadline) {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Commit persists the consumer's current positions as the group's committed
+// offsets for its assigned partitions.
+func (k *Consumer) Commit() {
+	k.g.mu.Lock()
+	defer k.g.mu.Unlock()
+	for tp, pos := range k.positions {
+		k.g.committed[tp] = pos
+	}
+}
+
+// CommitOffset persists an explicit offset for one partition.
+func (k *Consumer) CommitOffset(tp TopicPartition, offset int64) {
+	k.g.mu.Lock()
+	k.g.committed[tp] = offset
+	k.g.mu.Unlock()
+}
+
+// Seek moves the consumer's read position for an assigned partition.
+func (k *Consumer) Seek(tp TopicPartition, offset int64) {
+	k.refreshAssignment()
+	k.positions[tp] = offset
+}
+
+// Position returns the next offset the consumer will read for tp.
+func (k *Consumer) Position(tp TopicPartition) int64 {
+	k.refreshAssignment()
+	return k.positions[tp]
+}
+
+// Lag returns the total unconsumed backlog across assigned partitions,
+// measured against committed positions in the consumer's local view.
+func (k *Consumer) Lag() int64 {
+	k.refreshAssignment()
+	var lag int64
+	for _, tp := range k.assigned {
+		_, high, err := k.cluster.Watermarks(tp)
+		if err != nil {
+			continue
+		}
+		if d := high - k.positions[tp]; d > 0 {
+			lag += d
+		}
+	}
+	return lag
+}
+
+// Close leaves the group, triggering a rebalance of its partitions to the
+// remaining members.
+func (k *Consumer) Close() {
+	if k.closed {
+		return
+	}
+	k.closed = true
+	k.g.mu.Lock()
+	delete(k.g.subscriptions, k.id)
+	delete(k.g.assignments, k.id)
+	k.g.rebalanceLocked(k.cluster)
+	k.g.mu.Unlock()
+}
+
+// Committed returns the group's committed offset for tp (0 if none).
+func (c *Cluster) Committed(group string, tp TopicPartition) int64 {
+	g := c.group(group)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.committed[tp]
+}
+
+// CommitGroupOffset sets a group's committed offset directly — used by the
+// cross-region offset sync service (§6) to prime a passive region.
+func (c *Cluster) CommitGroupOffset(group string, tp TopicPartition, offset int64) {
+	g := c.group(group)
+	g.mu.Lock()
+	g.committed[tp] = offset
+	g.mu.Unlock()
+}
+
+// GroupLag returns the total backlog of a group over a topic, measured from
+// committed offsets to high watermarks.
+func (c *Cluster) GroupLag(group, topic string) int64 {
+	n, err := c.Partitions(topic)
+	if err != nil {
+		return 0
+	}
+	g := c.group(group)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var lag int64
+	for i := 0; i < n; i++ {
+		tp := TopicPartition{Topic: topic, Partition: i}
+		_, high, err := c.Watermarks(tp)
+		if err != nil {
+			continue
+		}
+		if d := high - g.committed[tp]; d > 0 {
+			lag += d
+		}
+	}
+	return lag
+}

@@ -1,0 +1,319 @@
+// Package federation implements Uber's federated Kafka cluster setup
+// (§4.1.1): many physical clusters presented to producers and consumers as
+// one "logical cluster". A metadata server aggregates cluster/topic metadata
+// in a central place and transparently routes client requests to the actual
+// physical cluster.
+//
+// Federation provides three properties the paper calls out:
+//
+//   - availability: a single-cluster failure does not take down the logical
+//     cluster; unaffected topics keep working;
+//   - scalability: when a cluster is "full" (the empirical sweet spot is
+//     < 150 nodes), new topics land on newly added clusters instead of
+//     growing the hot cluster;
+//   - topic management: a topic can be migrated to another physical cluster
+//     while live consumers transparently drain the old cluster and continue
+//     on the new one, without an application restart.
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// Errors returned by the federation layer.
+var (
+	// ErrNoCapacity is returned when every cluster is at its topic quota.
+	ErrNoCapacity = errors.New("federation: no cluster has capacity")
+	// ErrUnknownCluster is returned for operations naming an unregistered
+	// physical cluster.
+	ErrUnknownCluster = errors.New("federation: unknown cluster")
+)
+
+// topicMeta is the metadata server's record for one logical topic.
+type topicMeta struct {
+	cluster string
+	cfg     stream.TopicConfig
+	// migrationEpoch increments on every migration; consumers use it to
+	// detect redirection.
+	migrationEpoch int64
+	// drainHigh, set during migration, is the old cluster's high watermark
+	// per partition at switchover: consumers finish the old log up to these
+	// offsets before redirecting.
+	prevCluster string
+	drainHigh   []int64
+}
+
+// Federation is the metadata server plus routing layer. It satisfies
+// stream.ProducerTarget, so a stream.Producer can write through it without
+// knowing physical clusters exist.
+type Federation struct {
+	mu            sync.RWMutex
+	clusters      map[string]*stream.Cluster
+	clusterOrder  []string // registration order, for placement scans
+	topics        map[string]*topicMeta
+	topicsQuota   func(nodes int) int
+	preferredLast bool
+}
+
+// TopicsPerNode is the default per-cluster topic quota multiplier: a cluster
+// with N nodes accepts up to N*TopicsPerNode topics before federation spills
+// new topics to the next cluster.
+const TopicsPerNode = 10
+
+// New creates an empty federation. Physical clusters are added with
+// AddCluster.
+func New() *Federation {
+	return &Federation{
+		clusters:    make(map[string]*stream.Cluster),
+		topics:      make(map[string]*topicMeta),
+		topicsQuota: func(nodes int) int { return nodes * TopicsPerNode },
+	}
+}
+
+// SetTopicQuota overrides the per-cluster topic capacity function (quota as
+// a function of the cluster's node count).
+func (f *Federation) SetTopicQuota(quota func(nodes int) int) {
+	f.mu.Lock()
+	f.topicsQuota = quota
+	f.mu.Unlock()
+}
+
+// AddCluster registers a physical cluster with the metadata server. Newly
+// added clusters become placement targets for new topics immediately.
+func (f *Federation) AddCluster(c *stream.Cluster) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.clusters[c.Name()]; ok {
+		return fmt.Errorf("federation: cluster %q already registered", c.Name())
+	}
+	f.clusters[c.Name()] = c
+	f.clusterOrder = append(f.clusterOrder, c.Name())
+	return nil
+}
+
+// Clusters returns the registered physical cluster names in registration
+// order.
+func (f *Federation) Clusters() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return append([]string(nil), f.clusterOrder...)
+}
+
+// topicCount counts logical topics currently placed on the cluster.
+func (f *Federation) topicCountLocked(cluster string) int {
+	n := 0
+	for _, tm := range f.topics {
+		if tm.cluster == cluster {
+			n++
+		}
+	}
+	return n
+}
+
+// CreateTopic places a new topic on the first registered cluster that is
+// up, and below its topic quota. This is the "new topics are seamlessly
+// created on the newly added clusters when a cluster is full" behavior.
+func (f *Federation) CreateTopic(name string, cfg stream.TopicConfig) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.topics[name]; ok {
+		return fmt.Errorf("%w: %s", stream.ErrTopicExists, name)
+	}
+	for _, cn := range f.clusterOrder {
+		c := f.clusters[cn]
+		if c.Down() {
+			continue
+		}
+		if f.topicCountLocked(cn) >= f.topicsQuota(c.Nodes()) {
+			continue
+		}
+		if err := c.CreateTopic(name, cfg); err != nil {
+			return err
+		}
+		f.topics[name] = &topicMeta{cluster: cn, cfg: cfg}
+		return nil
+	}
+	return ErrNoCapacity
+}
+
+// Topics returns all logical topic names, sorted.
+func (f *Federation) Topics() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	names := make([]string, 0, len(f.topics))
+	for n := range f.topics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the physical cluster currently hosting a topic — the
+// metadata-server query clients issue implicitly on every request.
+func (f *Federation) Lookup(topic string) (*stream.Cluster, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	tm, ok := f.topics[topic]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", stream.ErrTopicNotFound, topic)
+	}
+	return f.clusters[tm.cluster], nil
+}
+
+// Produce implements stream.ProducerTarget by routing to the hosting
+// physical cluster.
+func (f *Federation) Produce(topic string, msgs []stream.Message, rrHint int64) error {
+	c, err := f.Lookup(topic)
+	if err != nil {
+		return err
+	}
+	return c.Produce(topic, msgs, rrHint)
+}
+
+// MigrateTopic moves a topic to another physical cluster without consumer
+// restarts. The topic is created on the target, production atomically
+// switches to it, and the old cluster's high watermarks are recorded so
+// consumers drain the remaining old-cluster data before redirecting.
+func (f *Federation) MigrateTopic(topic, targetCluster string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tm, ok := f.topics[topic]
+	if !ok {
+		return fmt.Errorf("%w: %s", stream.ErrTopicNotFound, topic)
+	}
+	target, ok := f.clusters[targetCluster]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownCluster, targetCluster)
+	}
+	if tm.cluster == targetCluster {
+		return nil
+	}
+	if err := target.CreateTopic(topic, tm.cfg); err != nil && !errors.Is(err, stream.ErrTopicExists) {
+		return err
+	}
+	old := f.clusters[tm.cluster]
+	n, err := old.Partitions(topic)
+	if err != nil {
+		return err
+	}
+	drain := make([]int64, n)
+	for i := 0; i < n; i++ {
+		_, high, err := old.Watermarks(stream.TopicPartition{Topic: topic, Partition: i})
+		if err != nil {
+			return err
+		}
+		drain[i] = high
+	}
+	tm.prevCluster = tm.cluster
+	tm.drainHigh = drain
+	tm.cluster = targetCluster
+	tm.migrationEpoch++
+	return nil
+}
+
+// meta returns a snapshot of the topic's metadata.
+func (f *Federation) meta(topic string) (topicMeta, *stream.Cluster, *stream.Cluster, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	tm, ok := f.topics[topic]
+	if !ok {
+		return topicMeta{}, nil, nil, fmt.Errorf("%w: %s", stream.ErrTopicNotFound, topic)
+	}
+	var prev *stream.Cluster
+	if tm.prevCluster != "" {
+		prev = f.clusters[tm.prevCluster]
+	}
+	return *tm, f.clusters[tm.cluster], prev, nil
+}
+
+// Consumer is a federated consumer for one topic: it consumes through the
+// logical cluster, following migrations transparently. Not safe for
+// concurrent use (one goroutine per consumer, like stream.Consumer).
+type Consumer struct {
+	fed   *Federation
+	group string
+	topic string
+
+	epoch    int64
+	inner    *stream.Consumer
+	draining bool
+	drainHi  []int64
+}
+
+// NewConsumer creates a federated group consumer for one topic.
+func (f *Federation) NewConsumer(group, topic string) (*Consumer, error) {
+	tm, cur, _, err := f.meta(topic)
+	if err != nil {
+		return nil, err
+	}
+	return &Consumer{
+		fed:   f,
+		group: group,
+		topic: topic,
+		epoch: tm.migrationEpoch,
+		inner: cur.NewConsumer(group, topic),
+	}, nil
+}
+
+// Poll returns up to max messages, transparently redirecting to the new
+// physical cluster after a migration: it first drains the old cluster up to
+// the switchover watermarks, then reopens on the new cluster — all inside
+// the client library, with no application restart (§4.1.1).
+func (c *Consumer) Poll(maxWait time.Duration, max int) []stream.Message {
+	deadline := time.Now().Add(maxWait)
+	for {
+		tm, cur, _, err := c.fed.meta(c.topic)
+		if err != nil {
+			return nil
+		}
+		if tm.migrationEpoch != c.epoch && !c.draining {
+			// Migration detected: finish the old cluster first.
+			c.draining = true
+			c.drainHi = tm.drainHigh
+		}
+		if c.draining {
+			msgs := c.inner.Poll(10*time.Millisecond, max)
+			if len(msgs) > 0 {
+				return msgs
+			}
+			if c.drainedUpTo(c.drainHi) {
+				// Old log fully consumed: redirect to the new cluster.
+				c.inner.Commit()
+				c.inner.Close()
+				c.inner = cur.NewConsumer(c.group, c.topic)
+				c.epoch = tm.migrationEpoch
+				c.draining = false
+				continue
+			}
+		} else {
+			msgs := c.inner.Poll(10*time.Millisecond, max)
+			if len(msgs) > 0 {
+				return msgs
+			}
+		}
+		if !time.Now().Before(deadline) {
+			return nil
+		}
+	}
+}
+
+func (c *Consumer) drainedUpTo(high []int64) bool {
+	for _, tp := range c.inner.Assignment() {
+		if tp.Partition < len(high) && c.inner.Position(tp) < high[tp.Partition] {
+			return false
+		}
+	}
+	return true
+}
+
+// Commit persists the consumer's offsets on its current physical cluster.
+func (c *Consumer) Commit() { c.inner.Commit() }
+
+// Close leaves the group.
+func (c *Consumer) Close() { c.inner.Close() }

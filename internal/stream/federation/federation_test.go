@@ -1,0 +1,187 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+func newCluster(t *testing.T, name string, nodes int) *stream.Cluster {
+	t.Helper()
+	c, err := stream.NewCluster(stream.ClusterConfig{Name: name, Nodes: nodes, ReplicationInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestPlacementSpillsToNewCluster(t *testing.T) {
+	f := New()
+	f.SetTopicQuota(func(nodes int) int { return 2 }) // tiny quota for the test
+	c1 := newCluster(t, "c1", 3)
+	c2 := newCluster(t, "c2", 3)
+	if err := f.AddCluster(c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddCluster(c1); err == nil {
+		t.Error("duplicate cluster registration should fail")
+	}
+	if err := f.AddCluster(c2); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 4; i++ {
+		if err := f.CreateTopic(fmt.Sprintf("t%d", i), stream.TopicConfig{Partitions: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First two land on c1, next two spill to c2.
+	if len(c1.Topics()) != 2 || len(c2.Topics()) != 2 {
+		t.Errorf("placement: c1=%v c2=%v", c1.Topics(), c2.Topics())
+	}
+	// Quota exhausted everywhere.
+	if err := f.CreateTopic("overflow", stream.TopicConfig{Partitions: 1}); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("over-quota create = %v", err)
+	}
+	if got := f.Topics(); len(got) != 4 {
+		t.Errorf("Topics = %v", got)
+	}
+	if got := f.Clusters(); len(got) != 2 || got[0] != "c1" {
+		t.Errorf("Clusters = %v", got)
+	}
+}
+
+func TestPlacementSkipsDownCluster(t *testing.T) {
+	f := New()
+	c1 := newCluster(t, "c1", 3)
+	c2 := newCluster(t, "c2", 3)
+	f.AddCluster(c1)
+	f.AddCluster(c2)
+	c1.SetDown(true)
+	if err := f.CreateTopic("t", stream.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.HasTopic("t") {
+		t.Error("topic should have landed on the healthy cluster")
+	}
+}
+
+func TestLogicalProduceConsume(t *testing.T) {
+	f := New()
+	c1 := newCluster(t, "c1", 3)
+	f.AddCluster(c1)
+	if err := f.CreateTopic("orders", stream.TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Producer writes through the federation without knowing the cluster.
+	p := stream.NewProducer(f, "svc", "", nil)
+	for i := 0; i < 20; i++ {
+		if err := p.Produce("orders", nil, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	consumer, err := f.NewConsumer("g", "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumer.Close()
+	got := 0
+	for got < 20 {
+		msgs := consumer.Poll(time.Second, 10)
+		if len(msgs) == 0 {
+			t.Fatalf("stalled at %d", got)
+		}
+		got += len(msgs)
+	}
+	if _, err := f.NewConsumer("g", "ghost"); err == nil {
+		t.Error("consumer on unknown topic should fail")
+	}
+	if err := p.Produce("ghost", nil, []byte("x")); err == nil {
+		t.Error("produce to unknown topic should fail")
+	}
+}
+
+func TestSingleClusterFailureIsolation(t *testing.T) {
+	f := New()
+	f.SetTopicQuota(func(int) int { return 1 })
+	c1 := newCluster(t, "c1", 3)
+	c2 := newCluster(t, "c2", 3)
+	f.AddCluster(c1)
+	f.AddCluster(c2)
+	f.CreateTopic("a", stream.TopicConfig{Partitions: 1}) // on c1
+	f.CreateTopic("b", stream.TopicConfig{Partitions: 1}) // on c2
+	c1.SetDown(true)
+	p := stream.NewProducer(f, "svc", "", nil)
+	if err := p.Produce("a", nil, []byte("x")); err == nil {
+		t.Error("produce to topic on failed cluster should error")
+	}
+	if err := p.Produce("b", nil, []byte("x")); err != nil {
+		t.Errorf("topic on healthy cluster should work: %v", err)
+	}
+}
+
+func TestMigrationWithoutConsumerRestart(t *testing.T) {
+	f := New()
+	c1 := newCluster(t, "c1", 3)
+	c2 := newCluster(t, "c2", 3)
+	f.AddCluster(c1)
+	f.AddCluster(c2)
+	if err := f.CreateTopic("t", stream.TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	p := stream.NewProducer(f, "svc", "", nil)
+	for i := 0; i < 30; i++ {
+		p.Produce("t", nil, []byte(fmt.Sprintf("pre-%d", i)))
+	}
+	consumer, err := f.NewConsumer("g", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumer.Close()
+	// Consume a bit before the migration.
+	seen := 0
+	for seen < 10 {
+		seen += len(consumer.Poll(time.Second, 5))
+	}
+
+	if err := f.MigrateTopic("t", "c2"); err != nil {
+		t.Fatal(err)
+	}
+	// New produces land on c2.
+	for i := 0; i < 30; i++ {
+		p.Produce("t", nil, []byte(fmt.Sprintf("post-%d", i)))
+	}
+	if cl, _ := f.Lookup("t"); cl.Name() != "c2" {
+		t.Errorf("Lookup after migration = %s", cl.Name())
+	}
+	_, c2high, _ := c2.Watermarks(stream.TopicPartition{Topic: "t", Partition: 0})
+	_, c2high1, _ := c2.Watermarks(stream.TopicPartition{Topic: "t", Partition: 1})
+	if c2high+c2high1 != 30 {
+		t.Errorf("post-migration messages on c2 = %d, want 30", c2high+c2high1)
+	}
+
+	// The same consumer object keeps polling: it drains c1 then continues
+	// on c2, so coverage is complete with no restart.
+	deadline := time.Now().Add(5 * time.Second)
+	for seen < 60 && time.Now().Before(deadline) {
+		seen += len(consumer.Poll(300*time.Millisecond, 10))
+	}
+	if seen != 60 {
+		t.Errorf("consumer saw %d messages across migration, want 60", seen)
+	}
+
+	// Migration validation paths.
+	if err := f.MigrateTopic("ghost", "c2"); err == nil {
+		t.Error("migrating unknown topic should fail")
+	}
+	if err := f.MigrateTopic("t", "nope"); !errors.Is(err, ErrUnknownCluster) {
+		t.Errorf("migrating to unknown cluster = %v", err)
+	}
+	if err := f.MigrateTopic("t", "c2"); err != nil {
+		t.Errorf("no-op migration = %v", err)
+	}
+}

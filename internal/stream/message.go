@@ -1,0 +1,155 @@
+// Package stream implements the streaming-storage layer of the stack (Fig 2
+// "Stream"): a partitioned, replicated append-only log with a
+// publish-subscribe interface — the in-process substitute for Apache Kafka
+// (§4.1). It provides topics split into partitions, segmented logs with
+// retention, producer acknowledgment modes (lossless vs high-throughput),
+// consumer groups with rebalancing and committed offsets, and node-failure
+// simulation.
+//
+// Uber's enhancements from §4.1 live in subpackages: federation (logical
+// clusters), dlq (dead letter queues), proxy (push-based consumer proxy),
+// replicator (uReplicator) and chaperone (end-to-end auditing).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors returned by the stream layer.
+var (
+	// ErrTopicNotFound is returned when producing to or consuming from an
+	// unknown topic.
+	ErrTopicNotFound = errors.New("stream: topic not found")
+	// ErrTopicExists is returned when creating a topic that already exists.
+	ErrTopicExists = errors.New("stream: topic already exists")
+	// ErrOffsetOutOfRange is returned by fetches below the low watermark
+	// (retention already removed the data) or above the high watermark.
+	ErrOffsetOutOfRange = errors.New("stream: offset out of range")
+	// ErrClusterUnavailable is returned while a cluster-wide outage is
+	// injected.
+	ErrClusterUnavailable = errors.New("stream: cluster unavailable")
+	// ErrPartitionOffline is returned when a partition's leader node failed
+	// and no replica can take over.
+	ErrPartitionOffline = errors.New("stream: partition offline")
+)
+
+// Header keys stamped on every message by the producer, implementing the
+// audit metadata of §9.4 ("each such event is decorated with additional
+// metadata such as a unique identifier, application timestamp, service name,
+// tier by the Kafka client").
+const (
+	HeaderUUID       = "uuid"
+	HeaderAppTime    = "app-ts"
+	HeaderService    = "service"
+	HeaderTier       = "tier"
+	HeaderRetryCount = "retry-count" // used by the DLQ machinery (§4.1.2)
+	HeaderOrigin     = "origin"      // source cluster, stamped by uReplicator
+)
+
+// Message is one event in a topic partition.
+type Message struct {
+	// Topic and Partition locate the message; filled in by the broker.
+	Topic     string
+	Partition int
+	// Offset is the message's position in its partition log, assigned at
+	// append time.
+	Offset int64
+	// Key selects the partition (hashed) and is the upsert / join key for
+	// downstream layers. Empty keys are partitioned round-robin.
+	Key []byte
+	// Value is the payload (typically a record.Codec-encoded event).
+	Value []byte
+	// Timestamp is the event time in milliseconds since the epoch.
+	Timestamp int64
+	// Headers carries the audit metadata and layer-specific annotations.
+	Headers map[string]string
+}
+
+// HeaderOr returns the named header or def when absent.
+func (m *Message) HeaderOr(key, def string) string {
+	if m.Headers == nil {
+		return def
+	}
+	if v, ok := m.Headers[key]; ok {
+		return v
+	}
+	return def
+}
+
+// sizeBytes approximates the message's footprint for byte-based retention.
+func (m *Message) sizeBytes() int64 {
+	n := int64(len(m.Key) + len(m.Value) + 32)
+	for k, v := range m.Headers {
+		n += int64(len(k) + len(v) + 8)
+	}
+	return n
+}
+
+// AckMode selects the producer acknowledgment / durability contract for a
+// topic. The paper's surge pipeline uses a higher-throughput, non-lossless
+// configuration (§5.1) while financial data needs zero loss (§9.1).
+type AckMode int
+
+const (
+	// AckLeader acknowledges once the leader has appended; replication is
+	// asynchronous, so messages in the replication window are lost if the
+	// leader node fails. This is the high-throughput configuration.
+	AckLeader AckMode = iota
+	// AckAll acknowledges only after all in-sync replicas have the message:
+	// the lossless configuration. Produce latency includes replication.
+	AckAll
+)
+
+// String returns "leader" or "all".
+func (a AckMode) String() string {
+	if a == AckAll {
+		return "all"
+	}
+	return "leader"
+}
+
+// TopicConfig captures per-topic settings.
+type TopicConfig struct {
+	// Partitions is the number of partitions; must be >= 1.
+	Partitions int
+	// ReplicationFactor is the number of copies per partition (leader
+	// included); must be >= 1. Replicas live on distinct nodes.
+	ReplicationFactor int
+	// Acks selects the durability mode (see AckMode).
+	Acks AckMode
+	// RetentionBytes bounds each partition's log size; oldest whole
+	// segments are dropped when exceeded. Zero means unbounded.
+	RetentionBytes int64
+	// RetentionTime bounds message age; segments whose newest message is
+	// older are dropped. Zero means unbounded. The paper limits retention
+	// to a few days (§7), which is why Kappa backfill is infeasible.
+	RetentionTime time.Duration
+	// SegmentBytes is the roll-over size for log segments. Zero uses
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+}
+
+// DefaultSegmentBytes is the segment roll size when TopicConfig.SegmentBytes
+// is zero.
+const DefaultSegmentBytes = 1 << 20
+
+func (c TopicConfig) withDefaults() (TopicConfig, error) {
+	if c.Partitions <= 0 {
+		return c, fmt.Errorf("stream: partitions must be >= 1, got %d", c.Partitions)
+	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 1
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = DefaultSegmentBytes
+	}
+	return c, nil
+}
+
+// Clock abstracts time for deterministic retention and audit-window tests.
+type Clock func() time.Time
+
+// SystemClock is the default wall clock.
+func SystemClock() time.Time { return time.Now() }
