@@ -6,10 +6,13 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/olap"
 )
 
 // report republishes experiment rows as benchmark metrics.
@@ -129,6 +132,46 @@ func BenchmarkE13_Backfill(b *testing.B) {
 func BenchmarkE15_PreAggTradeoff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		report(b, experiments.E15(50_000))
+	}
+}
+
+// BenchmarkE16_ParallelScatterGather — §4.3: the parallel scatter-gather
+// pipeline vs the serial segment loop, as experiment rows (speedup ratio).
+func BenchmarkE16_ParallelScatterGather(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E16(30_000))
+	}
+}
+
+// BenchmarkParallelScatterGather compares the serial segment loop
+// (workers=1) against the bounded worker pool (workers=GOMAXPROCS) on the
+// same multi-segment grouped aggregation — the direct measurement behind
+// DESIGN.md's parallel scatter-gather claim. On a multi-core host the
+// parallel variant's ns/op drops roughly with core count; on one core the
+// two variants tie (the pool degrades to the serial path).
+func BenchmarkParallelScatterGather(b *testing.B) {
+	d := experiments.ScatterGatherDeployment(60_000, 2_000)
+	q := &olap.Query{
+		GroupBy: []string{"city"},
+		Aggs: []olap.AggSpec{
+			{Kind: olap.AggAvg, Column: "amount"},
+			{Kind: olap.AggCount},
+			{Kind: olap.AggDistinctCount, Column: "status"},
+		},
+	}
+	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+	if workerCounts[1] == 1 {
+		workerCounts = workerCounts[:1] // single-core host: nothing to compare
+	}
+	for _, workers := range workerCounts {
+		broker := olap.NewBrokerWithOptions(d, olap.BrokerOptions{Workers: workers})
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := broker.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

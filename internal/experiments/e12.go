@@ -135,5 +135,6 @@ func AllWithIntegration() []Experiment {
 		}
 		merged = append(merged, e)
 	}
+	merged = append(merged, scatterGatherExperiments()...)
 	return append(merged, Ablations()...)
 }

@@ -1,14 +1,7 @@
-// Package fedsql implements the interactive, federated SQL layer of the
-// stack — the Presto stand-in (§4.5): a query engine that executes full SQL
-// (joins, subqueries) across heterogeneous backends through a Connector API,
-// pushing as much of the plan as possible down to each backend. The Pinot
-// connector pushes predicates, projections, aggregations and limits into the
-// OLAP layer (§4.3.2), which is what makes sub-second federated queries on
-// fresh data possible; the archive connector reads the long-term store and
-// relies on engine-side processing, like Presto-over-Hive.
 package fedsql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -67,8 +60,10 @@ type Connector interface {
 	Schema(table string) (*metadata.Schema, error)
 	// Capabilities advertises pushdown support.
 	Capabilities() Capabilities
-	// Scan executes the pushed-down fragment and returns rows.
-	Scan(table string, pd Pushdown) ([]record.Record, ScanStats, error)
+	// Scan executes the pushed-down fragment and returns rows. The context
+	// carries the federated query's deadline/cancellation into the backend,
+	// so a timed-out query stops scanning inside the OLAP layer too.
+	Scan(ctx context.Context, table string, pd Pushdown) ([]record.Record, ScanStats, error)
 }
 
 // ---- Pinot connector ----
@@ -83,6 +78,9 @@ type PinotConnector struct {
 	// DisablePushdown forces scan-only behavior — the E11 baseline ("our
 	// first version of this connector only included predicate pushdown").
 	DisablePushdown bool
+	// Parallelism bounds the per-server segment-scan worker pool of brokers
+	// created by AddTable (0 = GOMAXPROCS, 1 = serial). Set before AddTable.
+	Parallelism int
 }
 
 // NewPinotConnector creates an empty Pinot catalog.
@@ -97,7 +95,7 @@ func NewPinotConnector(name string) *PinotConnector {
 // AddTable registers a deployment under its table name.
 func (p *PinotConnector) AddTable(d *olap.Deployment) {
 	cfg := d.Table()
-	p.brokers[cfg.Name] = olap.NewBroker(d)
+	p.brokers[cfg.Name] = olap.NewBrokerWithOptions(d, olap.BrokerOptions{Workers: p.Parallelism})
 	p.schemas[cfg.Name] = cfg.Schema
 }
 
@@ -131,8 +129,10 @@ func (p *PinotConnector) Capabilities() Capabilities {
 	return Capabilities{Filters: true, Aggregations: true, Limit: true}
 }
 
-// Scan implements Connector by translating the pushdown into an OLAP query.
-func (p *PinotConnector) Scan(table string, pd Pushdown) ([]record.Record, ScanStats, error) {
+// Scan implements Connector by translating the pushdown into an OLAP query
+// executed under the caller's context, so the broker's parallel
+// scatter-gather (and its cancellation) reaches federated queries too.
+func (p *PinotConnector) Scan(ctx context.Context, table string, pd Pushdown) ([]record.Record, ScanStats, error) {
 	broker, ok := p.brokers[table]
 	if !ok {
 		return nil, ScanStats{}, fmt.Errorf("fedsql: pinot table %q not found", table)
@@ -162,7 +162,7 @@ func (p *PinotConnector) Scan(table string, pd Pushdown) ([]record.Record, ScanS
 		q.Limit = pd.Limit
 		stats.PushedLimit = true
 	}
-	res, err := broker.Query(q)
+	res, err := broker.QueryCtx(ctx, q)
 	if err != nil {
 		return nil, ScanStats{}, err
 	}
@@ -267,7 +267,10 @@ func (a *ArchiveConnector) Schema(table string) (*metadata.Schema, error) {
 func (a *ArchiveConnector) Capabilities() Capabilities { return Capabilities{} }
 
 // Scan implements Connector with a full table read.
-func (a *ArchiveConnector) Scan(table string, pd Pushdown) ([]record.Record, ScanStats, error) {
+func (a *ArchiveConnector) Scan(ctx context.Context, table string, pd Pushdown) ([]record.Record, ScanStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ScanStats{}, err
+	}
 	schema, ok := a.schemas[table]
 	if !ok {
 		return nil, ScanStats{}, fmt.Errorf("fedsql: archive table %q not found", table)

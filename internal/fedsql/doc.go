@@ -1,0 +1,16 @@
+// Package fedsql implements the interactive, federated SQL layer of the
+// stack — the Presto stand-in (§4.5): a query engine that executes full SQL
+// (joins, subqueries) across heterogeneous backends through a Connector API,
+// pushing as much of the plan as possible down to each backend.
+//
+// The Pinot connector pushes predicates, projections, aggregations and
+// limits into the OLAP layer (§4.3.2, E11), which is what makes sub-second
+// federated queries on fresh data possible; the archive connector reads the
+// long-term store and relies on engine-side processing, like
+// Presto-over-Hive.
+//
+// Concurrency and cancellation thread end-to-end: Engine.QueryCtx passes
+// its context through every Connector.Scan into the OLAP broker's parallel
+// scatter-gather, join sides execute concurrently, and a cancelled or
+// timed-out federated query stops segment scans inside the backend.
+package fedsql

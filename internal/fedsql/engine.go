@@ -1,9 +1,12 @@
 package fedsql
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/record"
 	"repro/internal/sqlparse"
@@ -74,13 +77,20 @@ func (e *Engine) Catalogs() []string {
 	return out
 }
 
-// Query parses and executes one SELECT.
+// Query parses and executes one SELECT with the background context.
 func (e *Engine) Query(sql string) (*Result, error) {
+	return e.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx parses and executes one SELECT under a caller context. The
+// context flows through every connector Scan, so cancelling it aborts
+// backend-side work (e.g. the OLAP broker's parallel scatter-gather) too.
+func (e *Engine) QueryCtx(ctx context.Context, sql string) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.execute(stmt)
+	return e.execute(ctx, stmt)
 }
 
 // relation is an intermediate result: named rows plus the predicates the
@@ -98,14 +108,17 @@ type relation struct {
 	ordered bool
 }
 
-func (e *Engine) execute(stmt *sqlparse.SelectStmt) (*Result, error) {
+func (e *Engine) execute(ctx context.Context, stmt *sqlparse.SelectStmt) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if stmt.From == nil {
 		return nil, fmt.Errorf("fedsql: SELECT without FROM is not supported")
 	}
 	if stmt.Window != nil {
 		return nil, fmt.Errorf("fedsql: window functions belong to the streaming SQL layer (flinksql)")
 	}
-	rel, err := e.resolveFrom(stmt)
+	rel, err := e.resolveFrom(ctx, stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -148,16 +161,16 @@ func (e *Engine) execute(stmt *sqlparse.SelectStmt) (*Result, error) {
 
 // resolveFrom evaluates the FROM clause (table / subquery / join) and
 // returns rows plus any predicates the backend did not absorb.
-func (e *Engine) resolveFrom(stmt *sqlparse.SelectStmt) (*relation, error) {
-	return e.resolveRef(stmt.From, stmt)
+func (e *Engine) resolveFrom(ctx context.Context, stmt *sqlparse.SelectStmt) (*relation, error) {
+	return e.resolveRef(ctx, stmt.From, stmt)
 }
 
-func (e *Engine) resolveRef(ref *sqlparse.TableRef, stmt *sqlparse.SelectStmt) (*relation, error) {
+func (e *Engine) resolveRef(ctx context.Context, ref *sqlparse.TableRef, stmt *sqlparse.SelectStmt) (*relation, error) {
 	switch {
 	case ref.Join != nil:
-		return e.resolveJoin(ref.Join, stmt)
+		return e.resolveJoin(ctx, ref.Join, stmt)
 	case ref.Sub != nil:
-		sub, err := e.execute(ref.Sub)
+		sub, err := e.execute(ctx, ref.Sub)
 		if err != nil {
 			return nil, err
 		}
@@ -166,12 +179,12 @@ func (e *Engine) resolveRef(ref *sqlparse.TableRef, stmt *sqlparse.SelectStmt) (
 		rel.residual = predicatesFor(stmt.Where, ref.RefName(), true)
 		return rel, nil
 	default:
-		return e.scanTable(ref, stmt)
+		return e.scanTable(ctx, ref, stmt)
 	}
 }
 
 // scanTable plans pushdown for a single-table query.
-func (e *Engine) scanTable(ref *sqlparse.TableRef, stmt *sqlparse.SelectStmt) (*relation, error) {
+func (e *Engine) scanTable(ctx context.Context, ref *sqlparse.TableRef, stmt *sqlparse.SelectStmt) (*relation, error) {
 	catalog := ref.Qualifier
 	if catalog == "" {
 		catalog = e.defaultCat
@@ -214,7 +227,7 @@ func (e *Engine) scanTable(ref *sqlparse.TableRef, stmt *sqlparse.SelectStmt) (*
 			}
 			pd.Limit = stmt.Limit
 		}
-		rows, stats, err := conn.Scan(ref.Name, pd)
+		rows, stats, err := conn.Scan(ctx, ref.Name, pd)
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +244,7 @@ func (e *Engine) scanTable(ref *sqlparse.TableRef, stmt *sqlparse.SelectStmt) (*
 			pd.Limit = stmt.Limit
 		}
 	}
-	rows, stats, err := conn.Scan(ref.Name, pd)
+	rows, stats, err := conn.Scan(ctx, ref.Name, pd)
 	if err != nil {
 		return nil, err
 	}
@@ -243,9 +256,11 @@ func (e *Engine) scanTable(ref *sqlparse.TableRef, stmt *sqlparse.SelectStmt) (*
 	}, nil
 }
 
-// resolveJoin executes both sides (with their single-table predicates pushed
-// toward the connectors) and hash-joins them.
-func (e *Engine) resolveJoin(j *sqlparse.JoinSpec, stmt *sqlparse.SelectStmt) (*relation, error) {
+// resolveJoin executes both sides concurrently (with their single-table
+// predicates pushed toward the connectors) and hash-joins them. Running the
+// sides in parallel lets each backend's own scatter-gather overlap — the
+// end-to-end concurrency path for federated joins.
+func (e *Engine) resolveJoin(ctx context.Context, j *sqlparse.JoinSpec, stmt *sqlparse.SelectStmt) (*relation, error) {
 	leftStmt := &sqlparse.SelectStmt{
 		Items: []sqlparse.SelectItem{{Star: true}},
 		From:  j.Left,
@@ -256,13 +271,42 @@ func (e *Engine) resolveJoin(j *sqlparse.JoinSpec, stmt *sqlparse.SelectStmt) (*
 		From:  j.Right,
 		Where: predicatesFor(stmt.Where, j.Right.RefName(), false),
 	}
-	leftRes, err := e.execute(leftStmt)
-	if err != nil {
-		return nil, err
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg                sync.WaitGroup
+		leftRes, rightRes *Result
+		leftErr, rightErr error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		leftRes, leftErr = e.execute(ctx, leftStmt)
+		if leftErr != nil {
+			cancel() // abort the other side
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		rightRes, rightErr = e.execute(ctx, rightStmt)
+		if rightErr != nil {
+			cancel()
+		}
+	}()
+	wg.Wait()
+	// Prefer the side that actually failed: the other side usually reports
+	// context.Canceled only because our cancel() aborted it.
+	if leftErr != nil && !errors.Is(leftErr, context.Canceled) {
+		return nil, leftErr
 	}
-	rightRes, err := e.execute(rightStmt)
-	if err != nil {
-		return nil, err
+	if rightErr != nil && !errors.Is(rightErr, context.Canceled) {
+		return nil, rightErr
+	}
+	if leftErr != nil {
+		return nil, leftErr
+	}
+	if rightErr != nil {
+		return nil, rightErr
 	}
 	_, leftKey := sqlSplit(j.LeftCol)
 	_, rightKey := sqlSplit(j.RightCol)

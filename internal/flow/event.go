@@ -1,19 +1,3 @@
-// Package flow implements the stream-processing layer of the stack (Fig 2
-// "Compute"): an in-process substitute for Apache Flink (§4.2). It executes
-// dataflow jobs — sources, chained keyed/parallel operator stages and sinks
-// connected by bounded channels — with the semantics the paper's experiments
-// depend on:
-//
-//   - event-time processing with watermarks and windowed aggregation;
-//   - keyed operator state with aligned checkpoint barriers persisted to the
-//     object store, and restore-from-checkpoint recovery;
-//   - credit-based backpressure: bounded buffers propagate consumer slowness
-//     back to the sources instead of accumulating unbounded queues (the
-//     Storm-vs-Flink backlog recovery experiment, E1);
-//   - a job management layer (§4.2.2) that deploys, monitors and
-//     automatically recovers jobs with a rule-based engine.
-//
-// Kappa+ backfill over archived data (§7) lives in the backfill subpackage.
 package flow
 
 import (

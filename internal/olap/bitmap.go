@@ -1,10 +1,3 @@
-// Package olap implements the real-time OLAP layer of the stack (Fig 2
-// "OLAP"): an in-process substitute for Apache Pinot (§4.3). It provides
-// dictionary-encoded, bit-packed columnar segments with inverted, sorted,
-// range and star-tree indexes; realtime ingestion from the stream layer with
-// segment sealing; a scatter-gather-merge broker over replicated servers;
-// shared-nothing upsert (§4.3.1); and both centralized and peer-to-peer
-// segment recovery schemes (§4.3.4).
 package olap
 
 import "math/bits"

@@ -1,10 +1,13 @@
 package olap
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/objstore"
@@ -109,8 +112,15 @@ func (s *Server) invalidate(segment string, doc int) {
 	bm.Clear(doc)
 }
 
-// ExecuteOn runs a query over the named sealed segments hosted here.
-func (s *Server) ExecuteOn(q *Query, segmentNames []string) (*Result, error) {
+// ExecuteOn runs a query over the named sealed segments hosted here,
+// scanning up to `workers` segments concurrently (0 means GOMAXPROCS) and
+// merging their partial-aggregate states as they complete. The context
+// cancels in-flight work between segment scans; ORDER-BY-agnostic LIMIT
+// selections stop as soon as enough rows have been gathered.
+func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string, workers int) (*Partial, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	if s.down {
 		s.mu.RUnlock()
@@ -125,18 +135,80 @@ func (s *Server) ExecuteOn(q *Query, segmentNames []string) (*Result, error) {
 			return nil, fmt.Errorf("%w: %s on %s", ErrSegmentUnavailable, name, s.name)
 		}
 		segs = append(segs, seg)
-		valids = append(valids, s.valid[name]) // nil when fully valid
+		// Snapshot the validity bitmap: Server.invalidate mutates it under
+		// s.mu while scans here run lock-free (and now concurrently).
+		valids = append(valids, cloneValid(s.valid[name])) // nil when fully valid
 	}
 	s.mu.RUnlock()
-	var parts []*Result
-	for i, seg := range segs {
-		r, err := seg.Execute(q, valids[i])
-		if err != nil {
-			return nil, err
-		}
-		parts = append(parts, r)
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return MergeResults(q, parts)
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	limit := earlyLimit(q)
+	acc := newPartial(q)
+
+	if workers <= 1 {
+		// Serial fast path: no goroutine or channel overhead — the
+		// workers=1 baseline BenchmarkParallelScatterGather compares against.
+		for i, seg := range segs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			p, err := seg.ExecutePartial(q, valids[i])
+			if err != nil {
+				return nil, err
+			}
+			acc.Merge(p)
+			if limit > 0 && acc.Rows() >= limit {
+				break
+			}
+		}
+		return acc, nil
+	}
+
+	// Bounded worker pool: workers pull segment indexes from a shared
+	// counter and ship partials back; the merge happens here, streaming, as
+	// partials arrive. Channels are buffered to capacity so workers never
+	// block after cancellation.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan *Partial, len(segs))
+	errs := make(chan error, workers)
+	var next atomic.Int64
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				i := int(next.Add(1))
+				if i >= len(segs) || ctx.Err() != nil {
+					return
+				}
+				p, err := segs[i].ExecutePartial(q, valids[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				results <- p
+			}
+		}()
+	}
+	for served := 0; served < len(segs); served++ {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case err := <-errs:
+			return nil, err
+		case p := <-results:
+			acc.Merge(p)
+			if limit > 0 && acc.Rows() >= limit {
+				return acc, nil // defer cancel() stops the remaining workers
+			}
+		}
+	}
+	return acc, nil
 }
 
 // MemBytes approximates the server's segment memory.
@@ -508,20 +580,56 @@ func (d *Deployment) RecoverServer(failed int) (int, error) {
 
 // Broker answers queries over a deployment with scatter-gather-merge: the
 // query is decomposed into per-server subqueries over the segments each
-// server hosts, executed in parallel, and merged (§4.3). Upsert tables use
-// the partition-aware routing strategy: all segments of one partition go to
-// the partition's owner server so the validity bitmaps stay consistent.
+// server hosts, executed in parallel (with per-server segment-scan worker
+// pools), and the partial-aggregate states are merged as they stream back
+// (§4.3). Upsert tables use the partition-aware routing strategy: all
+// segments of one partition go to the partition's owner server so the
+// validity bitmaps stay consistent.
 type Broker struct {
-	d *Deployment
+	d    *Deployment
+	opts BrokerOptions
 }
 
-// NewBroker creates a broker over a deployment.
-func NewBroker(d *Deployment) *Broker { return &Broker{d: d} }
+// BrokerOptions tunes query execution.
+type BrokerOptions struct {
+	// Workers bounds the per-server segment-scan worker pool. 0 means
+	// GOMAXPROCS; 1 forces the serial baseline.
+	Workers int
+	// Timeout is the per-query deadline. 0 means no deadline.
+	Timeout time.Duration
+}
 
-// Query executes a structured query. AVG aggregations are rewritten to
-// SUM+COUNT before the scatter so the merge is exact.
+// NewBroker creates a broker over a deployment with default options
+// (parallel scans, no deadline).
+func NewBroker(d *Deployment) *Broker { return NewBrokerWithOptions(d, BrokerOptions{}) }
+
+// NewBrokerWithOptions creates a broker with explicit execution options.
+func NewBrokerWithOptions(d *Deployment, opts BrokerOptions) *Broker {
+	return &Broker{d: d, opts: opts}
+}
+
+// Query executes a structured query with the broker's default context.
 func (b *Broker) Query(q *Query) (*Result, error) {
-	rewritten, finish := rewriteAvg(q)
+	return b.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx executes a structured query under a caller context. The context
+// (plus the broker's configured timeout, when set) cancels the scatter
+// phase: per-server subqueries stop between segment scans and the merge
+// aborts. Partial-aggregate states (AVG as SUM+COUNT, DISTINCTCOUNT as a
+// value set) merge exactly in arrival order, and ORDER-BY-agnostic LIMIT
+// selections terminate early once enough rows have been gathered.
+func (b *Broker) QueryCtx(ctx context.Context, q *Query) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if b.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.opts.Timeout)
+		defer cancel()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	// Route sealed segments.
 	b.d.mu.Lock()
@@ -534,84 +642,92 @@ func (b *Broker) Query(q *Query) (*Result, error) {
 		}
 		assignment[si] = append(assignment[si], segName)
 	}
-	// Consuming segments execute on their owner.
-	type consumingRef struct {
-		owner int
-		ms    *mutableSegment
-		part  int
+	// Consuming segments execute on their owner: snapshot rows and validity
+	// under the deployment lock so concurrent ingestion cannot race the scan.
+	type consumingScan struct {
+		owner   int
+		part    int
+		rows    []record.Record
+		invalid map[int]bool
 	}
-	var consuming []consumingRef
+	var consuming []consumingScan
 	for part, ms := range b.d.consuming {
-		consuming = append(consuming, consumingRef{owner: b.d.partitionOwner[part], ms: ms, part: part})
+		cs := consumingScan{owner: b.d.partitionOwner[part], part: part}
+		cs.rows = append([]record.Record(nil), ms.rows...)
+		cs.invalid = make(map[int]bool, len(ms.invalid))
+		for k, v := range ms.invalid {
+			cs.invalid[k] = v
+		}
+		consuming = append(consuming, cs)
 	}
 	upsert := b.d.cfg.Upsert
 	schema := b.d.cfg.Schema
 	b.d.mu.Unlock()
 
-	var parts []*Result
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var firstErr error
 	servers := make([]int, 0, len(assignment))
 	for si := range assignment {
 		servers = append(servers, si)
 	}
 	sort.Ints(servers)
+
+	// Scatter: one subquery per server plus one scan per consuming segment,
+	// all concurrent. Gather: merge partial states as they stream back.
+	units := len(servers) + len(consuming)
+	results := make(chan *Partial, units)
+	errs := make(chan error, units)
 	for _, si := range servers {
 		segs := assignment[si]
 		sort.Strings(segs)
-		wg.Add(1)
 		go func(si int, segs []string) {
-			defer wg.Done()
-			r, err := b.d.servers[si].ExecuteOn(rewritten, segs)
-			mu.Lock()
-			defer mu.Unlock()
+			p, err := b.d.servers[si].ExecuteOn(ctx, q, segs, b.opts.Workers)
 			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
+				errs <- err
 				return
 			}
-			parts = append(parts, r)
+			results <- p
 		}(si, segs)
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for _, cs := range consuming {
+		go func(cs consumingScan) {
+			if b.d.servers[cs.owner].Down() {
+				errs <- fmt.Errorf("%w: consuming partition %d owner %s", ErrServerDown, cs.part, b.d.servers[cs.owner].Name())
+				return
+			}
+			validFn := func(int) bool { return true }
+			if upsert {
+				validFn = func(i int) bool { return !cs.invalid[i] }
+			}
+			p, err := executeRows(ctx, schema, cs.rows, q, validFn)
+			if err != nil {
+				errs <- err
+				return
+			}
+			results <- p
+		}(cs)
 	}
-	// Consuming segments: scan rows under the partition owner's validity.
-	sort.Slice(consuming, func(i, j int) bool { return consuming[i].part < consuming[j].part })
-	for _, cr := range consuming {
-		if b.d.servers[cr.owner].Down() {
-			return nil, fmt.Errorf("%w: consuming partition %d owner %s", ErrServerDown, cr.part, b.d.servers[cr.owner].Name())
+
+	acc := newPartial(q)
+	limit := earlyLimit(q)
+	for served := 0; served < units; served++ {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case err := <-errs:
+			return nil, err // defer cancel() aborts in-flight subqueries
+		case p := <-results:
+			acc.Merge(p)
+			if limit > 0 && acc.Rows() >= limit {
+				served = units // early termination; cancel remaining work
+			}
 		}
-		b.d.mu.Lock()
-		rowsCopy := append([]record.Record(nil), cr.ms.rows...)
-		invalidCopy := make(map[int]bool, len(cr.ms.invalid))
-		for k, v := range cr.ms.invalid {
-			invalidCopy[k] = v
-		}
-		b.d.mu.Unlock()
-		validFn := func(i int) bool { return true }
-		if upsert {
-			validFn = func(i int) bool { return !invalidCopy[i] }
-		}
-		r, err := executeRows(schema, rowsCopy, rewritten, validFn)
-		if err != nil {
-			return nil, err
-		}
-		parts = append(parts, r)
 	}
-	merged, err := MergeResults(rewritten, parts)
+
+	res, err := acc.Finalize(q)
 	if err != nil {
 		return nil, err
 	}
-	merged.Stats.ServersQueried = len(servers)
-	final := finish(merged)
-	if err := sortAndLimit(final, q); err != nil {
-		return nil, err
-	}
-	return final, nil
+	res.Stats.ServersQueried = len(servers)
+	return res, nil
 }
 
 // routeSegment picks the serving replica for a segment: partition-aware for
@@ -633,68 +749,4 @@ func (b *Broker) routeSegment(segName string, replicas []int) (int, error) {
 		}
 	}
 	return 0, fmt.Errorf("%w: %s (no live replica)", ErrSegmentUnavailable, segName)
-}
-
-// rewriteAvg replaces AVG specs with SUM+COUNT pairs and returns a finisher
-// that reconstructs the AVG columns on the merged result.
-func rewriteAvg(q *Query) (*Query, func(*Result) *Result) {
-	hasAvg := false
-	for _, a := range q.Aggs {
-		if a.Kind == AggAvg {
-			hasAvg = true
-		}
-	}
-	if !hasAvg {
-		return q, func(r *Result) *Result { return r }
-	}
-	rq := *q
-	rq.Aggs = nil
-	rq.OrderBy = nil // order applies after finishing
-	rq.Limit = 0
-	type avgRef struct{ sumIdx, cntIdx, outIdx int }
-	var plan []avgRef
-	outCols := append([]string(nil), q.GroupBy...)
-	for _, a := range q.Aggs {
-		outCols = append(outCols, a.outName())
-	}
-	for _, a := range q.Aggs {
-		if a.Kind == AggAvg {
-			sumIdx := len(rq.Aggs)
-			rq.Aggs = append(rq.Aggs, AggSpec{Kind: AggSum, Column: a.Column, As: "__sum_" + a.Column})
-			cntIdx := len(rq.Aggs)
-			rq.Aggs = append(rq.Aggs, AggSpec{Kind: AggCount, Column: a.Column, As: "__cnt_" + a.Column})
-			plan = append(plan, avgRef{sumIdx: sumIdx, cntIdx: cntIdx})
-		} else {
-			rq.Aggs = append(rq.Aggs, a)
-		}
-	}
-	finish := func(r *Result) *Result {
-		nG := len(q.GroupBy)
-		out := &Result{Columns: outCols, Stats: r.Stats}
-		for _, row := range r.Rows {
-			newRow := append([]any(nil), row[:nG]...)
-			pi := 0
-			ri := 0
-			for _, a := range q.Aggs {
-				if a.Kind == AggAvg {
-					ref := plan[pi]
-					pi++
-					sum, _ := toF64(row[nG+ref.sumIdx])
-					cnt, _ := toF64(row[nG+ref.cntIdx])
-					ri += 2
-					if cnt == 0 {
-						newRow = append(newRow, 0.0)
-					} else {
-						newRow = append(newRow, sum/cnt)
-					}
-				} else {
-					newRow = append(newRow, row[nG+ri])
-					ri++
-				}
-			}
-			out.Rows = append(out.Rows, newRow)
-		}
-		return out
-	}
-	return &rq, finish
 }

@@ -1,0 +1,31 @@
+// Package olap implements the real-time OLAP layer of the stack (Fig 2
+// "OLAP"): an in-process substitute for Apache Pinot (§4.3). It provides
+// dictionary-encoded, bit-packed columnar segments with inverted, sorted,
+// range and star-tree indexes; realtime ingestion from the stream layer with
+// segment sealing; a scatter-gather-merge broker over replicated servers;
+// shared-nothing upsert (§4.3.1); and both centralized and peer-to-peer
+// segment recovery schemes (§4.3.4).
+//
+// # Query execution: parallel scatter-gather-merge
+//
+// A Broker answers queries in three phases (§4.3, DESIGN.md "parallel
+// scatter-gather"):
+//
+//   - Scatter: the query is decomposed into one subquery per server over
+//     the sealed segments it hosts (partition-aware routing for upsert
+//     tables) plus one scan per consuming segment. Within each server,
+//     Server.ExecuteOn scans segments concurrently through a bounded
+//     worker pool (BrokerOptions.Workers; default GOMAXPROCS).
+//   - Gather: every scan emits a Partial — mergeable partial-aggregate
+//     states (COUNT/SUM/MIN/MAX as running numerics, AVG as a SUM+COUNT
+//     pair, DISTINCTCOUNT as a value set) keyed by group values. Partials
+//     merge associatively, so the broker folds them in arrival order,
+//     streaming, without barriers.
+//   - Merge/finalize: the accumulated partial collapses to final values
+//     exactly once, then ORDER BY / LIMIT apply.
+//
+// Queries run under a context.Context (Broker.QueryCtx): cancellation and
+// the optional per-query BrokerOptions.Timeout stop segment scans between
+// segments, and ORDER-BY-agnostic LIMIT selections cancel the remaining
+// fan-out as soon as enough rows have been gathered.
+package olap

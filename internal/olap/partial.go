@@ -1,0 +1,225 @@
+package olap
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the mergeable partial-aggregate layer of the
+// scatter-gather pipeline (§4.3): segment scans produce Partial states that
+// merge associatively — first across the segments of one server, then across
+// servers at the broker — and are finalized into user-facing values exactly
+// once. Keeping every aggregation as a mergeable state (COUNT/SUM/MIN/MAX as
+// running numerics, AVG as a SUM+COUNT pair, DISTINCTCOUNT as a value set)
+// is what lets the broker merge partial results in any arrival order without
+// the query rewrites the serial path needed.
+
+// aggState is the mergeable partial state of one aggregation: the numeric
+// running values of starAgg plus, for DISTINCTCOUNT, the set of observed
+// values. States merge associatively and commutatively, so partials can fold
+// together in any grouping or order.
+type aggState struct {
+	starAgg
+	distinct map[string]struct{} // nil unless the spec is AggDistinctCount
+}
+
+// addDistinct records one observed value for DISTINCTCOUNT.
+func (a *aggState) addDistinct(key string) {
+	if a.distinct == nil {
+		a.distinct = make(map[string]struct{})
+	}
+	a.distinct[key] = struct{}{}
+}
+
+// mergeState folds another partial state into this one.
+func (a *aggState) mergeState(o *aggState) {
+	a.starAgg.merge(o.starAgg)
+	if len(o.distinct) > 0 {
+		if a.distinct == nil {
+			a.distinct = make(map[string]struct{}, len(o.distinct))
+		}
+		for k := range o.distinct {
+			a.distinct[k] = struct{}{}
+		}
+	}
+}
+
+// distinctKey canonicalizes a value for the DISTINCTCOUNT set so that the
+// same logical value collides across segments regardless of its Go type
+// (int64 from a sealed dictionary vs float64 from a consuming row).
+func distinctKey(v any) string {
+	if f, ok := toF64(v); ok {
+		return "n:" + strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	return "s:" + fmt.Sprintf("%v", v)
+}
+
+// groupValueKey derives the cross-segment merge key from decoded group-by
+// values. Segment-local dictionary codes are meaningless across segments, so
+// partials re-key groups by value before leaving the segment. The encoding
+// is unambiguous: numerics canonicalize through float64 (so int64(3) from a
+// sealed dictionary and float64(3) from a consuming row collide as they
+// must) and strings are quoted so embedded separators cannot alias two
+// distinct multi-column tuples.
+func groupValueKey(values []any) string {
+	var b strings.Builder
+	for _, v := range values {
+		switch f, ok := toF64(v); {
+		case v == nil:
+			b.WriteString("~|")
+		case ok:
+			b.WriteString("n")
+			b.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+			b.WriteString("|")
+		default:
+			fmt.Fprintf(&b, "s%q|", fmt.Sprintf("%v", v))
+		}
+	}
+	return b.String()
+}
+
+// Partial is the mergeable partial result of a query over a subset of a
+// table's segments — the unit the scatter phase ships from segment scans to
+// the broker's streaming merge. For aggregation queries it holds group
+// accumulators keyed by group values; for selection queries, raw rows.
+type Partial struct {
+	agg    bool
+	groups map[string]*groupAgg
+	rows   [][]any
+	cols   []string
+	stats  ExecStats
+}
+
+// newPartial returns an empty partial for the query shape.
+func newPartial(q *Query) *Partial {
+	if len(q.Aggs) > 0 {
+		return &Partial{agg: true, groups: make(map[string]*groupAgg)}
+	}
+	return &Partial{}
+}
+
+// partialFromGroups re-keys segment-local group accumulators (dict-code or
+// star-tree keys) by group value so they merge correctly across segments.
+func partialFromGroups(groups map[string]*groupAgg) *Partial {
+	p := &Partial{agg: true, groups: make(map[string]*groupAgg, len(groups))}
+	for _, g := range groups {
+		p.groups[groupValueKey(g.values)] = g
+	}
+	return p
+}
+
+// cloneGroup deep-copies a group accumulator so an adopting Partial cannot
+// later mutate state still referenced by the source.
+func cloneGroup(g *groupAgg) *groupAgg {
+	cp := &groupAgg{values: g.values, aggs: make([]aggState, len(g.aggs))}
+	for i, a := range g.aggs {
+		cp.aggs[i].starAgg = a.starAgg
+		if a.distinct != nil {
+			cp.aggs[i].distinct = make(map[string]struct{}, len(a.distinct))
+			for k := range a.distinct {
+				cp.aggs[i].distinct[k] = struct{}{}
+			}
+		}
+	}
+	return cp
+}
+
+// Merge folds another partial into this one, leaving o unchanged. Merging
+// is associative and commutative, so the broker can fold partials in
+// arrival order — and partials remain reusable after being merged.
+func (p *Partial) Merge(o *Partial) {
+	p.stats.SegmentsScanned += o.stats.SegmentsScanned
+	p.stats.RowsScanned += o.stats.RowsScanned
+	p.stats.StarTreeServed += o.stats.StarTreeServed
+	p.stats.UpsertFiltered += o.stats.UpsertFiltered
+	if p.agg {
+		for k, g := range o.groups {
+			mine, ok := p.groups[k]
+			if !ok {
+				p.groups[k] = cloneGroup(g)
+				continue
+			}
+			for i := range mine.aggs {
+				mine.aggs[i].mergeState(&g.aggs[i])
+			}
+		}
+		return
+	}
+	if p.cols == nil {
+		p.cols = o.cols
+	}
+	p.rows = append(p.rows, o.rows...)
+}
+
+// Rows reports how many result rows the partial holds so far (selection
+// queries only) — the broker's early-termination signal for
+// ORDER-BY-agnostic LIMIT queries.
+func (p *Partial) Rows() int { return len(p.rows) }
+
+// Finalize converts the merged partial into a user-facing Result: group
+// states collapse to final values (AVG = Sum/Count, DISTINCTCOUNT = set
+// cardinality), groups sort deterministically, and ORDER BY / LIMIT apply.
+func (p *Partial) Finalize(q *Query) (*Result, error) {
+	if !p.agg {
+		cols := p.cols
+		if cols == nil {
+			cols = append([]string(nil), q.Select...)
+		}
+		res := &Result{Columns: cols, Rows: p.rows, Stats: p.stats}
+		if err := sortAndLimit(res, q); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	cols := append([]string(nil), q.GroupBy...)
+	for _, a := range q.Aggs {
+		cols = append(cols, a.outName())
+	}
+	res := &Result{Columns: cols, Stats: p.stats}
+	if len(p.groups) == 0 && len(q.GroupBy) == 0 {
+		// SQL semantics: a global aggregate over zero rows still returns one
+		// row (count = 0, sums = 0).
+		row := make([]any, 0, len(q.Aggs))
+		for _, spec := range q.Aggs {
+			row = append(row, aggValue(aggState{}, spec.Kind))
+		}
+		res.Rows = append(res.Rows, row)
+		return res, nil
+	}
+	ordered := make([]*groupAgg, 0, len(p.groups))
+	for _, g := range p.groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(a, b int) bool {
+		ga, gb := ordered[a].values, ordered[b].values
+		for i := range ga {
+			if cmp := compareValues(ga[i], gb[i]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	for _, g := range ordered {
+		row := append([]any(nil), g.values...)
+		for ai, spec := range q.Aggs {
+			row = append(row, aggValue(g.aggs[ai], spec.Kind))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if err := sortAndLimit(res, q); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// earlyLimit returns the row budget after which a query's fan-out can stop
+// early: selection queries with a LIMIT and no ORDER BY are satisfied by any
+// Limit matching rows. Aggregations and ordered queries must see every row.
+func earlyLimit(q *Query) int {
+	if len(q.Aggs) == 0 && q.Limit > 0 && len(q.OrderBy) == 0 {
+		return q.Limit
+	}
+	return 0
+}

@@ -51,8 +51,12 @@ const (
 	AggMin
 	// AggMax takes the maximum.
 	AggMax
-	// AggAvg averages.
+	// AggAvg averages. Internally carried as a SUM+COUNT pair so partial
+	// results merge exactly across segments and servers.
 	AggAvg
+	// AggDistinctCount counts distinct non-null values. Internally carried
+	// as a value set so partials merge exactly (set union is associative).
+	AggDistinctCount
 )
 
 // String names the aggregation as it appears in result columns.
@@ -66,6 +70,8 @@ func (a AggKind) String() string {
 		return "max"
 	case AggAvg:
 		return "avg"
+	case AggDistinctCount:
+		return "distinctcount"
 	default:
 		return "count"
 	}
@@ -123,21 +129,21 @@ type Result struct {
 
 // ExecStats counts work done during execution.
 type ExecStats struct {
-	SegmentsScanned  int
-	RowsScanned      int64
-	StarTreeServed   int  // segments answered from the star-tree
-	ServersQueried   int  // broker-level fan-out
-	UpsertFiltered   int64
+	SegmentsScanned int
+	RowsScanned     int64
+	StarTreeServed  int // segments answered from the star-tree
+	ServersQueried  int // broker-level fan-out
+	UpsertFiltered  int64
 }
 
-// groupAgg accumulates one output group.
+// groupAgg accumulates one output group as mergeable partial states.
 type groupAgg struct {
 	values []any // group-by column values
-	aggs   []starAgg
+	aggs   []aggState
 }
 
 func newGroupAgg(q *Query, values []any) *groupAgg {
-	return &groupAgg{values: values, aggs: make([]starAgg, len(q.Aggs))}
+	return &groupAgg{values: values, aggs: make([]aggState, len(q.Aggs))}
 }
 
 // normalizeFilterValue coerces a filter literal to the column's dictionary
@@ -296,16 +302,28 @@ func (s *Segment) codeRangeBitmap(c *column, f Filter) (*Bitmap, error) {
 	return bm, nil
 }
 
-// Execute runs a query against this single segment. valid optionally
-// restricts rows to the still-valid set (upsert); nil means all rows count.
+// Execute runs a query against this single segment and finalizes the
+// result. valid optionally restricts rows to the still-valid set (upsert);
+// nil means all rows count.
 func (s *Segment) Execute(q *Query, valid *Bitmap) (*Result, error) {
+	p, err := s.ExecutePartial(q, valid)
+	if err != nil {
+		return nil, err
+	}
+	return p.Finalize(q)
+}
+
+// ExecutePartial runs a query against this single segment and returns the
+// mergeable partial state — the scatter half of scatter-gather-merge.
+// Aggregations stay as running states (AVG as SUM+COUNT, DISTINCTCOUNT as a
+// value set) so partials from many segments merge exactly at any level.
+func (s *Segment) ExecutePartial(q *Query, valid *Bitmap) (*Partial, error) {
 	// Star-tree fast path (only when no upsert filtering applies).
 	if s.Tree != nil && valid == nil && s.Tree.Eligible(q) {
-		groups := s.Tree.query(s, q)
-		res := buildGroupResult(q, groups)
-		res.Stats.SegmentsScanned = 1
-		res.Stats.StarTreeServed = 1
-		return res, nil
+		p := partialFromGroups(s.Tree.query(s, q))
+		p.stats.SegmentsScanned = 1
+		p.stats.StarTreeServed = 1
+		return p, nil
 	}
 	bm, err := s.filterBitmap(q.Filters)
 	if err != nil {
@@ -317,28 +335,35 @@ func (s *Segment) Execute(q *Query, valid *Bitmap) (*Result, error) {
 		bm.And(valid)
 		upsertFiltered = int64(before - bm.Count())
 	}
-	var res *Result
+	var p *Partial
 	if len(q.Aggs) > 0 {
-		res, err = s.executeAgg(q, bm)
+		groups, err := s.executeAgg(q, bm)
+		if err != nil {
+			return nil, err
+		}
+		p = partialFromGroups(groups)
 	} else {
-		res, err = s.executeSelect(q, bm)
+		p, err = s.executeSelect(q, bm)
+		if err != nil {
+			return nil, err
+		}
 	}
-	if err != nil {
-		return nil, err
-	}
-	res.Stats.SegmentsScanned = 1
-	res.Stats.RowsScanned = int64(bm.Count())
-	res.Stats.UpsertFiltered = upsertFiltered
-	return res, nil
+	p.stats.SegmentsScanned = 1
+	p.stats.RowsScanned = int64(bm.Count())
+	p.stats.UpsertFiltered = upsertFiltered
+	return p, nil
 }
 
-func (s *Segment) executeAgg(q *Query, bm *Bitmap) (*Result, error) {
+func (s *Segment) executeAgg(q *Query, bm *Bitmap) (map[string]*groupAgg, error) {
 	for _, g := range q.GroupBy {
 		if _, ok := s.Columns[g]; !ok {
 			return nil, fmt.Errorf("olap: unknown group-by column %q", g)
 		}
 	}
 	for _, a := range q.Aggs {
+		if a.Kind == AggDistinctCount && a.Column == "" {
+			return nil, fmt.Errorf("olap: distinctcount requires a column")
+		}
 		if a.Column != "" {
 			if _, ok := s.Columns[a.Column]; !ok {
 				return nil, fmt.Errorf("olap: unknown aggregation column %q", a.Column)
@@ -380,6 +405,10 @@ func (s *Segment) executeAgg(q *Query, bm *Bitmap) (*Result, error) {
 				if s.Columns[spec.Column].Present.Get(i) {
 					g.aggs[ai].Count++
 				}
+			case spec.Kind == AggDistinctCount:
+				if s.Columns[spec.Column].Present.Get(i) {
+					g.aggs[ai].addDistinct(distinctKey(s.value(spec.Column, i)))
+				}
 			default:
 				if s.Columns[spec.Column].Present.Get(i) {
 					g.aggs[ai].add(s.double(spec.Column, i))
@@ -388,15 +417,15 @@ func (s *Segment) executeAgg(q *Query, bm *Bitmap) (*Result, error) {
 		}
 		return true
 	})
-	return buildGroupResult(q, groups), nil
+	return groups, nil
 }
 
 // executeAggSingleGroup aggregates grouped by one column using dense
 // code-indexed accumulators.
-func (s *Segment) executeAggSingleGroup(q *Query, bm *Bitmap) (*Result, error) {
+func (s *Segment) executeAggSingleGroup(q *Query, bm *Bitmap) (map[string]*groupAgg, error) {
 	gc := s.Columns[q.GroupBy[0]]
 	nCodes := gc.Dict.size() + 1 // +1 for null
-	accs := make([][]starAgg, nCodes)
+	accs := make([][]aggState, nCodes)
 	// Pre-resolve aggregation columns.
 	type aggCol struct {
 		countStar bool
@@ -420,7 +449,7 @@ func (s *Segment) executeAggSingleGroup(q *Query, bm *Bitmap) (*Result, error) {
 		}
 		acc := accs[code]
 		if acc == nil {
-			acc = make([]starAgg, len(q.Aggs))
+			acc = make([]aggState, len(q.Aggs))
 			accs[code] = acc
 		}
 		for ai := range q.Aggs {
@@ -431,6 +460,10 @@ func (s *Segment) executeAggSingleGroup(q *Query, bm *Bitmap) (*Result, error) {
 			case q.Aggs[ai].Kind == AggCount:
 				if ac.col.Present.Get(i) {
 					acc[ai].Count++
+				}
+			case q.Aggs[ai].Kind == AggDistinctCount:
+				if ac.col.Present.Get(i) {
+					acc[ai].addDistinct(distinctKey(ac.col.Dict.value(ac.col.Codes.Get(i))))
 				}
 			default:
 				if ac.col.Present.Get(i) {
@@ -455,43 +488,11 @@ func (s *Segment) executeAggSingleGroup(q *Query, bm *Bitmap) (*Result, error) {
 		}
 		groups[fmt.Sprintf("%08d", code)] = &groupAgg{values: []any{val}, aggs: acc}
 	}
-	return buildGroupResult(q, groups), nil
+	return groups, nil
 }
 
-// buildGroupResult converts accumulated groups into a Result.
-func buildGroupResult(q *Query, groups map[string]*groupAgg) *Result {
-	cols := append([]string(nil), q.GroupBy...)
-	for _, a := range q.Aggs {
-		cols = append(cols, a.outName())
-	}
-	res := &Result{Columns: cols}
-	if len(groups) == 0 && len(q.GroupBy) == 0 {
-		// SQL semantics: a global aggregate over zero rows still returns
-		// one row (count = 0, sums = 0).
-		row := make([]any, 0, len(q.Aggs))
-		for _, spec := range q.Aggs {
-			row = append(row, aggValue(starAgg{}, spec.Kind))
-		}
-		res.Rows = append(res.Rows, row)
-		return res
-	}
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		g := groups[k]
-		row := append([]any(nil), g.values...)
-		for ai, spec := range q.Aggs {
-			row = append(row, aggValue(g.aggs[ai], spec.Kind))
-		}
-		res.Rows = append(res.Rows, row)
-	}
-	return res
-}
-
-func aggValue(a starAgg, kind AggKind) any {
+// aggValue collapses a partial state into the final user-facing value.
+func aggValue(a aggState, kind AggKind) any {
 	switch kind {
 	case AggSum:
 		return a.Sum
@@ -504,12 +505,14 @@ func aggValue(a starAgg, kind AggKind) any {
 			return 0.0
 		}
 		return a.Sum / float64(a.Count)
+	case AggDistinctCount:
+		return int64(len(a.distinct))
 	default:
 		return a.Count
 	}
 }
 
-func (s *Segment) executeSelect(q *Query, bm *Bitmap) (*Result, error) {
+func (s *Segment) executeSelect(q *Query, bm *Bitmap) (*Partial, error) {
 	cols := q.Select
 	if len(cols) == 0 {
 		cols = s.Schema.FieldNames()
@@ -519,7 +522,7 @@ func (s *Segment) executeSelect(q *Query, bm *Bitmap) (*Result, error) {
 			return nil, fmt.Errorf("olap: unknown select column %q", c)
 		}
 	}
-	res := &Result{Columns: append([]string(nil), cols...)}
+	p := &Partial{cols: append([]string(nil), cols...)}
 	limit := q.Limit
 	// Order-by requires materializing all matches; plain limited selects
 	// can stop early.
@@ -529,10 +532,10 @@ func (s *Segment) executeSelect(q *Query, bm *Bitmap) (*Result, error) {
 		for ci, c := range cols {
 			row[ci] = s.value(c, i)
 		}
-		res.Rows = append(res.Rows, row)
-		return !(early && len(res.Rows) >= limit)
+		p.rows = append(p.rows, row)
+		return !(early && len(p.rows) >= limit)
 	})
-	return res, nil
+	return p, nil
 }
 
 // sortAndLimit applies ORDER BY / LIMIT to a merged result in place.

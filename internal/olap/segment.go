@@ -213,14 +213,14 @@ func (ic IndexConfig) inverted(col string) bool {
 // Segment is an immutable columnar chunk of a table — the unit of storage,
 // replication, backup and query fan-out.
 type Segment struct {
-	Name     string
-	Schema   *metadata.Schema
-	NumRows  int
-	Columns  map[string]*column
-	Tree     *StarTree // nil unless configured
-	MinTime  int64
-	MaxTime  int64
-	Sealed   bool
+	Name    string
+	Schema  *metadata.Schema
+	NumRows int
+	Columns map[string]*column
+	Tree    *StarTree // nil unless configured
+	MinTime int64
+	MaxTime int64
+	Sealed  bool
 	// Partition is the upsert partition this segment belongs to (-1 when
 	// the table is not upsert-enabled).
 	Partition int

@@ -230,6 +230,11 @@ func (t *StarTree) Eligible(q *Query) bool {
 		}
 	}
 	for _, a := range q.Aggs {
+		if a.Kind == AggDistinctCount {
+			// The tree stores numeric rollups only; distinct sets are not
+			// pre-aggregated, so these queries scan.
+			return false
+		}
 		if a.Kind == AggCount && a.Column == "" {
 			continue
 		}

@@ -1,8 +1,8 @@
 package olap
 
 import (
+	"context"
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/metadata"
@@ -73,8 +73,11 @@ func (m *mutableSegment) add(r record.Record) int {
 }
 
 // executeRows runs a query by scanning raw rows — how consuming segments
-// answer queries before sealing. valid(i) gates upsert-superseded docs.
-func executeRows(schema *metadata.Schema, rows []record.Record, q *Query, valid func(int) bool) (*Result, error) {
+// answer queries before sealing — and returns a mergeable partial keyed the
+// same way as sealed-segment partials. valid(i) gates upsert-superseded
+// docs; ctx cancellation is honored between row batches so a timed-out
+// query does not keep scanning a large consuming segment.
+func executeRows(ctx context.Context, schema *metadata.Schema, rows []record.Record, q *Query, valid func(int) bool) (*Partial, error) {
 	match := func(r record.Record) (bool, error) {
 		for _, f := range q.Filters {
 			ok, err := rowMatches(schema, r, f)
@@ -87,9 +90,20 @@ func executeRows(schema *metadata.Schema, rows []record.Record, q *Query, valid 
 		}
 		return true, nil
 	}
+	const ctxCheckEvery = 1024
 	if len(q.Aggs) > 0 {
+		for _, a := range q.Aggs {
+			if a.Kind == AggDistinctCount && a.Column == "" {
+				return nil, fmt.Errorf("olap: distinctcount requires a column")
+			}
+		}
 		groups := make(map[string]*groupAgg)
 		for i, r := range rows {
+			if i%ctxCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if valid != nil && !valid(i) {
 				continue
 			}
@@ -100,16 +114,15 @@ func executeRows(schema *metadata.Schema, rows []record.Record, q *Query, valid 
 			if !ok {
 				continue
 			}
-			var kb strings.Builder
 			values := make([]any, len(q.GroupBy))
 			for gi, g := range q.GroupBy {
 				values[gi] = r[g]
-				fmt.Fprintf(&kb, "%v|", r[g])
 			}
-			g, ok2 := groups[kb.String()]
+			key := groupValueKey(values)
+			g, ok2 := groups[key]
 			if !ok2 {
 				g = newGroupAgg(q, values)
-				groups[kb.String()] = g
+				groups[key] = g
 			}
 			for ai, spec := range q.Aggs {
 				switch {
@@ -119,6 +132,10 @@ func executeRows(schema *metadata.Schema, rows []record.Record, q *Query, valid 
 					if _, has := r[spec.Column]; has {
 						g.aggs[ai].Count++
 					}
+				case spec.Kind == AggDistinctCount:
+					if v, has := r[spec.Column]; has && v != nil {
+						g.aggs[ai].addDistinct(distinctKey(v))
+					}
 				default:
 					if _, has := r[spec.Column]; has {
 						g.aggs[ai].add(r.Double(spec.Column))
@@ -126,16 +143,21 @@ func executeRows(schema *metadata.Schema, rows []record.Record, q *Query, valid 
 				}
 			}
 		}
-		res := buildGroupResult(q, groups)
-		res.Stats.RowsScanned = int64(len(rows))
-		return res, nil
+		p := &Partial{agg: true, groups: groups}
+		p.stats.RowsScanned = int64(len(rows))
+		return p, nil
 	}
 	cols := q.Select
 	if len(cols) == 0 {
 		cols = schema.FieldNames()
 	}
-	res := &Result{Columns: append([]string(nil), cols...)}
+	p := &Partial{cols: append([]string(nil), cols...)}
 	for i, r := range rows {
+		if i%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if valid != nil && !valid(i) {
 			continue
 		}
@@ -150,13 +172,13 @@ func executeRows(schema *metadata.Schema, rows []record.Record, q *Query, valid 
 		for ci, c := range cols {
 			row[ci] = r[c]
 		}
-		res.Rows = append(res.Rows, row)
-		if q.Limit > 0 && len(q.OrderBy) == 0 && len(res.Rows) >= q.Limit {
+		p.rows = append(p.rows, row)
+		if q.Limit > 0 && len(q.OrderBy) == 0 && len(p.rows) >= q.Limit {
 			break
 		}
 	}
-	res.Stats.RowsScanned = int64(len(rows))
-	return res, nil
+	p.stats.RowsScanned = int64(len(rows))
+	return p, nil
 }
 
 func rowMatches(schema *metadata.Schema, r record.Record, f Filter) (bool, error) {
@@ -207,119 +229,5 @@ func rowMatches(schema *metadata.Schema, r record.Record, f Filter) (bool, error
 		return false, nil
 	default:
 		return false, fmt.Errorf("olap: unsupported op %d", f.Op)
-	}
-}
-
-// MergeResults combines per-segment/per-server partial results: group
-// aggregates merge by group key; selection rows concatenate. The final
-// ORDER BY / LIMIT applies after the merge (scatter-gather-merge, §4.3).
-func MergeResults(q *Query, parts []*Result) (*Result, error) {
-	if len(parts) == 0 {
-		cols := append([]string(nil), q.GroupBy...)
-		for _, a := range q.Aggs {
-			cols = append(cols, a.outName())
-		}
-		if len(q.Aggs) == 0 {
-			cols = append([]string(nil), q.Select...)
-		}
-		res := &Result{Columns: cols}
-		if len(q.Aggs) > 0 && len(q.GroupBy) == 0 {
-			// Global aggregate over an empty table: one zero row.
-			row := make([]any, 0, len(q.Aggs))
-			for _, spec := range q.Aggs {
-				row = append(row, aggValue(starAgg{}, spec.Kind))
-			}
-			res.Rows = append(res.Rows, row)
-		}
-		return res, nil
-	}
-	merged := &Result{Columns: parts[0].Columns}
-	for _, p := range parts {
-		merged.Stats.SegmentsScanned += p.Stats.SegmentsScanned
-		merged.Stats.RowsScanned += p.Stats.RowsScanned
-		merged.Stats.StarTreeServed += p.Stats.StarTreeServed
-		merged.Stats.UpsertFiltered += p.Stats.UpsertFiltered
-	}
-	if len(q.Aggs) == 0 {
-		for _, p := range parts {
-			merged.Rows = append(merged.Rows, p.Rows...)
-		}
-		if err := sortAndLimit(merged, q); err != nil {
-			return nil, err
-		}
-		return merged, nil
-	}
-	// Re-group by the group-by columns.
-	nG := len(q.GroupBy)
-	type acc struct {
-		values []any
-		aggs   []starAgg
-	}
-	groups := make(map[string]*acc)
-	var order []string
-	for _, p := range parts {
-		for _, row := range p.Rows {
-			var kb strings.Builder
-			for i := 0; i < nG; i++ {
-				fmt.Fprintf(&kb, "%v|", row[i])
-			}
-			k := kb.String()
-			g, ok := groups[k]
-			if !ok {
-				g = &acc{values: append([]any(nil), row[:nG]...), aggs: make([]starAgg, len(q.Aggs))}
-				groups[k] = g
-				order = append(order, k)
-			}
-			for ai, spec := range q.Aggs {
-				v := row[nG+ai]
-				mergePartialAgg(&g.aggs[ai], spec.Kind, v)
-			}
-		}
-	}
-	sort.Strings(order)
-	for _, k := range order {
-		g := groups[k]
-		row := append([]any(nil), g.values...)
-		for ai, spec := range q.Aggs {
-			row = append(row, aggValue(g.aggs[ai], spec.Kind))
-		}
-		merged.Rows = append(merged.Rows, row)
-	}
-	if err := sortAndLimit(merged, q); err != nil {
-		return nil, err
-	}
-	return merged, nil
-}
-
-// mergePartialAgg folds a partial aggregate value into an accumulator.
-// AVG cannot be merged from averages, so segment executors return AVG as
-// sum and count via the starAgg path — here we reconstruct conservatively:
-// partial results produced by this package carry exact sums for AggAvg via
-// aggValue only at the final merge. To keep merges exact, executors in this
-// package are always merged through MergeResults at most once per level
-// with COUNT piggybacked; AVG at the broker uses SUM/COUNT pairs internally.
-func mergePartialAgg(a *starAgg, kind AggKind, v any) {
-	f, _ := toF64(v)
-	switch kind {
-	case AggCount:
-		a.Count += int64(f)
-	case AggSum:
-		a.Sum += f
-		a.Count++
-	case AggMin:
-		if a.Count == 0 || f < a.Min {
-			a.Min = f
-		}
-		a.Count++
-	case AggMax:
-		if a.Count == 0 || f > a.Max {
-			a.Max = f
-		}
-		a.Count++
-	case AggAvg:
-		// Weighted merge is impossible from a bare average; the broker
-		// rewrites AVG to SUM+COUNT before scattering (see Broker.Query).
-		a.Sum += f
-		a.Count++
 	}
 }

@@ -1,0 +1,19 @@
+// Package stream implements the streaming-storage layer of the stack (Fig 2
+// "Stream"): a partitioned, replicated append-only log with a
+// publish-subscribe interface — the in-process substitute for Apache Kafka
+// (§4.1). It provides topics split into partitions, segmented logs with
+// retention, producer acknowledgment modes (lossless vs high-throughput),
+// consumer groups with rebalancing and committed offsets, and node-failure
+// simulation.
+//
+// Uber's enhancements from §4.1 live in subpackages:
+//
+//   - federation: logical clusters spanning physical ones (§4.1.1, E6)
+//   - dlq: dead letter queues for poison messages (§4.1.2, E7)
+//   - proxy: the push-based consumer proxy (§4.1.3, Fig 4, E5)
+//   - replicator: uReplicator cross-cluster replication (§4.1.4, E8)
+//   - chaperone: end-to-end auditing (§4.1.5)
+//
+// Downstream, the flow package consumes these topics for stream processing
+// and the olap package ingests them into queryable segments.
+package stream

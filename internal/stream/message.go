@@ -1,14 +1,3 @@
-// Package stream implements the streaming-storage layer of the stack (Fig 2
-// "Stream"): a partitioned, replicated append-only log with a
-// publish-subscribe interface — the in-process substitute for Apache Kafka
-// (§4.1). It provides topics split into partitions, segmented logs with
-// retention, producer acknowledgment modes (lossless vs high-throughput),
-// consumer groups with rebalancing and committed offsets, and node-failure
-// simulation.
-//
-// Uber's enhancements from §4.1 live in subpackages: federation (logical
-// clusters), dlq (dead letter queues), proxy (push-based consumer proxy),
-// replicator (uReplicator) and chaperone (end-to-end auditing).
 package stream
 
 import (
