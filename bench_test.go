@@ -143,6 +143,15 @@ func BenchmarkE16_ParallelScatterGather(b *testing.B) {
 	}
 }
 
+// BenchmarkE17_SegmentLifecycle — §4.3.4/§4.4: bounded resident memory
+// under the lifecycle manager, broker time pruning ratio, and exact
+// results over deep-store-offloaded segments.
+func BenchmarkE17_SegmentLifecycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E17(20_000))
+	}
+}
+
 // BenchmarkParallelScatterGather compares the serial segment loop
 // (workers=1) against the bounded worker pool (workers=GOMAXPROCS) on the
 // same multi-segment grouped aggregation — the direct measurement behind

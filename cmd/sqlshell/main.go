@@ -5,13 +5,18 @@
 //
 // Usage: echo "SELECT city, COUNT(*) FROM pinot.orders GROUP BY city" | sqlshell
 // or run interactively and type queries terminated by newline; \q quits.
+// -timeout bounds each query (0 = none); a timed-out query cancels its
+// scatter-gather fan-out mid-flight via the engine's context path.
 package main
 
 import (
 	"bufio"
+	"context"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/fedsql"
 	"repro/internal/metadata"
@@ -21,6 +26,8 @@ import (
 )
 
 func main() {
+	timeout := flag.Duration("timeout", 0, "per-query deadline (e.g. 500ms, 2s); 0 disables")
+	flag.Parse()
 	engine, err := buildDemo()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlshell:", err)
@@ -33,11 +40,11 @@ func main() {
 	for scanner.Scan() {
 		line := strings.TrimSpace(scanner.Text())
 		switch {
-		case line == "" :
+		case line == "":
 		case line == `\q`, line == "exit", line == "quit":
 			return
 		default:
-			res, err := engine.Query(line)
+			res, err := runQuery(engine, line, *timeout)
 			if err != nil {
 				fmt.Println("error:", err)
 			} else {
@@ -46,6 +53,19 @@ func main() {
 		}
 		fmt.Print("sql> ")
 	}
+}
+
+// runQuery executes one statement under the configured deadline, threading
+// the context through Engine.QueryCtx so OLAP segment scans and federated
+// join sides stop when time runs out.
+func runQuery(engine *fedsql.Engine, sql string, timeout time.Duration) (*fedsql.Result, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return engine.QueryCtx(ctx, sql)
 }
 
 func printResult(res *fedsql.Result) {

@@ -13,9 +13,9 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/metadata"
-	"repro/internal/record"
-	"repro/internal/olap"
 	"repro/internal/objstore"
+	"repro/internal/olap"
+	"repro/internal/record"
 	"repro/internal/stream"
 )
 

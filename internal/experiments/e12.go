@@ -136,5 +136,6 @@ func AllWithIntegration() []Experiment {
 		merged = append(merged, e)
 	}
 	merged = append(merged, scatterGatherExperiments()...)
+	merged = append(merged, lifecycleExperiments()...)
 	return append(merged, Ablations()...)
 }

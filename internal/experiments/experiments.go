@@ -733,7 +733,10 @@ func E15(rowsN int) []Row {
 		panic(err)
 	}
 	// "Flink" pre-aggregation: per (city,status,minute) rollup.
-	type key struct{ city, status string; minute int64 }
+	type key struct {
+		city, status string
+		minute       int64
+	}
 	rollup := make(map[key]*struct {
 		count  int64
 		amount float64

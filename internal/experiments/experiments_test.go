@@ -139,6 +139,21 @@ func TestExperimentShapes(t *testing.T) {
 			t.Errorf("pre-agg speedup = %.1f, want >= 2", r)
 		}
 	})
+	t.Run("E17", func(t *testing.T) {
+		rows := E17(20_000)
+		if r := get(rows, "resident_reduction"); r < 2 {
+			t.Errorf("lifecycle resident reduction = %.1fx, want >= 2x", r)
+		}
+		if r := get(rows, "pruning_ratio"); r < 0.5 {
+			t.Errorf("pruning ratio = %.2f, want >= 0.5", r)
+		}
+		if get(rows, "offloaded_exact_match") != 1 {
+			t.Error("offloaded query did not match the all-hot baseline")
+		}
+		if get(rows, "deepstore_reloads") == 0 {
+			t.Error("exactness check never exercised a deep-store reload")
+		}
+	})
 }
 
 func TestAllListsEverything(t *testing.T) {
@@ -150,7 +165,7 @@ func TestAllListsEverything(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15", "E16", "E17"} {
 		if !ids[want] {
 			t.Errorf("experiment %s missing from AllWithIntegration", want)
 		}

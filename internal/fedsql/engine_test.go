@@ -277,9 +277,9 @@ func TestDefaultCatalog(t *testing.T) {
 func TestQueryErrors(t *testing.T) {
 	e, _ := setupEngine(t, 10)
 	bad := []string{
-		"SELECT x FROM ghost.t",                     // unknown catalog
-		"SELECT x FROM pinot.ghost",                 // unknown table
-		"not sql",                                   // parse error
+		"SELECT x FROM ghost.t",     // unknown catalog
+		"SELECT x FROM pinot.ghost", // unknown table
+		"not sql",                   // parse error
 		"SELECT COUNT(*) FROM orders GROUP BY TUMBLE(ts, 1000)", // window in fedsql
 	}
 	for _, sql := range bad {

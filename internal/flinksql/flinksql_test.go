@@ -66,11 +66,11 @@ func setupTopic(t *testing.T, n int) (*stream.Cluster, *record.Codec) {
 
 func TestCompileRejections(t *testing.T) {
 	bad := []string{
-		"SELECT city, COUNT(*) FROM trips GROUP BY city",                      // agg without window
-		"SELECT city FROM trips ORDER BY city",                                // order by on stream
-		"SELECT a.x FROM a JOIN b ON a.k = b.k",                               // join
-		"SELECT city FROM (SELECT city FROM trips) t",                         // subquery
-		"SELECT fare, COUNT(*) FROM trips GROUP BY city, TUMBLE(ts, 60000)",   // non-grouped projection
+		"SELECT city, COUNT(*) FROM trips GROUP BY city",                    // agg without window
+		"SELECT city FROM trips ORDER BY city",                              // order by on stream
+		"SELECT a.x FROM a JOIN b ON a.k = b.k",                             // join
+		"SELECT city FROM (SELECT city FROM trips) t",                       // subquery
+		"SELECT fare, COUNT(*) FROM trips GROUP BY city, TUMBLE(ts, 60000)", // non-grouped projection
 	}
 	for _, sql := range bad {
 		stmt, err := sqlparse.Parse(sql)

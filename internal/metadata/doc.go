@@ -1,0 +1,19 @@
+// Package metadata implements the metadata layer of the real-time data
+// infrastructure (DESIGN.md, Fig 2 "Metadata"; §4.4): a versioned schema
+// registry with backward-compatibility checks and data-lineage tracking.
+//
+// Every structured dataset flowing through the stack — a stream topic, an
+// OLAP table, an archival table — registers its Schema here. Schemas are
+// versioned; registering a new version runs a compatibility check so that
+// readers built against older versions keep working (the paper's "checks
+// for ensuring backward compatibility across versions"). A Schema names
+// its fields and types, and distinguishes the roles the layers above key
+// on: TimeField drives segment time bounds, retention and broker time
+// pruning in internal/olap; PrimaryKey drives upsert semantics; Dimension
+// marks group-by columns for star-tree construction.
+//
+// The Registry additionally records lineage edges — which component reads
+// which dataset to produce which other dataset — reproducing the §9.4
+// "data discovery" role: given a dataset, walk upstream to its sources or
+// downstream to everything derived from it.
+package metadata

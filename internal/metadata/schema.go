@@ -1,12 +1,3 @@
-// Package metadata implements the metadata layer of the real-time data
-// infrastructure (DESIGN.md, Fig 2 "Metadata"): a versioned schema registry
-// with backward-compatibility checks and data-lineage tracking.
-//
-// Every structured dataset flowing through the stack — a stream topic, an
-// OLAP table, an archival table — registers its schema here. Schemas are
-// versioned; registering a new version runs a compatibility check so that
-// readers built against older versions keep working (the paper's "checks for
-// ensuring backward compatibility across versions").
 package metadata
 
 import (

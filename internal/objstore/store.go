@@ -1,12 +1,3 @@
-// Package objstore implements the storage layer of the stack (Fig 2
-// "Storage"): a generic object/blob store with read-after-write consistency,
-// optimized for a high write rate. It stands in for HDFS/S3/GCS in the paper
-// and serves the same three roles: long-term archival of raw streams, Flink
-// checkpoint backend, and Pinot segment store (§4.4).
-//
-// The store is in-process; "remote" failure modes that the experiments need
-// (segment-store outages halting ingestion, §4.3.4) are modeled by the
-// FaultStore wrapper with injectable error rates, latency and full outages.
 package objstore
 
 import (

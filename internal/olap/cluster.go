@@ -29,22 +29,42 @@ type location struct {
 	doc     int
 }
 
+// hosted tracks one sealed segment's local serving state: the resident
+// columnar data (nil while offloaded to the deep store), metadata kept
+// resident even while the data is not (so time pruning and upsert
+// invalidation never need a deep-store fetch), and the last query touch
+// that drives the lifecycle manager's LRU hot-set.
+type hosted struct {
+	seg       *Segment // nil while offloaded
+	numRows   int
+	minTime   int64
+	maxTime   int64
+	hasBounds bool
+	// lastQuery is unix-nanos of the latest query touch, atomic so the
+	// query path can record it under the server's read lock without
+	// serializing concurrent snapshot phases.
+	lastQuery atomic.Int64
+	retiredAt time.Time // non-zero once dropped from routing (compaction/retention)
+}
+
 // Server hosts segments for one table deployment. All methods are safe for
 // concurrent use.
 type Server struct {
 	name string
 
 	mu       sync.RWMutex
-	segments map[string]*Segment
+	segments map[string]*hosted
 	valid    map[string]*Bitmap // upsert: segment -> still-valid docs
 	down     bool
+	loader   func(name string) (*Segment, error)
+	reloads  int64
 }
 
 // NewServer creates an empty server.
 func NewServer(name string) *Server {
 	return &Server{
 		name:     name,
-		segments: make(map[string]*Segment),
+		segments: make(map[string]*hosted),
 		valid:    make(map[string]*Bitmap),
 	}
 }
@@ -69,40 +89,132 @@ func (s *Server) Down() bool {
 // AddSegment installs a sealed segment (with its upsert validity bitmap,
 // which may be nil for non-upsert tables).
 func (s *Server) AddSegment(seg *Segment, valid *Bitmap) {
+	h := &hosted{
+		seg:       seg,
+		numRows:   seg.NumRows,
+		minTime:   seg.MinTime,
+		maxTime:   seg.MaxTime,
+		hasBounds: seg.Schema.TimeField != "",
+	}
+	h.lastQuery.Store(time.Now().UnixNano())
 	s.mu.Lock()
-	s.segments[seg.Name] = seg
+	s.segments[seg.Name] = h
 	if valid != nil {
 		s.valid[seg.Name] = valid
 	}
 	s.mu.Unlock()
 }
 
-// HasSegment reports whether the server hosts the named segment.
+// HasSegment reports whether the server hosts the named segment (resident
+// or offloaded; retired segments no longer count).
 func (s *Server) HasSegment(name string) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	_, ok := s.segments[name]
-	return ok
+	h, ok := s.segments[name]
+	return ok && h.retiredAt.IsZero()
 }
 
-// Segment returns a hosted segment (nil when absent or server down).
+// Segment returns a hosted segment's resident data (nil when absent,
+// offloaded or server down).
 func (s *Server) Segment(name string) *Segment {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.down {
 		return nil
 	}
-	return s.segments[name]
+	if h, ok := s.segments[name]; ok {
+		return h.seg
+	}
+	return nil
 }
 
-// invalidate clears an upsert-superseded doc in a sealed segment.
+// SetLoader attaches the deep-store fetch used to transparently reload
+// offloaded segments during queries. The lifecycle manager installs it; a
+// server without a loader fails queries over offloaded segments.
+func (s *Server) SetLoader(fn func(name string) (*Segment, error)) {
+	s.mu.Lock()
+	s.loader = fn
+	s.mu.Unlock()
+}
+
+// Offload drops a segment's resident data, keeping routing metadata (time
+// bounds, row count) so pruning and upsert invalidation keep working. The
+// caller must have archived the segment first. Reports whether data was
+// actually released.
+func (s *Server) Offload(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.segments[name]
+	if !ok || !h.retiredAt.IsZero() || h.seg == nil {
+		return false
+	}
+	h.seg = nil
+	return true
+}
+
+// Retire unroutes a segment (compaction replaced it, or retention expired
+// it) while keeping its data briefly resident so queries that routed
+// before the swap still finish. PurgeRetired reclaims the memory.
+func (s *Server) Retire(name string) {
+	s.mu.Lock()
+	if h, ok := s.segments[name]; ok && h.retiredAt.IsZero() {
+		h.retiredAt = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// PurgeRetired drops retired segments (and their validity bitmaps) that
+// were retired before the cutoff, returning how many were reclaimed.
+func (s *Server) PurgeRetired(before time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for name, h := range s.segments {
+		if !h.retiredAt.IsZero() && h.retiredAt.Before(before) {
+			delete(s.segments, name)
+			delete(s.valid, name)
+			n++
+		}
+	}
+	return n
+}
+
+// Resident reports whether the named segment's data is in memory here.
+func (s *Server) Resident(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h, ok := s.segments[name]
+	return ok && h.seg != nil
+}
+
+// LastQuery returns the most recent query touch of a hosted segment (zero
+// when absent) — the lifecycle manager's LRU signal.
+func (s *Server) LastQuery(name string) time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if h, ok := s.segments[name]; ok {
+		return time.Unix(0, h.lastQuery.Load())
+	}
+	return time.Time{}
+}
+
+// Reloads returns how many deep-store reloads this server has performed.
+func (s *Server) Reloads() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reloads
+}
+
+// invalidate clears an upsert-superseded doc in a sealed segment. The
+// metadata kept by hosted lets this work even while the segment's data is
+// offloaded.
 func (s *Server) invalidate(segment string, doc int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	bm, ok := s.valid[segment]
 	if !ok {
-		if seg, has := s.segments[segment]; has {
-			bm = NewBitmap(seg.NumRows)
+		if h, has := s.segments[segment]; has {
+			bm = NewBitmap(h.numRows)
 			bm.Fill()
 			s.valid[segment] = bm
 		} else {
@@ -114,13 +226,18 @@ func (s *Server) invalidate(segment string, doc int) {
 
 // ExecuteOn runs a query over the named sealed segments hosted here,
 // scanning up to `workers` segments concurrently (0 means GOMAXPROCS) and
-// merging their partial-aggregate states as they complete. The context
-// cancels in-flight work between segment scans; ORDER-BY-agnostic LIMIT
-// selections stop as soon as enough rows have been gathered.
+// merging their partial-aggregate states as they complete. Segments whose
+// time bounds fall outside the query's TimeRange are pruned before any
+// scan is scheduled (and before any deep-store reload); offloaded segments
+// that survive pruning are transparently reloaded through the attached
+// loader and installed back as resident. The context cancels in-flight
+// work between segment scans; ORDER-BY-agnostic LIMIT selections stop as
+// soon as enough rows have been gathered.
 func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string, workers int) (*Partial, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	now := time.Now().UnixNano()
 	s.mu.RLock()
 	if s.down {
 		s.mu.RUnlock()
@@ -128,18 +245,61 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 	}
 	segs := make([]*Segment, 0, len(segmentNames))
 	valids := make([]*Bitmap, 0, len(segmentNames))
+	var offloaded []string
+	pruned := 0
 	for _, name := range segmentNames {
-		seg, ok := s.segments[name]
+		h, ok := s.segments[name]
 		if !ok {
 			s.mu.RUnlock()
 			return nil, fmt.Errorf("%w: %s on %s", ErrSegmentUnavailable, name, s.name)
 		}
-		segs = append(segs, seg)
+		// Time pruning: the bounds live in the hosted metadata, so an
+		// out-of-window offloaded segment is skipped without touching the
+		// deep store — pruning composes with tiering.
+		if q.Time != nil && h.hasBounds && !q.Time.Overlaps(h.minTime, h.maxTime) {
+			pruned++
+			continue
+		}
+		h.lastQuery.Store(now) // atomic: concurrent snapshots share the read lock
+		if h.seg == nil {
+			offloaded = append(offloaded, name)
+			continue
+		}
+		segs = append(segs, h.seg)
 		// Snapshot the validity bitmap: Server.invalidate mutates it under
 		// s.mu while scans here run lock-free (and now concurrently).
 		valids = append(valids, cloneValid(s.valid[name])) // nil when fully valid
 	}
+	loader := s.loader
 	s.mu.RUnlock()
+
+	// Transparent reload of offloaded segments, outside the server lock
+	// (the deep store may be slow or down). A reload failure fails only
+	// queries that need the cold segment; hot-set queries are unaffected —
+	// the graceful-degradation contract under a deep-store outage.
+	reloaded := 0
+	for _, name := range offloaded {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if loader == nil {
+			return nil, fmt.Errorf("%w: %s offloaded on %s with no loader", ErrSegmentUnavailable, name, s.name)
+		}
+		seg, err := loader(name)
+		if err != nil {
+			return nil, fmt.Errorf("%w: reloading %s on %s: %v", ErrSegmentUnavailable, name, s.name, err)
+		}
+		s.mu.Lock()
+		if h, ok := s.segments[name]; ok && h.seg == nil {
+			h.seg = seg
+			s.reloads++
+		}
+		v := cloneValid(s.valid[name])
+		s.mu.Unlock()
+		reloaded++
+		segs = append(segs, seg)
+		valids = append(valids, v)
+	}
 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -149,6 +309,8 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 	}
 	limit := earlyLimit(q)
 	acc := newPartial(q)
+	acc.stats.SegmentsPruned = pruned
+	acc.stats.SegmentsReloaded = reloaded
 
 	if workers <= 1 {
 		// Serial fast path: no goroutine or channel overhead — the
@@ -211,13 +373,16 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 	return acc, nil
 }
 
-// MemBytes approximates the server's segment memory.
+// MemBytes approximates the server's resident segment memory. Offloaded
+// segments contribute nothing — the bound the lifecycle manager enforces.
 func (s *Server) MemBytes() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var n int64
-	for _, seg := range s.segments {
-		n += seg.MemBytes()
+	for _, h := range s.segments {
+		if h.seg != nil {
+			n += h.seg.MemBytes()
+		}
 	}
 	for _, bm := range s.valid {
 		n += bm.MemBytes()
@@ -277,6 +442,13 @@ type Deployment struct {
 	upsertLoc map[int]map[string]location
 	// segment placement: name -> replica server indexes.
 	placement map[string][]int
+	// segMeta: sealed-segment metadata the lifecycle layer steers by
+	// (retention, pruning ratios, compaction candidates) without needing
+	// the segments resident anywhere.
+	segMeta map[string]*segMeta
+	// compactSeq numbers compacted segments per partition so merged names
+	// never collide with consuming-segment names.
+	compactSeq map[int]int
 	// partitionOwner: partition -> primary server index.
 	partitionOwner map[int]int
 	// controller serializes centralized backups (the single-controller
@@ -314,6 +486,8 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		segSeq:         make(map[int]int),
 		upsertLoc:      make(map[int]map[string]location),
 		placement:      make(map[string][]int),
+		segMeta:        make(map[string]*segMeta),
+		compactSeq:     make(map[int]int),
 		partitionOwner: make(map[int]int),
 	}, nil
 }
@@ -471,6 +645,12 @@ func (d *Deployment) Seal(partition int) error {
 
 	d.mu.Lock()
 	d.placement[seg.Name] = replicas
+	d.segMeta[seg.Name] = &segMeta{
+		partition: partition,
+		numRows:   seg.NumRows,
+		minTime:   seg.MinTime,
+		maxTime:   seg.MaxTime,
+	}
 	d.sealed++
 	if d.cfg.Upsert {
 		// Rewrite mutable locations to the sealed segment.

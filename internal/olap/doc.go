@@ -28,4 +28,17 @@
 // the optional per-query BrokerOptions.Timeout stop segment scans between
 // segments, and ORDER-BY-agnostic LIMIT selections cancel the remaining
 // fan-out as soon as enough rows have been gathered.
+//
+// # Segment lifecycle
+//
+// Sealed segments move through a lifecycle managed by the subpackage
+// internal/olap/lifecycle over the maintenance surface in maintain.go:
+// hot (resident on replica servers) → offloaded (encoded form in the deep
+// store only, routing metadata resident, transparently reloaded on query
+// touch) → expired (dropped by retention once the segment's time bounds
+// leave the window). Queries carrying a TimeRange (Query.Time) prune
+// segments whose [MinTime, MaxTime] bounds don't overlap before any scan
+// or deep-store fetch (ExecStats.SegmentsPruned), and background
+// compaction merges a partition's small sealed segments into one without
+// blocking concurrent queries or upsert invalidation.
 package olap

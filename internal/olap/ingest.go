@@ -99,6 +99,26 @@ func (ri *RealtimeIngester) Errors() (int64, error) {
 	return n, nil
 }
 
+// IngestStats is a point-in-time snapshot of ingestion health: the error
+// counters the consume loops maintain plus the current backlog — what an
+// operator dashboard (or test) polls to see whether ingestion is keeping
+// up and why not.
+type IngestStats struct {
+	// Errors counts decode failures (corrupt messages, skipped) and seal
+	// failures (segment-store outages, retried).
+	Errors int64
+	// LastErr is the most recent ingestion error (nil when none).
+	LastErr error
+	// Lag is the total unconsumed backlog across partitions.
+	Lag int64
+}
+
+// Stats snapshots the ingester's health counters.
+func (ri *RealtimeIngester) Stats() IngestStats {
+	n, err := ri.Errors()
+	return IngestStats{Errors: n, LastErr: err, Lag: ri.Lag()}
+}
+
 func (ri *RealtimeIngester) consumePartition(p int) {
 	defer ri.wg.Done()
 	tp := stream.TopicPartition{Topic: ri.topic, Partition: p}

@@ -134,6 +134,8 @@ func (p *Partial) Merge(o *Partial) {
 	p.stats.RowsScanned += o.stats.RowsScanned
 	p.stats.StarTreeServed += o.stats.StarTreeServed
 	p.stats.UpsertFiltered += o.stats.UpsertFiltered
+	p.stats.SegmentsPruned += o.stats.SegmentsPruned
+	p.stats.SegmentsReloaded += o.stats.SegmentsReloaded
 	if p.agg {
 		for k, g := range o.groups {
 			mine, ok := p.groups[k]

@@ -100,6 +100,30 @@ type OrderSpec struct {
 	Desc   bool
 }
 
+// TimeRange restricts a query to rows whose time-column value lies in
+// [From, To], both inclusive, in the time column's native unit (epoch
+// milliseconds throughout this repo). Brokers and servers use it to *prune*
+// whole segments whose [MinTime, MaxTime] bounds don't overlap the range
+// before scheduling any scan — Pinot's broker-side time pruning — and
+// segments that do overlap apply it as an ordinary range filter on the
+// table's time column so partially-overlapping segments stay exact.
+type TimeRange struct {
+	From int64
+	To   int64
+}
+
+// Overlaps reports whether a segment with bounds [min, max] can contain
+// rows inside the range.
+func (tr *TimeRange) Overlaps(min, max int64) bool {
+	return tr == nil || (max >= tr.From && min <= tr.To)
+}
+
+// Contains reports whether [min, max] lies entirely inside the range, in
+// which case the time predicate is a no-op for that segment.
+func (tr *TimeRange) Contains(min, max int64) bool {
+	return tr == nil || (min >= tr.From && max <= tr.To)
+}
+
 // Query is the structured query the OLAP layer executes — the "limited SQL
 // capability" of the Fig 2 OLAP abstraction: filter, aggregate, group-by,
 // order-by, limit. Joins and subqueries belong to the SQL layer above
@@ -116,6 +140,12 @@ type Query struct {
 	Select  []string
 	OrderBy []OrderSpec
 	Limit   int
+	// Time optionally restricts the query to a time window over the
+	// schema's TimeField. Servers skip segments whose time bounds fall
+	// outside the window (reported in ExecStats.SegmentsPruned) and apply
+	// the window as a row filter on overlapping segments. Nil means no
+	// time restriction. Ignored for tables without a TimeField.
+	Time *TimeRange
 }
 
 // Result is a column-oriented query result.
@@ -134,6 +164,13 @@ type ExecStats struct {
 	StarTreeServed  int // segments answered from the star-tree
 	ServersQueried  int // broker-level fan-out
 	UpsertFiltered  int64
+	// SegmentsPruned counts sealed segments skipped (never scanned, never
+	// reloaded from the deep store) because their time bounds don't
+	// overlap the query's TimeRange.
+	SegmentsPruned int
+	// SegmentsReloaded counts offloaded segments pulled back from the
+	// deep store to answer this query.
+	SegmentsReloaded int
 }
 
 // groupAgg accumulates one output group as mergeable partial states.
@@ -159,6 +196,25 @@ func normalizeFilterValue(c *column, v any) any {
 		return f
 	}
 	return v
+}
+
+// timeFilters returns the query's filters plus, when a time window applies
+// to this segment, an OpBetween predicate over the schema's time column —
+// the exactness half of time pruning: a segment that only partially
+// overlaps the window still returns only in-window rows. Segments fully
+// inside the window skip the extra predicate.
+func (s *Segment) timeFilters(q *Query) []Filter {
+	if q.Time == nil || s.Schema.TimeField == "" || q.Time.Contains(s.MinTime, s.MaxTime) {
+		return q.Filters
+	}
+	filters := make([]Filter, 0, len(q.Filters)+1)
+	filters = append(filters, q.Filters...)
+	return append(filters, Filter{
+		Column: s.Schema.TimeField,
+		Op:     OpBetween,
+		Value:  q.Time.From,
+		Value2: q.Time.To,
+	})
 }
 
 // filterBitmap evaluates all filters on the segment, returning the matching
@@ -318,14 +374,18 @@ func (s *Segment) Execute(q *Query, valid *Bitmap) (*Result, error) {
 // Aggregations stay as running states (AVG as SUM+COUNT, DISTINCTCOUNT as a
 // value set) so partials from many segments merge exactly at any level.
 func (s *Segment) ExecutePartial(q *Query, valid *Bitmap) (*Partial, error) {
-	// Star-tree fast path (only when no upsert filtering applies).
-	if s.Tree != nil && valid == nil && s.Tree.Eligible(q) {
+	// Star-tree fast path (only when no upsert filtering applies, and —
+	// for time-windowed queries — only when the time predicate is a no-op
+	// the tree can safely ignore: the table has no time column, or the
+	// segment lies entirely inside the window).
+	timeNoop := q.Time == nil || s.Schema.TimeField == "" || q.Time.Contains(s.MinTime, s.MaxTime)
+	if s.Tree != nil && valid == nil && timeNoop && s.Tree.Eligible(q) {
 		p := partialFromGroups(s.Tree.query(s, q))
 		p.stats.SegmentsScanned = 1
 		p.stats.StarTreeServed = 1
 		return p, nil
 	}
-	bm, err := s.filterBitmap(q.Filters)
+	bm, err := s.filterBitmap(s.timeFilters(q))
 	if err != nil {
 		return nil, err
 	}

@@ -398,6 +398,25 @@ func DecodeSegment(data []byte) (*Segment, error) {
 	return &s, nil
 }
 
+// DecodeRows reconstructs the segment's rows as records in doc-ID order —
+// the input compaction feeds back through BuildSegment when merging many
+// small sealed segments into one. Columns the segment never encoded
+// (TypeBytes blobs) are absent from the decoded rows, matching what any
+// query could observe.
+func (s *Segment) DecodeRows() []record.Record {
+	rows := make([]record.Record, s.NumRows)
+	for i := range rows {
+		r := make(record.Record, len(s.Columns))
+		for name := range s.Columns {
+			if v := s.value(name, i); v != nil {
+				r[name] = v
+			}
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
 // value returns the decoded value of a column at a row (nil when absent).
 func (s *Segment) value(col string, row int) any {
 	c, ok := s.Columns[col]

@@ -79,6 +79,11 @@ func (m *mutableSegment) add(r record.Record) int {
 // query does not keep scanning a large consuming segment.
 func executeRows(ctx context.Context, schema *metadata.Schema, rows []record.Record, q *Query, valid func(int) bool) (*Partial, error) {
 	match := func(r record.Record) (bool, error) {
+		if q.Time != nil && schema.TimeField != "" {
+			if t := r.Long(schema.TimeField); t < q.Time.From || t > q.Time.To {
+				return false, nil
+			}
+		}
 		for _, f := range q.Filters {
 			ok, err := rowMatches(schema, r, f)
 			if err != nil {

@@ -1,10 +1,3 @@
-// Package regions implements the all-active multi-region strategy of §6:
-// per-region regional and aggregate broker clusters, uReplicator pipes from
-// every regional cluster into every region's aggregate cluster (so each
-// region sees the global view), an active-active replicated database for
-// results and offset checkpoints, a coordinator electing the primary region,
-// and the offset sync service that lets active/passive consumers fail over
-// without loss or full-backlog replay (Fig 7).
 package regions
 
 import (

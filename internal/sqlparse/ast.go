@@ -116,9 +116,9 @@ type WindowSpec struct {
 
 // JoinSpec is FROM a JOIN b ON a.x = b.y.
 type JoinSpec struct {
-	Left, Right   *TableRef
-	LeftCol       string // qualified by Left's name/alias
-	RightCol      string
+	Left, Right *TableRef
+	LeftCol     string // qualified by Left's name/alias
+	RightCol    string
 	// WithinMs bounds |t_left - t_right| for streaming interval joins;
 	// 0 means equi-join without a time bound (batch join).
 	WithinMs int64

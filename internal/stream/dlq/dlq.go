@@ -75,8 +75,8 @@ func (c Config) withDefaults() Config {
 
 // Stats counts processing outcomes.
 type Stats struct {
-	Processed int64 // handler succeeded
-	Retried   int64 // individual retry attempts
+	Processed    int64 // handler succeeded
+	Retried      int64 // individual retry attempts
 	DeadLettered int64
 	Dropped      int64
 	Blocked      int64 // messages stuck behind a blocking failure
