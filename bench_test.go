@@ -152,6 +152,17 @@ func BenchmarkE17_SegmentLifecycle(b *testing.B) {
 	}
 }
 
+// BenchmarkE18_PushdownRouting — §4.3/§4.5 via the Query API v2: aggregate
+// pushdown moves per-group aggregate rows instead of raw rows (rows_reduction),
+// partition-aware routing contacts a strict subset of servers for
+// partition-filtered queries, and replica-group routing bounds unfiltered
+// fan-out to one replica set.
+func BenchmarkE18_PushdownRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E18(20_000))
+	}
+}
+
 // BenchmarkParallelScatterGather compares the serial segment loop
 // (workers=1) against the bounded worker pool (workers=GOMAXPROCS) on the
 // same multi-segment grouped aggregation — the direct measurement behind

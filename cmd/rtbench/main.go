@@ -38,7 +38,10 @@ func main() {
 		fmt.Printf("    (%.2fs)\n\n", time.Since(start).Seconds())
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "rtbench: no experiment matched %v\n", os.Args[1:])
+		fmt.Fprintf(os.Stderr, "rtbench: no experiment matched %v; available:\n", os.Args[1:])
+		for _, e := range all {
+			fmt.Fprintf(os.Stderr, "  %-5s %s\n", e.ID, e.Title)
+		}
 		os.Exit(1)
 	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -173,21 +174,30 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	// Query API v2: a typed request with a per-query deadline against the
+	// replica-group-aware router (the cube has one server, so the group is
+	// trivially the whole deployment — the shape matters, not the size).
 	broker := olap.NewBroker(cube)
-	res, err := broker.Query(&olap.Query{
-		GroupBy: []string{"model"},
-		Aggs:    []olap.AggSpec{{Kind: olap.AggAvg, Column: "mae", As: "mae"}},
-		OrderBy: []olap.OrderSpec{{Column: "mae", Desc: true}},
-		Limit:   5,
+	resp, err := broker.Execute(context.Background(), &olap.QueryRequest{
+		Query: &olap.Query{
+			GroupBy: []string{"model"},
+			Aggs:    []olap.AggSpec{{Kind: olap.AggAvg, Column: "mae", As: "mae"}},
+			OrderBy: []olap.OrderSpec{{Column: "mae", Desc: true}},
+			Limit:   5,
+		},
+		Timeout: 2 * time.Second,
+		Router:  &olap.ReplicaGroupRouter{},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nworst models by mean absolute error:")
-	for _, row := range res.Rows {
+	for _, row := range resp.Rows {
 		fmt.Printf("  %-10v mae=%.3f\n", row[0], row[1])
 	}
-	if len(res.Rows) > 0 && res.Rows[0][0] == "model-07" {
+	fmt.Printf("(route=%s servers_contacted=%d segments_scanned=%d)\n",
+		resp.Route.Router, resp.Stats.ServersContacted, resp.Stats.SegmentsScanned)
+	if len(resp.Rows) > 0 && resp.Rows[0][0] == "model-07" {
 		fmt.Println("\nalert: model-07 prediction drift detected (as injected)")
 	}
 }

@@ -90,6 +90,10 @@ func main() {
 	for _, row := range res.Rows {
 		fmt.Printf("%-10v %6v %10.2f\n", row[0], row[1], row[2])
 	}
+	// Query API v2 stats: the aggregation executed inside the OLAP layer,
+	// so only per-city aggregate rows crossed the connector boundary.
+	fmt.Printf("(pushed_aggs=%v rows_moved=%d route=%s servers_contacted=%d)\n",
+		res.Stats.PushedAggs, res.Stats.RowsReturned, res.Stats.Router, res.Stats.Exec.ServersContacted)
 
 	// 6. Streaming windows land asynchronously; show what closed so far.
 	time.Sleep(300 * time.Millisecond)

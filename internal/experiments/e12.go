@@ -137,5 +137,6 @@ func AllWithIntegration() []Experiment {
 	}
 	merged = append(merged, scatterGatherExperiments()...)
 	merged = append(merged, lifecycleExperiments()...)
+	merged = append(merged, pushdownRoutingExperiments()...)
 	return append(merged, Ablations()...)
 }

@@ -154,6 +154,21 @@ func TestExperimentShapes(t *testing.T) {
 			t.Error("exactness check never exercised a deep-store reload")
 		}
 	})
+	t.Run("E18", func(t *testing.T) {
+		rows := E18(12_000)
+		if r := get(rows, "rows_reduction"); r < 10 {
+			t.Errorf("pushdown rows reduction = %.1fx, want >= 10x", r)
+		}
+		if get(rows, "partition_servers_contacted") >= get(rows, "servers_total") {
+			t.Error("partition-filtered query should contact fewer servers than the cluster holds")
+		}
+		if get(rows, "partitions_pruned") == 0 {
+			t.Error("partition-filtered query should prune partitions")
+		}
+		if get(rows, "replica_group_servers_contacted") > get(rows, "servers_total")/2 {
+			t.Error("replica-group routing should bound fan-out to one replica set")
+		}
+	})
 }
 
 func TestAllListsEverything(t *testing.T) {
@@ -165,7 +180,7 @@ func TestAllListsEverything(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15", "E16", "E17"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15", "E16", "E17", "E18"} {
 		if !ids[want] {
 			t.Errorf("experiment %s missing from AllWithIntegration", want)
 		}

@@ -2,6 +2,7 @@ package fedsql
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -12,45 +13,98 @@ import (
 	"repro/internal/sqlparse"
 )
 
-// Capabilities advertises which plan fragments a connector can absorb.
+// ErrPushdownUnsupported is returned by AggregateScan when a connector
+// cannot execute aggregate queries inside its backend. The engine falls
+// back to Scan + engine-side aggregation and counts the fallback in
+// QueryStats.PushdownFallbacks.
+var ErrPushdownUnsupported = errors.New("fedsql: connector does not execute aggregates")
+
+// Capabilities advertises, fragment by fragment, what a connector can
+// absorb. Every field is explicit: a connector that supports nothing must
+// still say so (see ArchiveConnector.Capabilities) rather than leaning on
+// the zero value, so readers of the planner can see each decision gate.
 type Capabilities struct {
 	// Filters: WHERE predicates execute inside the backend.
 	Filters bool
-	// Aggregations: GROUP BY + aggregate functions execute inside.
+	// Aggregations: aggregate functions execute inside via AggregateScan.
 	Aggregations bool
-	// Limit: LIMIT (and ORDER BY with it) execute inside.
+	// GroupBy: grouped aggregations execute inside (requires Aggregations).
+	GroupBy bool
+	// OrderBy: ORDER BY executes inside the backend.
+	OrderBy bool
+	// Limit: LIMIT executes inside the backend.
 	Limit bool
 }
 
-// Pushdown is the plan fragment handed to a connector's Scan. Fields the
-// connector did not advertise are guaranteed empty.
+// Pushdown is the row-scan fragment handed to a connector's Scan: a
+// projection with filters and optional ordering/limit. Aggregations travel
+// separately through AggregateScan. Fields the connector did not advertise
+// are guaranteed empty.
 type Pushdown struct {
 	// Columns is the projection (empty = all columns).
 	Columns []string
 	// Filters are WHERE conjuncts on this table.
 	Filters []sqlparse.Predicate
-	// GroupBy + Aggs describe a pushed-down aggregation; when set, Scan
-	// returns aggregated rows named by SelectItem.OutputName.
-	GroupBy []string
-	Aggs    []sqlparse.SelectItem
-	// OrderBy/Limit apply inside the backend (only valid with Aggs or a
-	// plain projection).
+	// OrderBy/Limit apply inside the backend.
 	OrderBy []sqlparse.OrderItem
 	Limit   int
 }
 
-// ScanStats reports connector-side work, for EXPLAIN-style diagnostics and
-// the pushdown experiment (E11).
-type ScanStats struct {
+// AggregateQuery is a whole aggregate query for connector-side execution:
+// the fragment AggregateScan pushes into the backend so only (partial)
+// aggregate states cross the connector boundary, never raw rows.
+type AggregateQuery struct {
+	Filters []sqlparse.Predicate
+	GroupBy []string
+	Aggs    []sqlparse.SelectItem
+	OrderBy []sqlparse.OrderItem
+	Limit   int
+}
+
+// QueryStats unifies the old connector ScanStats and the OLAP layer's
+// ExecStats into the one stats block a federated query reports: what
+// crossed the connector boundary, which fragments executed inside the
+// backend, and what the backend's execution and routing looked like.
+type QueryStats struct {
 	// RowsReturned is what crossed the connector boundary into the engine.
 	RowsReturned int64
-	// Pushed indicates the fragment actually executed inside the backend.
+	// Pushed* indicate the fragment actually executed inside the backend.
 	PushedFilters bool
 	PushedAggs    bool
 	PushedLimit   bool
+	// PushdownFallbacks counts aggregate queries that fell back to row
+	// scan + engine-side aggregation because the connector lacked the
+	// capability (or its AggregateScan refused).
+	PushdownFallbacks int64
+	// Router names the backend routing strategy ("" when the backend has
+	// none, e.g. the archive).
+	Router string
+	// Exec carries the backend's execution counters (segment scans, time
+	// pruning, server fan-out, partition pruning) when the backend is the
+	// OLAP layer; zero otherwise.
+	Exec olap.ExecStats
 }
 
-// Connector is the backend interface (Presto's Connector API).
+// Merge folds another scan's stats into this one (joins, subqueries):
+// counters add, pushed flags OR (did *any* scan push), and the first
+// non-empty router name wins.
+func (s *QueryStats) Merge(o QueryStats) {
+	s.RowsReturned += o.RowsReturned
+	s.PushedFilters = s.PushedFilters || o.PushedFilters
+	s.PushedAggs = s.PushedAggs || o.PushedAggs
+	s.PushedLimit = s.PushedLimit || o.PushedLimit
+	s.PushdownFallbacks += o.PushdownFallbacks
+	if s.Router == "" {
+		s.Router = o.Router
+	}
+	s.Exec.Add(o.Exec)
+}
+
+// Connector is the backend interface (Presto's Connector API), v2: Scan
+// pulls (possibly filtered, projected, limited) rows; AggregateScan pushes
+// a whole aggregate query into the backend. Connectors that cannot run
+// aggregates return ErrPushdownUnsupported from AggregateScan and let the
+// engine aggregate the scanned rows itself.
 type Connector interface {
 	// Name returns the catalog name ("pinot", "hive", ...).
 	Name() string
@@ -58,29 +112,39 @@ type Connector interface {
 	Tables() []string
 	// Schema describes one table.
 	Schema(table string) (*metadata.Schema, error)
-	// Capabilities advertises pushdown support.
+	// Capabilities advertises pushdown support, explicitly per fragment.
 	Capabilities() Capabilities
-	// Scan executes the pushed-down fragment and returns rows. The context
+	// Scan executes the row-scan fragment and returns rows. The context
 	// carries the federated query's deadline/cancellation into the backend,
 	// so a timed-out query stops scanning inside the OLAP layer too.
-	Scan(ctx context.Context, table string, pd Pushdown) ([]record.Record, ScanStats, error)
+	Scan(ctx context.Context, table string, pd Pushdown) ([]record.Record, QueryStats, error)
+	// AggregateScan executes a whole aggregate query inside the backend
+	// and returns one row per group, named by SelectItem.OutputName.
+	AggregateScan(ctx context.Context, table string, aq AggregateQuery) ([]record.Record, QueryStats, error)
 }
 
 // ---- Pinot connector ----
 
 // PinotConnector exposes OLAP deployments as federated tables with full
 // pushdown (§4.3.2: "predicate pushdowns and aggregation function pushdowns
-// enable us to achieve sub-second query latencies").
+// enable us to achieve sub-second query latencies"). AggregateScan maps to
+// the broker's scatter-gather, so a federated GROUP BY moves per-group
+// aggregate rows across the connector boundary instead of raw rows.
 type PinotConnector struct {
 	name    string
 	brokers map[string]*olap.Broker
 	schemas map[string]*metadata.Schema
-	// DisablePushdown forces scan-only behavior — the E11 baseline ("our
-	// first version of this connector only included predicate pushdown").
+	// DisablePushdown forces scan-only behavior — the E11/E18 baseline
+	// ("our first version of this connector only included predicate
+	// pushdown").
 	DisablePushdown bool
 	// Parallelism bounds the per-server segment-scan worker pool of brokers
 	// created by AddTable (0 = GOMAXPROCS, 1 = serial). Set before AddTable.
 	Parallelism int
+	// Router selects the broker routing strategy for tables added after it
+	// is set (nil = round-robin). E.g. &olap.PartitionRouter{} lets
+	// partition-filtered federated queries skip servers entirely.
+	Router olap.Router
 }
 
 // NewPinotConnector creates an empty Pinot catalog.
@@ -95,7 +159,10 @@ func NewPinotConnector(name string) *PinotConnector {
 // AddTable registers a deployment under its table name.
 func (p *PinotConnector) AddTable(d *olap.Deployment) {
 	cfg := d.Table()
-	p.brokers[cfg.Name] = olap.NewBrokerWithOptions(d, olap.BrokerOptions{Workers: p.Parallelism})
+	p.brokers[cfg.Name] = olap.NewBrokerWithOptions(d, olap.BrokerOptions{
+		Workers: p.Parallelism,
+		Router:  p.Router,
+	})
 	p.schemas[cfg.Name] = cfg.Schema
 }
 
@@ -121,39 +188,32 @@ func (p *PinotConnector) Schema(table string) (*metadata.Schema, error) {
 	return s.Clone(), nil
 }
 
-// Capabilities implements Connector.
+// Capabilities implements Connector: every fragment runs inside the OLAP
+// layer.
 func (p *PinotConnector) Capabilities() Capabilities {
 	if p.DisablePushdown {
 		return Capabilities{}
 	}
-	return Capabilities{Filters: true, Aggregations: true, Limit: true}
+	return Capabilities{Filters: true, Aggregations: true, GroupBy: true, OrderBy: true, Limit: true}
 }
 
-// Scan implements Connector by translating the pushdown into an OLAP query
-// executed under the caller's context, so the broker's parallel
-// scatter-gather (and its cancellation) reaches federated queries too.
-func (p *PinotConnector) Scan(ctx context.Context, table string, pd Pushdown) ([]record.Record, ScanStats, error) {
+// Scan implements Connector by translating the row-scan fragment into an
+// OLAP selection query executed under the caller's context, so the broker's
+// parallel scatter-gather (and its cancellation) reaches federated queries
+// too.
+func (p *PinotConnector) Scan(ctx context.Context, table string, pd Pushdown) ([]record.Record, QueryStats, error) {
 	broker, ok := p.brokers[table]
 	if !ok {
-		return nil, ScanStats{}, fmt.Errorf("fedsql: pinot table %q not found", table)
+		return nil, QueryStats{}, fmt.Errorf("fedsql: pinot table %q not found", table)
 	}
-	q := &olap.Query{Table: table}
+	q := &olap.Query{Table: table, Select: pd.Columns}
+	stats := QueryStats{PushedFilters: len(pd.Filters) > 0}
 	for _, f := range pd.Filters {
 		of, err := toOlapFilter(f)
 		if err != nil {
-			return nil, ScanStats{}, err
+			return nil, QueryStats{}, err
 		}
 		q.Filters = append(q.Filters, of)
-	}
-	stats := ScanStats{PushedFilters: len(pd.Filters) > 0}
-	if len(pd.Aggs) > 0 {
-		q.GroupBy = pd.GroupBy
-		for _, a := range pd.Aggs {
-			q.Aggs = append(q.Aggs, olap.AggSpec{Kind: toOlapAgg(a.Func), Column: a.Column, As: a.OutputName()})
-		}
-		stats.PushedAggs = true
-	} else {
-		q.Select = pd.Columns
 	}
 	for _, o := range pd.OrderBy {
 		q.OrderBy = append(q.OrderBy, olap.OrderSpec{Column: o.Column, Desc: o.Desc})
@@ -162,14 +222,54 @@ func (p *PinotConnector) Scan(ctx context.Context, table string, pd Pushdown) ([
 		q.Limit = pd.Limit
 		stats.PushedLimit = true
 	}
-	res, err := broker.QueryCtx(ctx, q)
-	if err != nil {
-		return nil, ScanStats{}, err
+	return p.run(ctx, broker, q, stats)
+}
+
+// AggregateScan implements Connector by executing the whole aggregate
+// query in the OLAP layer: servers ship mergeable partial-aggregate states
+// to the broker, and only the finalized per-group rows cross the connector
+// boundary.
+func (p *PinotConnector) AggregateScan(ctx context.Context, table string, aq AggregateQuery) ([]record.Record, QueryStats, error) {
+	if p.DisablePushdown {
+		return nil, QueryStats{}, ErrPushdownUnsupported
 	}
-	rows := make([]record.Record, len(res.Rows))
-	for i, r := range res.Rows {
-		rec := make(record.Record, len(res.Columns))
-		for ci, c := range res.Columns {
+	broker, ok := p.brokers[table]
+	if !ok {
+		return nil, QueryStats{}, fmt.Errorf("fedsql: pinot table %q not found", table)
+	}
+	q := &olap.Query{Table: table, GroupBy: aq.GroupBy}
+	stats := QueryStats{PushedFilters: len(aq.Filters) > 0, PushedAggs: true}
+	for _, f := range aq.Filters {
+		of, err := toOlapFilter(f)
+		if err != nil {
+			return nil, QueryStats{}, err
+		}
+		q.Filters = append(q.Filters, of)
+	}
+	for _, a := range aq.Aggs {
+		q.Aggs = append(q.Aggs, olap.AggSpec{Kind: toOlapAgg(a.Func), Column: a.Column, As: a.OutputName()})
+	}
+	for _, o := range aq.OrderBy {
+		q.OrderBy = append(q.OrderBy, olap.OrderSpec{Column: o.Column, Desc: o.Desc})
+	}
+	if aq.Limit > 0 {
+		q.Limit = aq.Limit
+		stats.PushedLimit = true
+	}
+	return p.run(ctx, broker, q, stats)
+}
+
+// run executes an OLAP query through the typed v2 broker surface and
+// converts the response into connector rows + unified stats.
+func (p *PinotConnector) run(ctx context.Context, broker *olap.Broker, q *olap.Query, stats QueryStats) ([]record.Record, QueryStats, error) {
+	resp, err := broker.Execute(ctx, &olap.QueryRequest{Query: q})
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	rows := make([]record.Record, len(resp.Rows))
+	for i, r := range resp.Rows {
+		rec := make(record.Record, len(resp.Columns))
+		for ci, c := range resp.Columns {
 			if r[ci] != nil {
 				rec[c] = r[ci]
 			}
@@ -177,6 +277,8 @@ func (p *PinotConnector) Scan(ctx context.Context, table string, pd Pushdown) ([
 		rows[i] = rec
 	}
 	stats.RowsReturned = int64(len(rows))
+	stats.Router = resp.Route.Router
+	stats.Exec = resp.Stats
 	return rows, stats, nil
 }
 
@@ -224,7 +326,7 @@ func toOlapAgg(f sqlparse.FuncKind) olap.AggKind {
 
 // ArchiveConnector exposes the object store's columnar archive as read-only
 // tables. It advertises no pushdown: filters and aggregations run in the
-// engine, like Presto over HDFS/Hive — the latency contrast in E11.
+// engine, like Presto over HDFS/Hive — the latency contrast in E11/E18.
 type ArchiveConnector struct {
 	name    string
 	store   objstore.Store
@@ -263,22 +365,39 @@ func (a *ArchiveConnector) Schema(table string) (*metadata.Schema, error) {
 	return s.Clone(), nil
 }
 
-// Capabilities implements Connector: none (full engine-side processing).
-func (a *ArchiveConnector) Capabilities() Capabilities { return Capabilities{} }
+// Capabilities implements Connector. The archive pushes nothing down —
+// every fragment is declared unsupported so the engine plans full
+// engine-side processing (and counts the aggregate fallback), instead of
+// silently inheriting whatever the zero value happens to mean.
+func (a *ArchiveConnector) Capabilities() Capabilities {
+	return Capabilities{
+		Filters:      false,
+		Aggregations: false,
+		GroupBy:      false,
+		OrderBy:      false,
+		Limit:        false,
+	}
+}
 
 // Scan implements Connector with a full table read.
-func (a *ArchiveConnector) Scan(ctx context.Context, table string, pd Pushdown) ([]record.Record, ScanStats, error) {
+func (a *ArchiveConnector) Scan(ctx context.Context, table string, pd Pushdown) ([]record.Record, QueryStats, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, ScanStats{}, err
+		return nil, QueryStats{}, err
 	}
 	schema, ok := a.schemas[table]
 	if !ok {
-		return nil, ScanStats{}, fmt.Errorf("fedsql: archive table %q not found", table)
+		return nil, QueryStats{}, fmt.Errorf("fedsql: archive table %q not found", table)
 	}
 	reader := objstore.NewArchiveReader(a.store, table, schema)
 	rows, err := reader.ReadAll()
 	if err != nil {
-		return nil, ScanStats{}, err
+		return nil, QueryStats{}, err
 	}
-	return rows, ScanStats{RowsReturned: int64(len(rows))}, nil
+	return rows, QueryStats{RowsReturned: int64(len(rows))}, nil
+}
+
+// AggregateScan implements Connector: the archive cannot aggregate, so the
+// engine must pull rows and aggregate itself.
+func (a *ArchiveConnector) AggregateScan(ctx context.Context, table string, aq AggregateQuery) ([]record.Record, QueryStats, error) {
+	return nil, QueryStats{}, ErrPushdownUnsupported
 }

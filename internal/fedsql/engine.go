@@ -16,8 +16,11 @@ import (
 type Result struct {
 	Columns []string
 	Rows    [][]any
-	// Stats aggregates connector-side scan statistics.
-	Stats ScanStats
+	// Stats aggregates connector-side and backend execution statistics.
+	Stats QueryStats
+	// Plan holds one line per table scan describing the pushdown and
+	// routing decisions taken — the payload of sqlshell's EXPLAIN.
+	Plan []string
 }
 
 // Records converts the result rows into records keyed by column name.
@@ -42,6 +45,16 @@ func (r *Result) Records() []record.Record {
 type Engine struct {
 	connectors map[string]Connector
 	defaultCat string
+	// Logf, when set, receives one diagnostic line per pushdown fallback
+	// (an aggregate query a connector could not absorb). Fallbacks are
+	// counted in QueryStats.PushdownFallbacks regardless.
+	Logf func(format string, args ...any)
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.Logf != nil {
+		e.Logf(format, args...)
+	}
 }
 
 // NewEngine creates an engine. The first registered connector becomes the
@@ -98,7 +111,9 @@ func (e *Engine) QueryCtx(ctx context.Context, sql string) (*Result, error) {
 type relation struct {
 	rows  []record.Record
 	cols  []string // known column order (may be empty for star)
-	stats ScanStats
+	stats QueryStats
+	// plan collects one EXPLAIN line per table scan beneath this relation.
+	plan []string
 	// residual predicates still to be applied by the engine.
 	residual []sqlparse.Predicate
 	// aggregated marks that the connector already produced the final
@@ -143,7 +158,7 @@ func (e *Engine) execute(ctx context.Context, stmt *sqlparse.SelectStmt) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Columns: cols, Stats: rel.stats}
+	res := &Result{Columns: cols, Stats: rel.stats, Plan: rel.plan}
 	for _, r := range rows {
 		row := make([]any, len(cols))
 		for ci, c := range cols {
@@ -174,7 +189,7 @@ func (e *Engine) resolveRef(ctx context.Context, ref *sqlparse.TableRef, stmt *s
 		if err != nil {
 			return nil, err
 		}
-		rel := &relation{rows: sub.Records(), cols: sub.Columns, stats: sub.Stats}
+		rel := &relation{rows: sub.Records(), cols: sub.Columns, stats: sub.Stats, plan: sub.Plan}
 		// Outer predicates apply in the engine.
 		rel.residual = predicatesFor(stmt.Where, ref.RefName(), true)
 		return rel, nil
@@ -183,7 +198,11 @@ func (e *Engine) resolveRef(ctx context.Context, ref *sqlparse.TableRef, stmt *s
 	}
 }
 
-// scanTable plans pushdown for a single-table query.
+// scanTable plans pushdown for a single-table query: aggregate queries go
+// through AggregateScan when the connector declares the needed fragments,
+// falling back to row scan + engine-side aggregation otherwise (counted in
+// QueryStats.PushdownFallbacks); plain selections go through Scan with
+// filter/projection/order/limit pushdown per capability.
 func (e *Engine) scanTable(ctx context.Context, ref *sqlparse.TableRef, stmt *sqlparse.SelectStmt) (*relation, error) {
 	catalog := ref.Qualifier
 	if catalog == "" {
@@ -194,7 +213,7 @@ func (e *Engine) scanTable(ctx context.Context, ref *sqlparse.TableRef, stmt *sq
 		return nil, fmt.Errorf("fedsql: unknown catalog %q", catalog)
 	}
 	caps := conn.Capabilities()
-	pd := Pushdown{}
+	var pushFilters []sqlparse.Predicate
 	var residual []sqlparse.Predicate
 
 	mine := predicatesFor(stmt.Where, ref.RefName(), true)
@@ -202,58 +221,134 @@ func (e *Engine) scanTable(ctx context.Context, ref *sqlparse.TableRef, stmt *sq
 		for _, p := range mine {
 			cp := p
 			cp.Table = ""
-			pd.Filters = append(pd.Filters, cp)
+			pushFilters = append(pushFilters, cp)
 		}
 	} else {
 		residual = mine
 	}
 
-	// Aggregation pushdown: single-table aggregate query with all filters
-	// absorbed and no window.
 	isJoinless := stmt.From == ref
-	if caps.Aggregations && isJoinless && stmt.HasAggregates() && len(residual) == 0 && stmt.Window == nil {
-		pd.GroupBy = stripQualifiers(stmt.GroupBy)
-		for _, it := range stmt.Items {
-			if it.Func == sqlparse.FuncNone {
-				continue // plain group-by columns come back via GroupBy
+	if isJoinless && stmt.HasAggregates() && stmt.Window == nil {
+		// Aggregate pushdown: the whole aggregate query executes inside the
+		// backend when the connector declares the needed fragments and
+		// every filter was absorbed — only per-group aggregate rows cross
+		// the connector boundary then, never raw rows.
+		if caps.Aggregations && len(residual) == 0 && (len(stmt.GroupBy) == 0 || caps.GroupBy) {
+			aq := AggregateQuery{Filters: pushFilters, GroupBy: stripQualifiers(stmt.GroupBy)}
+			for _, it := range stmt.Items {
+				if it.Func == sqlparse.FuncNone {
+					continue // plain group-by columns come back via GroupBy
+				}
+				item := it
+				item.Table = ""
+				aq.Aggs = append(aq.Aggs, item)
 			}
-			item := it
-			item.Table = ""
-			pd.Aggs = append(pd.Aggs, item)
-		}
-		if caps.Limit {
-			for _, o := range stmt.OrderBy {
-				pd.OrderBy = append(pd.OrderBy, o)
+			if caps.OrderBy {
+				aq.OrderBy = append(aq.OrderBy, stmt.OrderBy...)
 			}
-			pd.Limit = stmt.Limit
+			if caps.Limit && (len(stmt.OrderBy) == 0 || len(aq.OrderBy) > 0) {
+				aq.Limit = stmt.Limit
+			}
+			rows, stats, err := conn.AggregateScan(ctx, ref.Name, aq)
+			if err == nil {
+				return &relation{
+					rows:       rows,
+					stats:      stats,
+					plan:       []string{planLine(catalog, ref.Name, "aggregate-scan", stats, 0)},
+					aggregated: true,
+					ordered:    aq.Limit > 0 || len(aq.OrderBy) > 0,
+				}, nil
+			}
+			if !errors.Is(err, ErrPushdownUnsupported) {
+				return nil, err
+			}
+			// A capable-looking connector refused: fall through to the
+			// row-scan fallback below.
 		}
-		rows, stats, err := conn.Scan(ctx, ref.Name, pd)
+		// Fallback: pull rows (with whatever filter pushdown the backend
+		// offers) and aggregate in the engine.
+		rows, stats, err := conn.Scan(ctx, ref.Name, Pushdown{Filters: pushFilters})
 		if err != nil {
 			return nil, err
 		}
-		return &relation{rows: rows, stats: stats, aggregated: true, ordered: pd.Limit > 0 || len(pd.OrderBy) > 0}, nil
+		stats.PushdownFallbacks++
+		e.logf("fedsql: aggregate pushdown fallback for %s.%s (connector capabilities %+v)", catalog, ref.Name, caps)
+		return &relation{
+			rows:     rows,
+			stats:    stats,
+			plan:     []string{planLine(catalog, ref.Name, "row-scan+engine-agg", stats, len(residual))},
+			residual: residual,
+		}, nil
 	}
 
 	// Projection pushdown for plain selections.
+	pd := Pushdown{Filters: pushFilters}
 	if !stmt.HasAggregates() && isJoinless {
-		pd.Columns = selectionColumns(stmt, ref.RefName())
-		if caps.Limit && len(residual) == 0 {
-			for _, o := range stmt.OrderBy {
-				pd.OrderBy = append(pd.OrderBy, o)
+		pd.Columns = selectionColumns(stmt, ref.RefName(), residual)
+		if len(residual) == 0 {
+			if caps.OrderBy {
+				pd.OrderBy = append(pd.OrderBy, stmt.OrderBy...)
 			}
-			pd.Limit = stmt.Limit
+			if caps.Limit && (len(stmt.OrderBy) == 0 || len(pd.OrderBy) > 0) {
+				pd.Limit = stmt.Limit
+			}
 		}
 	}
 	rows, stats, err := conn.Scan(ctx, ref.Name, pd)
 	if err != nil {
 		return nil, err
 	}
+	// ordered marks ORDER BY and LIMIT as fully applied in the backend, so
+	// the engine's own orderAndLimit pass can be skipped.
+	ordered := (len(stmt.OrderBy) == 0 || len(pd.OrderBy) > 0) &&
+		(stmt.Limit == 0 || pd.Limit > 0) &&
+		(len(pd.OrderBy) > 0 || pd.Limit > 0)
 	return &relation{
 		rows:     rows,
 		stats:    stats,
+		plan:     []string{planLine(catalog, ref.Name, "row-scan", stats, len(residual))},
 		residual: residual,
-		ordered:  len(pd.OrderBy) > 0 || (pd.Limit > 0 && len(stmt.OrderBy) == 0),
+		ordered:  ordered,
 	}, nil
+}
+
+// planLine renders one EXPLAIN line describing a table scan's pushdown and
+// routing decisions.
+func planLine(catalog, table, kind string, st QueryStats, residual int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scan %s.%s [%s]", catalog, table, kind)
+	var pushed []string
+	if st.PushedFilters {
+		pushed = append(pushed, "filters")
+	}
+	if st.PushedAggs {
+		pushed = append(pushed, "aggs")
+	}
+	if st.PushedLimit {
+		pushed = append(pushed, "limit")
+	}
+	if len(pushed) > 0 {
+		fmt.Fprintf(&b, " pushdown=%s", strings.Join(pushed, "+"))
+	} else {
+		b.WriteString(" pushdown=none")
+	}
+	if residual > 0 {
+		fmt.Fprintf(&b, " residual_filters=%d", residual)
+	}
+	if st.PushdownFallbacks > 0 {
+		fmt.Fprintf(&b, " fallbacks=%d", st.PushdownFallbacks)
+	}
+	if st.Router != "" {
+		fmt.Fprintf(&b, " route=%s servers_contacted=%d", st.Router, st.Exec.ServersContacted)
+		if st.Exec.PartitionsPruned > 0 {
+			fmt.Fprintf(&b, " partitions_pruned=%d", st.Exec.PartitionsPruned)
+		}
+		if st.Exec.SegmentsPruned > 0 {
+			fmt.Fprintf(&b, " segments_time_pruned=%d", st.Exec.SegmentsPruned)
+		}
+	}
+	fmt.Fprintf(&b, " rows_moved=%d", st.RowsReturned)
+	return b.String()
 }
 
 // resolveJoin executes both sides concurrently (with their single-table
@@ -346,7 +441,8 @@ func (e *Engine) resolveJoin(ctx context.Context, j *sqlparse.JoinSpec, stmt *sq
 		}
 	}
 	stats := leftRes.Stats
-	stats.RowsReturned += rightRes.Stats.RowsReturned
+	stats.Merge(rightRes.Stats)
+	plan := append(append([]string(nil), leftRes.Plan...), rightRes.Plan...)
 	// Residual: predicates with no side qualifier (must run post-join).
 	var residual []sqlparse.Predicate
 	for _, p := range stmt.Where {
@@ -354,7 +450,7 @@ func (e *Engine) resolveJoin(ctx context.Context, j *sqlparse.JoinSpec, stmt *sq
 			residual = append(residual, p)
 		}
 	}
-	return &relation{rows: joined, stats: stats, residual: residual}, nil
+	return &relation{rows: joined, stats: stats, plan: plan, residual: residual}, nil
 }
 
 // predicatesFor selects WHERE conjuncts for a table ref. includeUnqualified
@@ -385,7 +481,7 @@ func sqlSplit(col string) (table, column string) {
 }
 
 // selectionColumns lists projected column names for pushdown (nil for *).
-func selectionColumns(stmt *sqlparse.SelectStmt, refName string) []string {
+func selectionColumns(stmt *sqlparse.SelectStmt, refName string, residual []sqlparse.Predicate) []string {
 	var cols []string
 	for _, it := range stmt.Items {
 		if it.Star {
@@ -404,6 +500,11 @@ func selectionColumns(stmt *sqlparse.SelectStmt, refName string) []string {
 	for _, o := range stmt.OrderBy {
 		_, c := sqlSplit(o.Column)
 		if !need[c] {
+			return nil
+		}
+	}
+	for _, p := range residual {
+		if !need[p.Column] {
 			return nil
 		}
 	}
@@ -442,8 +543,11 @@ func rowSatisfies(r record.Record, p sqlparse.Predicate) bool {
 	return literalCompare(v, p)
 }
 
+// literalCompare evaluates one predicate against a row value using the
+// shared record.Compare ordering (numeric coercion included), so engine-side
+// residual filtering agrees exactly with pushed-down filtering.
 func literalCompare(v any, p sqlparse.Predicate) bool {
-	cmp := compareVals(v, p.Value)
+	cmp := record.Compare(v, p.Value)
 	switch p.Op {
 	case sqlparse.CmpEq:
 		return cmp == 0
@@ -458,50 +562,16 @@ func literalCompare(v any, p sqlparse.Predicate) bool {
 	case sqlparse.CmpGe:
 		return cmp >= 0
 	case sqlparse.CmpBetween:
-		return compareVals(v, p.Value) >= 0 && compareVals(v, p.Value2) <= 0
+		return cmp >= 0 && record.Compare(v, p.Value2) <= 0
 	case sqlparse.CmpIn:
 		for _, want := range p.Values {
-			if compareVals(v, want) == 0 {
+			if record.Compare(v, want) == 0 {
 				return true
 			}
 		}
 		return false
 	}
 	return false
-}
-
-func compareVals(v, lit any) int {
-	if lf, ok := toFloat(lit); ok {
-		if vf, ok := toFloat(v); ok {
-			switch {
-			case vf < lf:
-				return -1
-			case vf > lf:
-				return 1
-			default:
-				return 0
-			}
-		}
-	}
-	return strings.Compare(fmt.Sprintf("%v", v), fmt.Sprintf("%v", lit))
-}
-
-func toFloat(v any) (float64, bool) {
-	switch x := v.(type) {
-	case float64:
-		return x, true
-	case int64:
-		return float64(x), true
-	case int:
-		return float64(x), true
-	case bool:
-		if x {
-			return 1, true
-		}
-		return 0, true
-	default:
-		return 0, false
-	}
 }
 
 // aggregateRows runs engine-side hash aggregation.
@@ -548,7 +618,7 @@ func aggregateRows(rows []record.Record, stmt *sqlparse.SelectStmt) ([]record.Re
 			if v == nil {
 				continue
 			}
-			f, _ := toFloat(v)
+			f, _ := record.ToFloat64(v)
 			a.count++
 			a.sum += f
 			if !a.seen || f < a.min {
@@ -683,20 +753,7 @@ func orderAndLimit(res *Result, stmt *sqlparse.SelectStmt) error {
 		}
 		sort.SliceStable(res.Rows, func(a, b int) bool {
 			for i, o := range stmt.OrderBy {
-				va, vb := res.Rows[a][idx[i]], res.Rows[b][idx[i]]
-				var cmp int
-				if fa, ok := toFloat(va); ok {
-					if fb, ok2 := toFloat(vb); ok2 {
-						switch {
-						case fa < fb:
-							cmp = -1
-						case fa > fb:
-							cmp = 1
-						}
-					}
-				} else {
-					cmp = strings.Compare(fmt.Sprintf("%v", va), fmt.Sprintf("%v", vb))
-				}
+				cmp := record.Compare(res.Rows[a][idx[i]], res.Rows[b][idx[i]])
 				if cmp == 0 {
 					continue
 				}

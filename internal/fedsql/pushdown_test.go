@@ -1,0 +1,238 @@
+package fedsql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/objstore"
+	"repro/internal/olap"
+)
+
+// equivalenceQueries is the matrix every aggregate/group-by/limit shape must
+// answer identically through AggregateScan pushdown and through the
+// row-scan + engine-side-aggregation fallback.
+var equivalenceQueries = []string{
+	"SELECT COUNT(*) FROM pinot.orders",
+	"SELECT COUNT(*) AS n, SUM(amount) AS total FROM pinot.orders",
+	"SELECT AVG(amount) AS mean FROM pinot.orders",
+	"SELECT MIN(amount) AS lo, MAX(amount) AS hi FROM pinot.orders",
+	"SELECT city, COUNT(*) AS n FROM pinot.orders GROUP BY city",
+	"SELECT city, SUM(amount) AS total, AVG(amount) AS mean FROM pinot.orders GROUP BY city ORDER BY city",
+	"SELECT city, COUNT(*) AS n FROM pinot.orders WHERE amount > 3 GROUP BY city ORDER BY n DESC",
+	"SELECT city, SUM(amount) AS revenue FROM pinot.orders WHERE city = 'sf' GROUP BY city",
+	"SELECT city, COUNT(*) AS n FROM pinot.orders GROUP BY city ORDER BY n DESC LIMIT 2",
+	"SELECT COUNT(*) FROM pinot.orders WHERE amount >= 2 AND amount <= 8",
+	"SELECT order_id, amount FROM pinot.orders WHERE city = 'nyc' ORDER BY order_id LIMIT 9",
+}
+
+func rowsKey(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v\n", res.Columns)
+	for _, row := range res.Rows {
+		for _, v := range row {
+			fmt.Fprintf(&b, "%v|", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestPushdownEquivalenceMatrix: every aggregate/group-by/limit query must
+// return identical results via AggregateScan pushdown and via the row-scan
+// fallback path (DisablePushdown). Run under -race in CI.
+func TestPushdownEquivalenceMatrix(t *testing.T) {
+	e, pinot := setupEngine(t, 300)
+	for _, sql := range equivalenceQueries {
+		t.Run(sql, func(t *testing.T) {
+			pinot.DisablePushdown = false
+			pushed, err := e.Query(sql)
+			if err != nil {
+				t.Fatalf("pushdown: %v", err)
+			}
+			pinot.DisablePushdown = true
+			fallback, err := e.Query(sql)
+			pinot.DisablePushdown = false
+			if err != nil {
+				t.Fatalf("fallback: %v", err)
+			}
+			if got, want := rowsKey(pushed), rowsKey(fallback); got != want {
+				t.Errorf("pushdown and fallback disagree:\npushed:\n%s\nfallback:\n%s", got, want)
+			}
+		})
+	}
+}
+
+func TestAggregateFallbackCountedAndLogged(t *testing.T) {
+	e, pinot := setupEngine(t, 120)
+	var logged []string
+	e.Logf = func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}
+
+	// The archive cannot aggregate: the engine must count (and log) the
+	// fallback while still answering correctly.
+	res, err := e.Query("SELECT city, COUNT(*) AS n FROM hive.orders GROUP BY city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PushdownFallbacks != 1 {
+		t.Errorf("archive PushdownFallbacks = %d, want 1", res.Stats.PushdownFallbacks)
+	}
+	if res.Stats.PushedAggs {
+		t.Error("archive scan must not claim pushed aggregations")
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "fallback") {
+		t.Errorf("fallback not logged: %v", logged)
+	}
+
+	// Pushdown-disabled Pinot takes the same fallback path.
+	pinot.DisablePushdown = true
+	res, err = e.Query("SELECT COUNT(*) FROM pinot.orders")
+	pinot.DisablePushdown = false
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PushdownFallbacks != 1 {
+		t.Errorf("disabled-pinot PushdownFallbacks = %d, want 1", res.Stats.PushdownFallbacks)
+	}
+
+	// A pushed aggregate records no fallback.
+	res, err = e.Query("SELECT COUNT(*) FROM pinot.orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PushdownFallbacks != 0 || !res.Stats.PushedAggs {
+		t.Errorf("pushed aggregate: fallbacks=%d pushedAggs=%v", res.Stats.PushdownFallbacks, res.Stats.PushedAggs)
+	}
+}
+
+func TestArchiveCapabilitiesExplicit(t *testing.T) {
+	a := NewArchiveConnector("hive", nil)
+	caps := a.Capabilities()
+	if caps.Filters || caps.Aggregations || caps.GroupBy || caps.OrderBy || caps.Limit {
+		t.Errorf("archive capabilities must all be false: %+v", caps)
+	}
+	if _, _, err := a.AggregateScan(context.Background(), "orders", AggregateQuery{}); !errors.Is(err, ErrPushdownUnsupported) {
+		t.Errorf("archive AggregateScan err = %v, want ErrPushdownUnsupported", err)
+	}
+}
+
+func TestAggregateScanMovesAggregateRowsOnly(t *testing.T) {
+	e, _ := setupEngine(t, 300)
+	res, err := e.Query("SELECT city, SUM(amount) AS total FROM pinot.orders GROUP BY city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 cities in the fixture: exactly 3 aggregate rows cross the boundary.
+	if res.Stats.RowsReturned != 3 {
+		t.Errorf("RowsReturned = %d, want 3 (aggregate rows, not raw rows)", res.Stats.RowsReturned)
+	}
+	if res.Stats.Router == "" {
+		t.Error("stats should carry the backend routing strategy")
+	}
+	if res.Stats.Exec.SegmentsScanned == 0 {
+		t.Error("unified stats should carry backend ExecStats")
+	}
+}
+
+func TestPlanLinesDescribeDecisions(t *testing.T) {
+	e, pinot := setupEngine(t, 120)
+	res, err := e.Query("SELECT city, COUNT(*) AS n FROM pinot.orders WHERE city = 'sf' GROUP BY city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan) != 1 {
+		t.Fatalf("plan = %v, want one scan line", res.Plan)
+	}
+	line := res.Plan[0]
+	for _, want := range []string{"scan pinot.orders", "aggregate-scan", "filters", "aggs", "route=", "rows_moved=1"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("plan line %q missing %q", line, want)
+		}
+	}
+
+	pinot.DisablePushdown = true
+	res, err = e.Query("SELECT city, COUNT(*) AS n FROM pinot.orders GROUP BY city")
+	pinot.DisablePushdown = false
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan) != 1 || !strings.Contains(res.Plan[0], "row-scan+engine-agg") {
+		t.Errorf("fallback plan = %v, want row-scan+engine-agg line", res.Plan)
+	}
+
+	// Joins carry one line per side.
+	res, err = e.Query(`SELECT c.region, SUM(o.amount) AS revenue
+		FROM pinot.orders o JOIN hive.cities c ON o.city = c.city
+		GROUP BY c.region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan) != 2 {
+		t.Errorf("join plan = %v, want two scan lines", res.Plan)
+	}
+}
+
+// TestPartitionRoutedFederatedQuery wires a partition-aware router through
+// the connector: a partition-filtered federated aggregate must contact a
+// strict subset of servers and report pruned partitions in the unified
+// stats.
+func TestPartitionRoutedFederatedQuery(t *testing.T) {
+	const partitions = 4
+	servers := make([]*olap.Server, partitions)
+	for i := range servers {
+		servers[i] = olap.NewServer(fmt.Sprintf("s%d", i))
+	}
+	d, err := olap.NewDeployment(olap.DeploymentConfig{
+		Table: olap.TableConfig{
+			Name: "orders", Schema: ordersSchema(), SegmentRows: 25,
+			Replicas: 2, PartitionColumn: "city", Partitions: partitions,
+		},
+		Servers:      servers,
+		SegmentStore: objstore.NewMemStore(),
+		Backup:       olap.BackupP2P,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := map[int]bool{}
+	for _, r := range orderRows(300) {
+		p := olap.PartitionFor(r["city"], partitions)
+		present[p] = true
+		if err := d.Ingest(p, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := 0; p < partitions; p++ {
+		if err := d.Seal(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.WaitUploads()
+
+	pinot := NewPinotConnector("pinot")
+	pinot.Router = &olap.PartitionRouter{}
+	pinot.AddTable(d)
+	e := NewEngine()
+	e.Register(pinot)
+
+	res, err := e.Query("SELECT city, SUM(amount) AS revenue FROM pinot.orders WHERE city = 'sf' GROUP BY city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Router != "partition" {
+		t.Errorf("router = %q, want partition", res.Stats.Router)
+	}
+	if res.Stats.Exec.ServersContacted >= len(servers) {
+		t.Errorf("ServersContacted = %d, want < %d", res.Stats.Exec.ServersContacted, len(servers))
+	}
+	if want := len(present) - 1; res.Stats.Exec.PartitionsPruned != want {
+		t.Errorf("PartitionsPruned = %d, want %d", res.Stats.Exec.PartitionsPruned, want)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "sf" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}

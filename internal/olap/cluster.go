@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -224,16 +223,28 @@ func (s *Server) invalidate(segment string, doc int) {
 	bm.Clear(doc)
 }
 
+// ExecOptions tunes one server-side subquery execution.
+type ExecOptions struct {
+	// Workers bounds the segment-scan worker pool (0 means GOMAXPROCS; 1
+	// forces the serial baseline).
+	Workers int
+	// HotOnly skips offloaded segments instead of reloading them from the
+	// deep store — the ConsistencyHot execution mode, reported via
+	// ExecStats.SegmentsSkipped.
+	HotOnly bool
+}
+
 // ExecuteOn runs a query over the named sealed segments hosted here,
-// scanning up to `workers` segments concurrently (0 means GOMAXPROCS) and
-// merging their partial-aggregate states as they complete. Segments whose
-// time bounds fall outside the query's TimeRange are pruned before any
-// scan is scheduled (and before any deep-store reload); offloaded segments
-// that survive pruning are transparently reloaded through the attached
-// loader and installed back as resident. The context cancels in-flight
-// work between segment scans; ORDER-BY-agnostic LIMIT selections stop as
-// soon as enough rows have been gathered.
-func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string, workers int) (*Partial, error) {
+// scanning up to opts.Workers segments concurrently (0 means GOMAXPROCS)
+// and merging their partial-aggregate states as they complete. Segments
+// whose time bounds fall outside the query's TimeRange are pruned before
+// any scan is scheduled (and before any deep-store reload); offloaded
+// segments that survive pruning are transparently reloaded through the
+// attached loader and installed back as resident (or skipped under
+// opts.HotOnly). The context cancels in-flight work between segment scans;
+// ORDER-BY-agnostic LIMIT selections stop as soon as enough rows have been
+// gathered.
+func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string, opts ExecOptions) (*Partial, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -246,7 +257,7 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 	segs := make([]*Segment, 0, len(segmentNames))
 	valids := make([]*Bitmap, 0, len(segmentNames))
 	var offloaded []string
-	pruned := 0
+	pruned, skipped := 0, 0
 	for _, name := range segmentNames {
 		h, ok := s.segments[name]
 		if !ok {
@@ -262,6 +273,10 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 		}
 		h.lastQuery.Store(now) // atomic: concurrent snapshots share the read lock
 		if h.seg == nil {
+			if opts.HotOnly {
+				skipped++
+				continue
+			}
 			offloaded = append(offloaded, name)
 			continue
 		}
@@ -301,6 +316,7 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 		valids = append(valids, v)
 	}
 
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -311,6 +327,7 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 	acc := newPartial(q)
 	acc.stats.SegmentsPruned = pruned
 	acc.stats.SegmentsReloaded = reloaded
+	acc.stats.SegmentsSkipped = skipped
 
 	if workers <= 1 {
 		// Serial fast path: no goroutine or channel overhead — the
@@ -503,6 +520,15 @@ func (d *Deployment) Ingest(partition int, r record.Record) error {
 	conformed, err := record.Conform(r, d.cfg.Schema)
 	if err != nil {
 		return err
+	}
+	if d.cfg.PartitionColumn != "" {
+		// The partition-aware router prunes servers assuming records landed
+		// on PartitionFor(partition column); enforce that contract here so
+		// pruning can never silently miss rows.
+		if want := PartitionFor(conformed[d.cfg.PartitionColumn], d.cfg.Partitions); want != partition {
+			return fmt.Errorf("olap: record with %s=%v belongs on partition %d, ingested on %d",
+				d.cfg.PartitionColumn, conformed[d.cfg.PartitionColumn], want, partition)
+		}
 	}
 	d.mu.Lock()
 	owner, ok := d.partitionOwner[partition]
@@ -762,9 +788,10 @@ func (d *Deployment) RecoverServer(failed int) (int, error) {
 // query is decomposed into per-server subqueries over the segments each
 // server hosts, executed in parallel (with per-server segment-scan worker
 // pools), and the partial-aggregate states are merged as they stream back
-// (§4.3). Upsert tables use the partition-aware routing strategy: all
-// segments of one partition go to the partition's owner server so the
-// validity bitmaps stay consistent.
+// (§4.3). Which server answers each segment is a pluggable Router decision
+// (round-robin, replica-group-aware, partition-aware); see router.go. The
+// typed entry point is Execute (request.go); Query/QueryCtx are
+// conveniences over it.
 type Broker struct {
 	d    *Deployment
 	opts BrokerOptions
@@ -777,6 +804,10 @@ type BrokerOptions struct {
 	Workers int
 	// Timeout is the per-query deadline. 0 means no deadline.
 	Timeout time.Duration
+	// Router selects the routing strategy for every query of this broker
+	// (overridable per request). Nil means the round-robin default, which
+	// preserves the §4.3.1 partition-owner strategy for upsert tables.
+	Router Router
 }
 
 // NewBroker creates a broker over a deployment with default options
@@ -793,140 +824,17 @@ func (b *Broker) Query(q *Query) (*Result, error) {
 	return b.QueryCtx(context.Background(), q)
 }
 
-// QueryCtx executes a structured query under a caller context. The context
-// (plus the broker's configured timeout, when set) cancels the scatter
-// phase: per-server subqueries stop between segment scans and the merge
-// aborts. Partial-aggregate states (AVG as SUM+COUNT, DISTINCTCOUNT as a
-// value set) merge exactly in arrival order, and ORDER-BY-agnostic LIMIT
-// selections terminate early once enough rows have been gathered.
+// QueryCtx executes a structured query under a caller context with the
+// broker's default options — a convenience over Execute. The context (plus
+// the broker's configured timeout, when set) cancels the scatter phase:
+// per-server subqueries stop between segment scans and the merge aborts.
+// Partial-aggregate states (AVG as SUM+COUNT, DISTINCTCOUNT as a value set)
+// merge exactly in arrival order, and ORDER-BY-agnostic LIMIT selections
+// terminate early once enough rows have been gathered.
 func (b *Broker) QueryCtx(ctx context.Context, q *Query) (*Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if b.opts.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, b.opts.Timeout)
-		defer cancel()
-	}
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	// Route sealed segments.
-	b.d.mu.Lock()
-	assignment := make(map[int][]string) // server -> segments
-	for segName, replicas := range b.d.placement {
-		si, err := b.routeSegment(segName, replicas)
-		if err != nil {
-			b.d.mu.Unlock()
-			return nil, err
-		}
-		assignment[si] = append(assignment[si], segName)
-	}
-	// Consuming segments execute on their owner: snapshot rows and validity
-	// under the deployment lock so concurrent ingestion cannot race the scan.
-	type consumingScan struct {
-		owner   int
-		part    int
-		rows    []record.Record
-		invalid map[int]bool
-	}
-	var consuming []consumingScan
-	for part, ms := range b.d.consuming {
-		cs := consumingScan{owner: b.d.partitionOwner[part], part: part}
-		cs.rows = append([]record.Record(nil), ms.rows...)
-		cs.invalid = make(map[int]bool, len(ms.invalid))
-		for k, v := range ms.invalid {
-			cs.invalid[k] = v
-		}
-		consuming = append(consuming, cs)
-	}
-	upsert := b.d.cfg.Upsert
-	schema := b.d.cfg.Schema
-	b.d.mu.Unlock()
-
-	servers := make([]int, 0, len(assignment))
-	for si := range assignment {
-		servers = append(servers, si)
-	}
-	sort.Ints(servers)
-
-	// Scatter: one subquery per server plus one scan per consuming segment,
-	// all concurrent. Gather: merge partial states as they stream back.
-	units := len(servers) + len(consuming)
-	results := make(chan *Partial, units)
-	errs := make(chan error, units)
-	for _, si := range servers {
-		segs := assignment[si]
-		sort.Strings(segs)
-		go func(si int, segs []string) {
-			p, err := b.d.servers[si].ExecuteOn(ctx, q, segs, b.opts.Workers)
-			if err != nil {
-				errs <- err
-				return
-			}
-			results <- p
-		}(si, segs)
-	}
-	for _, cs := range consuming {
-		go func(cs consumingScan) {
-			if b.d.servers[cs.owner].Down() {
-				errs <- fmt.Errorf("%w: consuming partition %d owner %s", ErrServerDown, cs.part, b.d.servers[cs.owner].Name())
-				return
-			}
-			validFn := func(int) bool { return true }
-			if upsert {
-				validFn = func(i int) bool { return !cs.invalid[i] }
-			}
-			p, err := executeRows(ctx, schema, cs.rows, q, validFn)
-			if err != nil {
-				errs <- err
-				return
-			}
-			results <- p
-		}(cs)
-	}
-
-	acc := newPartial(q)
-	limit := earlyLimit(q)
-	for served := 0; served < units; served++ {
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case err := <-errs:
-			return nil, err // defer cancel() aborts in-flight subqueries
-		case p := <-results:
-			acc.Merge(p)
-			if limit > 0 && acc.Rows() >= limit {
-				served = units // early termination; cancel remaining work
-			}
-		}
-	}
-
-	res, err := acc.Finalize(q)
+	resp, err := b.Execute(ctx, &QueryRequest{Query: q})
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.ServersQueried = len(servers)
-	return res, nil
-}
-
-// routeSegment picks the serving replica for a segment: partition-aware for
-// upsert (owner server), otherwise the first live replica.
-func (b *Broker) routeSegment(segName string, replicas []int) (int, error) {
-	if b.d.cfg.Upsert {
-		// All segments of a partition route to the partition owner (the
-		// routing strategy of §4.3.1). The owner index is replicas[0] by
-		// construction.
-		owner := replicas[0]
-		if b.d.servers[owner].Down() {
-			return 0, fmt.Errorf("%w: upsert partition owner %s", ErrServerDown, b.d.servers[owner].Name())
-		}
-		return owner, nil
-	}
-	for _, ri := range replicas {
-		if !b.d.servers[ri].Down() && b.d.servers[ri].HasSegment(segName) {
-			return ri, nil
-		}
-	}
-	return 0, fmt.Errorf("%w: %s (no live replica)", ErrSegmentUnavailable, segName)
+	return &Result{Columns: resp.Columns, Rows: resp.Rows, Stats: resp.Stats}, nil
 }

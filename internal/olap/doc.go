@@ -29,6 +29,22 @@
 // segments, and ORDER-BY-agnostic LIMIT selections cancel the remaining
 // fan-out as soon as enough rows have been gathered.
 //
+// # Query API v2: typed requests and pluggable routing
+//
+// The typed entry point is Broker.Execute(ctx, *QueryRequest): per-request
+// Timeout, Workers, MaxSegments (fan-out budget), Time window and
+// Consistency (ConsistencyFull reloads offloaded segments; ConsistencyHot
+// skips them). Which server answers each segment is a pluggable Router
+// (router.go): RoundRobinRouter (the default; upsert tables pin to the
+// partition owner, §4.3.1), ReplicaGroupRouter (one replica set per query
+// bounds fan-out to N/R servers, Fig 5, with per-segment failover to the
+// other set) and PartitionRouter (equality filters on the table's declared
+// PartitionColumn prune every other partition's server before any scan,
+// reported in ExecStats.PartitionsPruned/ServersContacted; Ingest enforces
+// the declared partition function so pruning can never miss rows). The
+// QueryResponse carries ExecStats plus a RouteInfo for EXPLAIN-style
+// consumers.
+//
 // # Segment lifecycle
 //
 // Sealed segments move through a lifecycle managed by the subpackage

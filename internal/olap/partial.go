@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/record"
 )
 
 // This file implements the mergeable partial-aggregate layer of the
@@ -130,12 +132,7 @@ func cloneGroup(g *groupAgg) *groupAgg {
 // is associative and commutative, so the broker can fold partials in
 // arrival order — and partials remain reusable after being merged.
 func (p *Partial) Merge(o *Partial) {
-	p.stats.SegmentsScanned += o.stats.SegmentsScanned
-	p.stats.RowsScanned += o.stats.RowsScanned
-	p.stats.StarTreeServed += o.stats.StarTreeServed
-	p.stats.UpsertFiltered += o.stats.UpsertFiltered
-	p.stats.SegmentsPruned += o.stats.SegmentsPruned
-	p.stats.SegmentsReloaded += o.stats.SegmentsReloaded
+	p.stats.Add(o.stats)
 	if p.agg {
 		for k, g := range o.groups {
 			mine, ok := p.groups[k]
@@ -197,7 +194,7 @@ func (p *Partial) Finalize(q *Query) (*Result, error) {
 	sort.Slice(ordered, func(a, b int) bool {
 		ga, gb := ordered[a].values, ordered[b].values
 		for i := range ga {
-			if cmp := compareValues(ga[i], gb[i]); cmp != 0 {
+			if cmp := record.Compare(ga[i], gb[i]); cmp != 0 {
 				return cmp < 0
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/metadata"
+	"repro/internal/record"
 )
 
 // FilterOp enumerates filter predicates.
@@ -162,8 +163,16 @@ type ExecStats struct {
 	SegmentsScanned int
 	RowsScanned     int64
 	StarTreeServed  int // segments answered from the star-tree
-	ServersQueried  int // broker-level fan-out
-	UpsertFiltered  int64
+	// ServersContacted is the broker-level fan-out: distinct servers that
+	// received a subquery (sealed-segment scans plus consuming-segment
+	// scans). Replica-group and partition routing exist to keep it below
+	// the server count.
+	ServersContacted int
+	// PartitionsPruned counts input partitions the router excluded via an
+	// equality filter on the table's declared partition column — those
+	// partitions' servers were never contacted.
+	PartitionsPruned int
+	UpsertFiltered   int64
 	// SegmentsPruned counts sealed segments skipped (never scanned, never
 	// reloaded from the deep store) because their time bounds don't
 	// overlap the query's TimeRange.
@@ -171,6 +180,25 @@ type ExecStats struct {
 	// SegmentsReloaded counts offloaded segments pulled back from the
 	// deep store to answer this query.
 	SegmentsReloaded int
+	// SegmentsSkipped counts offloaded segments left unscanned under
+	// ConsistencyHot (hot-set-only execution).
+	SegmentsSkipped int
+}
+
+// Add accumulates another stats block into this one. The broker assigns
+// (rather than sums) ServersContacted and PartitionsPruned after merging,
+// since those are per-query routing facts, not per-scan counters; summing
+// here is still correct because scan-level partials carry zeroes for them.
+func (s *ExecStats) Add(o ExecStats) {
+	s.SegmentsScanned += o.SegmentsScanned
+	s.RowsScanned += o.RowsScanned
+	s.StarTreeServed += o.StarTreeServed
+	s.ServersContacted += o.ServersContacted
+	s.PartitionsPruned += o.PartitionsPruned
+	s.UpsertFiltered += o.UpsertFiltered
+	s.SegmentsPruned += o.SegmentsPruned
+	s.SegmentsReloaded += o.SegmentsReloaded
+	s.SegmentsSkipped += o.SegmentsSkipped
 }
 
 // groupAgg accumulates one output group as mergeable partial states.
@@ -615,7 +643,7 @@ func sortAndLimit(res *Result, q *Query) error {
 		}
 		sort.SliceStable(res.Rows, func(a, b int) bool {
 			for i, o := range q.OrderBy {
-				cmp := compareValues(res.Rows[a][idx[i]], res.Rows[b][idx[i]])
+				cmp := record.Compare(res.Rows[a][idx[i]], res.Rows[b][idx[i]])
 				if cmp == 0 {
 					continue
 				}
@@ -631,33 +659,4 @@ func sortAndLimit(res *Result, q *Query) error {
 		res.Rows = res.Rows[:q.Limit]
 	}
 	return nil
-}
-
-// compareValues orders mixed result values: nils first, numbers before
-// strings.
-func compareValues(a, b any) int {
-	if a == nil || b == nil {
-		switch {
-		case a == nil && b == nil:
-			return 0
-		case a == nil:
-			return -1
-		default:
-			return 1
-		}
-	}
-	fa, aok := toF64(a)
-	fb, bok := toF64(b)
-	if aok && bok {
-		switch {
-		case fa < fb:
-			return -1
-		case fa > fb:
-			return 1
-		default:
-			return 0
-		}
-	}
-	sa, sb := fmt.Sprintf("%v", a), fmt.Sprintf("%v", b)
-	return strings.Compare(sa, sb)
 }

@@ -1,0 +1,328 @@
+package olap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/metadata"
+	"repro/internal/record"
+)
+
+// This file is the typed request/response half of the Query API v2: one
+// QueryRequest carries the structured query plus per-request execution
+// options, and one QueryResponse carries the rows plus the execution and
+// routing stats EXPLAIN-style consumers need. Broker.Query/QueryCtx remain
+// as thin conveniences over Execute.
+
+// ErrTooManySegments is returned when a query would scan more sealed
+// segments than its MaxSegments budget allows.
+var ErrTooManySegments = errors.New("olap: query exceeds MaxSegments")
+
+// Consistency selects how a query treats segments offloaded to the deep
+// store.
+type Consistency int
+
+const (
+	// ConsistencyFull (the default) transparently reloads offloaded
+	// segments so the query sees every sealed row.
+	ConsistencyFull Consistency = iota
+	// ConsistencyHot skips offloaded segments without touching the deep
+	// store: a latency-bounded answer over the hot set only, reported via
+	// ExecStats.SegmentsSkipped.
+	ConsistencyHot
+)
+
+// String names the consistency mode.
+func (c Consistency) String() string {
+	if c == ConsistencyHot {
+		return "hot"
+	}
+	return "full"
+}
+
+// QueryRequest is one typed broker query with its per-request options.
+// Zero-valued options inherit the broker's defaults.
+type QueryRequest struct {
+	// Query is the structured query (required).
+	Query *Query
+	// Timeout bounds this request; 0 inherits BrokerOptions.Timeout.
+	Timeout time.Duration
+	// Workers bounds the per-server segment-scan pool; 0 inherits
+	// BrokerOptions.Workers.
+	Workers int
+	// MaxSegments fails the request with ErrTooManySegments when the routed
+	// sealed-segment fan-out exceeds it; 0 means unlimited.
+	MaxSegments int
+	// Time restricts the query to a time window, overriding Query.Time
+	// when set.
+	Time *TimeRange
+	// Consistency selects full (reload offloaded segments) or hot-only
+	// execution.
+	Consistency Consistency
+	// Router overrides the broker's routing strategy for this request.
+	Router Router
+}
+
+// RouteInfo reports how a request was routed, for EXPLAIN output.
+type RouteInfo struct {
+	// Router is the strategy name ("round-robin", "replica-group",
+	// "partition").
+	Router string
+	// ReplicaGroup is the replica set a replica-group-aware router
+	// preferred (-1 otherwise).
+	ReplicaGroup int
+	// SegmentsRouted counts sealed segments assigned to servers.
+	SegmentsRouted int
+	// ServersContacted / PartitionsPruned mirror the response stats.
+	ServersContacted int
+	PartitionsPruned int
+}
+
+// QueryResponse is the typed result of Broker.Execute.
+type QueryResponse struct {
+	Columns []string
+	Rows    [][]any
+	Stats   ExecStats
+	Route   RouteInfo
+}
+
+// Execute runs one typed request: route (with the request's or broker's
+// Router), scatter one subquery per assigned server plus one scan per
+// routed consuming partition, and merge the partial-aggregate states as
+// they stream back. A scatter that fails because a routed server went down
+// between routing and execution is re-routed once against the new liveness
+// state before the error surfaces.
+func (b *Broker) Execute(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	if req == nil || req.Query == nil {
+		return nil, fmt.Errorf("olap: nil query request")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	q := req.Query
+	if req.Time != nil {
+		q2 := *q
+		q2.Time = req.Time
+		q = &q2
+	}
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = b.opts.Timeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	router := req.Router
+	if router == nil {
+		router = b.opts.Router
+	}
+	if router == nil {
+		router = defaultRouter
+	}
+
+	resp, err := b.executeRouted(ctx, req, q, router)
+	if err != nil && errors.Is(err, ErrServerDown) && ctx.Err() == nil {
+		// One re-route: the failed server is down now, so the router's
+		// liveness closures steer the retry around it (unless the strategy
+		// pins the segment there, e.g. upsert owner routing).
+		resp, err = b.executeRouted(ctx, req, q, router)
+	}
+	return resp, err
+}
+
+// executeRouted performs one route + scatter-gather round.
+func (b *Broker) executeRouted(ctx context.Context, req *QueryRequest, q *Query, router Router) (*QueryResponse, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	view, snapshot := b.routeView()
+	plan, err := router.Route(view, q)
+	if err != nil {
+		return nil, err
+	}
+	sortPlan(plan)
+	if req.MaxSegments > 0 {
+		if n := plan.SegmentCount(); n > req.MaxSegments {
+			return nil, fmt.Errorf("%w: %d segments routed, budget %d", ErrTooManySegments, n, req.MaxSegments)
+		}
+	}
+
+	// Keep only the consuming scans the router routed (partition pruning);
+	// the rows themselves were snapshotted atomically with the placement in
+	// routeView, so a Seal racing this query can never drop rows between
+	// the sealed and consuming views.
+	consuming := make([]consumingScan, 0, len(plan.Consuming))
+	for _, part := range plan.Consuming {
+		if cs, ok := snapshot.consuming[part]; ok {
+			consuming = append(consuming, cs)
+		}
+	}
+	upsert := snapshot.upsert
+	schema := snapshot.schema
+
+	servers := make([]int, 0, len(plan.Assignment))
+	for si := range plan.Assignment {
+		servers = append(servers, si)
+	}
+	sort.Ints(servers)
+
+	execOpts := ExecOptions{Workers: req.Workers, HotOnly: req.Consistency == ConsistencyHot}
+	if execOpts.Workers == 0 {
+		execOpts.Workers = b.opts.Workers
+	}
+
+	// Scatter: one subquery per assigned server plus one scan per routed
+	// consuming partition, all concurrent. Gather: merge partial states as
+	// they stream back.
+	units := len(servers) + len(consuming)
+	results := make(chan *Partial, units)
+	errs := make(chan error, units)
+	for _, si := range servers {
+		go func(si int, segs []string) {
+			p, err := b.d.servers[si].ExecuteOn(ctx, q, segs, execOpts)
+			if err != nil {
+				errs <- err
+				return
+			}
+			results <- p
+		}(si, plan.Assignment[si])
+	}
+	contacted := make(map[int]bool, units)
+	for _, si := range servers {
+		contacted[si] = true
+	}
+	for _, cs := range consuming {
+		contacted[cs.owner] = true
+		go func(cs consumingScan) {
+			if b.d.servers[cs.owner].Down() {
+				errs <- fmt.Errorf("%w: consuming partition %d owner %s", ErrServerDown, cs.part, b.d.servers[cs.owner].Name())
+				return
+			}
+			validFn := func(int) bool { return true }
+			if upsert {
+				validFn = func(i int) bool { return !cs.invalid[i] }
+			}
+			p, err := executeRows(ctx, schema, cs.rows, q, validFn)
+			if err != nil {
+				errs <- err
+				return
+			}
+			results <- p
+		}(cs)
+	}
+
+	acc := newPartial(q)
+	limit := earlyLimit(q)
+	for served := 0; served < units; served++ {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case err := <-errs:
+			return nil, err // defer cancel() aborts in-flight subqueries
+		case p := <-results:
+			acc.Merge(p)
+			if limit > 0 && acc.Rows() >= limit {
+				served = units // early termination; cancel remaining work
+			}
+		}
+	}
+
+	res, err := acc.Finalize(q)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.ServersContacted = len(contacted)
+	res.Stats.PartitionsPruned = plan.PartitionsPruned
+	return &QueryResponse{
+		Columns: res.Columns,
+		Rows:    res.Rows,
+		Stats:   res.Stats,
+		Route: RouteInfo{
+			Router:           router.Name(),
+			ReplicaGroup:     plan.ReplicaGroup,
+			SegmentsRouted:   plan.SegmentCount(),
+			ServersContacted: res.Stats.ServersContacted,
+			PartitionsPruned: plan.PartitionsPruned,
+		},
+	}, nil
+}
+
+// consumingScan is one consuming segment's scan snapshot: the rows and
+// upsert-invalid set copied under the deployment lock, to be scanned on the
+// partition owner.
+type consumingScan struct {
+	owner   int
+	part    int
+	rows    []record.Record
+	invalid map[int]bool
+}
+
+// querySnapshot is the execution state captured atomically with the route
+// view: consuming-segment rows per partition plus the table facts scans
+// need. Copying the rows in the same critical section that reads the sealed
+// placement guarantees every row is in exactly one of the two views even
+// while Seal runs concurrently.
+type querySnapshot struct {
+	consuming map[int]consumingScan
+	upsert    bool
+	schema    *metadata.Schema
+}
+
+// routeView snapshots the routable cluster state for a Router, together
+// with the consuming-segment rows (one atomic view of sealed + consuming
+// data under the deployment lock); liveness and hosting are live closures
+// over the servers.
+func (b *Broker) routeView() (*RouteView, *querySnapshot) {
+	d := b.d
+	d.mu.Lock()
+	view := &RouteView{
+		Upsert:          d.cfg.Upsert,
+		PartitionColumn: d.cfg.PartitionColumn,
+		Partitions:      d.cfg.Partitions,
+		Replicas:        d.cfg.Replicas,
+		NumServers:      len(d.servers),
+	}
+	view.Segments = make([]SegmentRoute, 0, len(d.placement))
+	for name, replicas := range d.placement {
+		part := -1
+		if m := d.segMeta[name]; m != nil {
+			part = m.partition
+		}
+		view.Segments = append(view.Segments, SegmentRoute{
+			Name:      name,
+			Partition: part,
+			Replicas:  append([]int(nil), replicas...),
+		})
+	}
+	snapshot := &querySnapshot{
+		consuming: make(map[int]consumingScan, len(d.consuming)),
+		upsert:    d.cfg.Upsert,
+		schema:    d.cfg.Schema,
+	}
+	for part, ms := range d.consuming {
+		view.ConsumingPartitions = append(view.ConsumingPartitions, part)
+		cs := consumingScan{owner: d.partitionOwner[part], part: part}
+		cs.rows = append([]record.Record(nil), ms.rows...)
+		cs.invalid = make(map[int]bool, len(ms.invalid))
+		for k, v := range ms.invalid {
+			cs.invalid[k] = v
+		}
+		snapshot.consuming[part] = cs
+	}
+	d.mu.Unlock()
+	sort.Slice(view.Segments, func(i, j int) bool { return view.Segments[i].Name < view.Segments[j].Name })
+	sort.Ints(view.ConsumingPartitions)
+	view.Live = func(i int) bool { return !d.servers[i].Down() }
+	view.Has = func(i int, seg string) bool { return d.servers[i].HasSegment(seg) }
+	view.ServerName = func(i int) string { return d.servers[i].Name() }
+	return view, snapshot
+}
+
+// defaultRouter serves brokers with no configured strategy: the v1
+// behavior (partition-owner for upsert, rotating live replica otherwise).
+var defaultRouter Router = &RoundRobinRouter{}

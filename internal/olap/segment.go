@@ -105,23 +105,7 @@ func (d *dictionary) memBytes() int64 {
 	return n
 }
 
-func toF64(v any) (float64, bool) {
-	switch x := v.(type) {
-	case float64:
-		return x, true
-	case int64:
-		return float64(x), true
-	case int:
-		return float64(x), true
-	case bool:
-		if x {
-			return 1, true
-		}
-		return 0, true
-	default:
-		return 0, false
-	}
-}
+func toF64(v any) (float64, bool) { return record.ToFloat64(v) }
 
 // packedInts stores n small non-negative ints bit-packed at the minimal
 // width — Pinot's "bit compressed forward indices" that the paper credits

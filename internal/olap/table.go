@@ -26,6 +26,16 @@ type TableConfig struct {
 	// Replicas is the number of servers holding each sealed segment.
 	// Default 1.
 	Replicas int
+	// PartitionColumn, with Partitions, declares the input partition
+	// function: every record must be ingested on partition
+	// PartitionFor(record[PartitionColumn], Partitions) — Ingest enforces
+	// it. Declaring the function lets the partition-aware router prune
+	// servers for queries with equality filters on the column (§4.3).
+	// Optional; leave empty for tables partitioned by external logic.
+	PartitionColumn string
+	// Partitions is the input partition count; required (> 0) when
+	// PartitionColumn is set.
+	Partitions int
 }
 
 func (c TableConfig) withDefaults() (TableConfig, error) {
@@ -45,6 +55,14 @@ func (c TableConfig) withDefaults() (TableConfig, error) {
 		// Sorting a segment at build time reorders doc IDs, which would
 		// break the upsert location map (same restriction as Pinot).
 		return c, fmt.Errorf("olap: upsert table %q cannot use a sorted column", c.Name)
+	}
+	if c.PartitionColumn != "" {
+		if _, ok := c.Schema.Field(c.PartitionColumn); !ok {
+			return c, fmt.Errorf("olap: table %q partition column %q is not a schema field", c.Name, c.PartitionColumn)
+		}
+		if c.Partitions <= 0 {
+			return c, fmt.Errorf("olap: table %q declares partition column %q without a partition count", c.Name, c.PartitionColumn)
+		}
 	}
 	if c.SegmentRows <= 0 {
 		c.SegmentRows = 1000
