@@ -163,6 +163,16 @@ func BenchmarkE18_PushdownRouting(b *testing.B) {
 	}
 }
 
+// BenchmarkE19_TopK — §4.3: bounded top-K execution ships O(K) candidate
+// groups/rows per server for ORDER BY/LIMIT queries instead of every group
+// and matching row (groups_reduction / rows_reduction ≥ 10x), with trimmed
+// results identical to exact full sort on unique group keys.
+func BenchmarkE19_TopK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E19(40_000))
+	}
+}
+
 // BenchmarkParallelScatterGather compares the serial segment loop
 // (workers=1) against the bounded worker pool (workers=GOMAXPROCS) on the
 // same multi-segment grouped aggregation — the direct measurement behind

@@ -8,14 +8,14 @@
 // -timeout bounds each query (0 = none); a timed-out query cancels its
 // scatter-gather fan-out mid-flight via the engine's context path.
 //
-// Prefix any SELECT with EXPLAIN to see the pushdown and routing decisions
-// instead of the rows (EXPLAIN ANALYZE semantics: the query executes and
-// the real per-scan stats are reported):
+// Prefix any SELECT with EXPLAIN to see the pushdown, routing and top-K
+// trim decisions instead of the rows (EXPLAIN ANALYZE semantics: the query
+// executes and the real per-scan stats are reported):
 //
-//	sql> EXPLAIN SELECT city, COUNT(*) FROM pinot.orders WHERE city = 'sf' GROUP BY city
+//	sql> EXPLAIN SELECT order_id, SUM(amount) AS rev FROM pinot.orders GROUP BY order_id ORDER BY rev DESC LIMIT 10
 //	plan:
-//	  scan pinot.orders [aggregate-scan] pushdown=filters+aggs route=partition servers_contacted=1 partitions_pruned=3 rows_moved=1
-//	stats: rows_moved=1 fallbacks=0 segments_scanned=2 rows_scanned=5000 servers_contacted=1 partitions_pruned=3
+//	  scan pinot.orders [aggregate-scan] pushdown=filters+aggs+limit route=partition servers_contacted=4 trim=server k=1000 groups_trimmed=16000 rows_moved=10
+//	stats: rows_moved=10 fallbacks=0 segments_scanned=8 rows_scanned=20000 servers_contacted=4 partitions_pruned=0 segments_time_pruned=0 groups_trimmed=16000 rows_heap_kept=0
 package main
 
 import (
@@ -106,9 +106,10 @@ func printExplain(res *fedsql.Result) {
 		fmt.Println("  " + line)
 	}
 	st := res.Stats
-	fmt.Printf("stats: rows_moved=%d fallbacks=%d segments_scanned=%d rows_scanned=%d servers_contacted=%d partitions_pruned=%d segments_time_pruned=%d\n",
+	fmt.Printf("stats: rows_moved=%d fallbacks=%d segments_scanned=%d rows_scanned=%d servers_contacted=%d partitions_pruned=%d segments_time_pruned=%d groups_trimmed=%d rows_heap_kept=%d\n",
 		st.RowsReturned, st.PushdownFallbacks, st.Exec.SegmentsScanned, st.Exec.RowsScanned,
-		st.Exec.ServersContacted, st.Exec.PartitionsPruned, st.Exec.SegmentsPruned)
+		st.Exec.ServersContacted, st.Exec.PartitionsPruned, st.Exec.SegmentsPruned,
+		st.Exec.GroupsTrimmed, st.Exec.RowsHeapKept)
 	fmt.Printf("(%d rows)\n", len(res.Rows))
 }
 

@@ -138,5 +138,6 @@ func AllWithIntegration() []Experiment {
 	merged = append(merged, scatterGatherExperiments()...)
 	merged = append(merged, lifecycleExperiments()...)
 	merged = append(merged, pushdownRoutingExperiments()...)
+	merged = append(merged, topKExperiments()...)
 	return append(merged, Ablations()...)
 }

@@ -154,6 +154,21 @@ func TestExperimentShapes(t *testing.T) {
 			t.Error("exactness check never exercised a deep-store reload")
 		}
 	})
+	t.Run("E19", func(t *testing.T) {
+		rows := E19(24_000)
+		if r := get(rows, "groups_reduction"); r < 10 {
+			t.Errorf("top-K groups shipped reduction = %.1fx, want >= 10x", r)
+		}
+		if r := get(rows, "rows_reduction"); r < 10 {
+			t.Errorf("top-K rows shipped reduction = %.1fx, want >= 10x", r)
+		}
+		if get(rows, "groups_trimmed") == 0 {
+			t.Error("trimmed run never trimmed a group")
+		}
+		if get(rows, "topk_exact_match") != 1 {
+			t.Error("trimmed top-K result diverged from exact full sort on unique group keys")
+		}
+	})
 	t.Run("E18", func(t *testing.T) {
 		rows := E18(12_000)
 		if r := get(rows, "rows_reduction"); r < 10 {
@@ -180,7 +195,7 @@ func TestAllListsEverything(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15", "E16", "E17", "E18"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15", "E16", "E17", "E18", "E19"} {
 		if !ids[want] {
 			t.Errorf("experiment %s missing from AllWithIntegration", want)
 		}

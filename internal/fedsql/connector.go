@@ -76,6 +76,10 @@ type QueryStats struct {
 	// scan + engine-side aggregation because the connector lacked the
 	// capability (or its AggregateScan refused).
 	PushdownFallbacks int64
+	// TrimK is the per-server top-K budget the backend applied to an
+	// ORDER BY/LIMIT query (groups for aggregations, rows for selections);
+	// 0 when the backend ran exact/untrimmed.
+	TrimK int
 	// Router names the backend routing strategy ("" when the backend has
 	// none, e.g. the archive).
 	Router string
@@ -94,6 +98,9 @@ func (s *QueryStats) Merge(o QueryStats) {
 	s.PushedAggs = s.PushedAggs || o.PushedAggs
 	s.PushedLimit = s.PushedLimit || o.PushedLimit
 	s.PushdownFallbacks += o.PushdownFallbacks
+	if s.TrimK == 0 {
+		s.TrimK = o.TrimK
+	}
 	if s.Router == "" {
 		s.Router = o.Router
 	}
@@ -145,6 +152,10 @@ type PinotConnector struct {
 	// is set (nil = round-robin). E.g. &olap.PartitionRouter{} lets
 	// partition-filtered federated queries skip servers entirely.
 	Router olap.Router
+	// TrimExact disables the OLAP layer's bounded top-K trimming for
+	// pushed-down ORDER BY/LIMIT queries: exact full-sort results at full
+	// fan-out cost. The default (false) trims like Pinot.
+	TrimExact bool
 }
 
 // NewPinotConnector creates an empty Pinot catalog.
@@ -262,10 +273,13 @@ func (p *PinotConnector) AggregateScan(ctx context.Context, table string, aq Agg
 // run executes an OLAP query through the typed v2 broker surface and
 // converts the response into connector rows + unified stats.
 func (p *PinotConnector) run(ctx context.Context, broker *olap.Broker, q *olap.Query, stats QueryStats) ([]record.Record, QueryStats, error) {
-	resp, err := broker.Execute(ctx, &olap.QueryRequest{Query: q})
+	resp, err := broker.Execute(ctx, &olap.QueryRequest{Query: q, TrimExact: p.TrimExact})
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
+	// The backend reports the top-K budget it actually applied (EXPLAIN's
+	// trim=server k=N line); no connector-side re-derivation.
+	stats.TrimK = resp.TrimK
 	rows := make([]record.Record, len(resp.Rows))
 	for i, r := range resp.Rows {
 		rec := make(record.Record, len(resp.Columns))

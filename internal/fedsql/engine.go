@@ -347,6 +347,12 @@ func planLine(catalog, table, kind string, st QueryStats, residual int) string {
 			fmt.Fprintf(&b, " segments_time_pruned=%d", st.Exec.SegmentsPruned)
 		}
 	}
+	if st.TrimK > 0 {
+		fmt.Fprintf(&b, " trim=server k=%d", st.TrimK)
+		if st.Exec.GroupsTrimmed > 0 {
+			fmt.Fprintf(&b, " groups_trimmed=%d", st.Exec.GroupsTrimmed)
+		}
+	}
 	fmt.Fprintf(&b, " rows_moved=%d", st.RowsReturned)
 	return b.String()
 }
@@ -618,7 +624,17 @@ func aggregateRows(rows []record.Record, stmt *sqlparse.SelectStmt) ([]record.Re
 			if v == nil {
 				continue
 			}
-			f, _ := record.ToFloat64(v)
+			if it.Func == sqlparse.FuncCount {
+				a.count++
+				continue
+			}
+			f, ok := record.ToFloat64(v)
+			if !ok {
+				// Match the OLAP layer's validation: SUM/AVG/MIN/MAX over
+				// non-numeric values are rejected, never coerced to 0, so
+				// the engine-side fallback stays equivalent to pushdown.
+				return nil, fmt.Errorf("fedsql: %s over non-numeric value %T is not supported; use COUNT", it.OutputName(), v)
+			}
 			a.count++
 			a.sum += f
 			if !a.seen || f < a.min {
@@ -647,19 +663,24 @@ func aggregateRows(rows []record.Record, stmt *sqlparse.SelectStmt) ([]record.Re
 				continue
 			}
 			a := g.aggs[i]
+			// SQL NULL semantics, matching the OLAP layer's aggValue:
+			// MIN/MAX/AVG over zero non-null values are NULL, so the
+			// engine-side fallback stays equivalent to pushdown.
 			switch it.Func {
 			case sqlparse.FuncCount:
 				rec[it.OutputName()] = a.count
 			case sqlparse.FuncSum:
 				rec[it.OutputName()] = a.sum
 			case sqlparse.FuncMin:
-				rec[it.OutputName()] = a.min
+				if a.seen {
+					rec[it.OutputName()] = a.min
+				}
 			case sqlparse.FuncMax:
-				rec[it.OutputName()] = a.max
+				if a.seen {
+					rec[it.OutputName()] = a.max
+				}
 			case sqlparse.FuncAvg:
-				if a.count == 0 {
-					rec[it.OutputName()] = 0.0
-				} else {
+				if a.count > 0 {
 					rec[it.OutputName()] = a.sum / float64(a.count)
 				}
 			}

@@ -65,6 +65,39 @@ func TestPushdownEquivalenceMatrix(t *testing.T) {
 	}
 }
 
+// TestStringAggRejectedOnBothPaths: SUM/AVG/MIN/MAX over a string column
+// must error on the pushdown path (OLAP-layer validation) AND on the
+// engine-side fallback path (hive / pushdown-disabled) — never silently
+// aggregate coerced zeroes — so the two paths stay equivalent.
+func TestStringAggRejectedOnBothPaths(t *testing.T) {
+	e, pinot := setupEngine(t, 120)
+	queries := []string{
+		"SELECT SUM(city) AS s FROM %s.orders",
+		"SELECT status, AVG(city) AS a FROM %s.orders GROUP BY status",
+		"SELECT MIN(city) AS lo, MAX(city) AS hi FROM %s.orders",
+	}
+	for _, tmpl := range queries {
+		if _, err := e.Query(fmt.Sprintf(tmpl, "pinot")); err == nil {
+			t.Errorf("pushdown path accepted %q", fmt.Sprintf(tmpl, "pinot"))
+		}
+		if _, err := e.Query(fmt.Sprintf(tmpl, "hive")); err == nil {
+			t.Errorf("engine-side fallback accepted %q", fmt.Sprintf(tmpl, "hive"))
+		}
+		pinot.DisablePushdown = true
+		_, err := e.Query(fmt.Sprintf(tmpl, "pinot"))
+		pinot.DisablePushdown = false
+		if err == nil {
+			t.Errorf("pushdown-disabled fallback accepted %q", fmt.Sprintf(tmpl, "pinot"))
+		}
+	}
+	// COUNT over strings stays valid on every path.
+	for _, cat := range []string{"pinot", "hive"} {
+		if _, err := e.Query(fmt.Sprintf("SELECT COUNT(city) AS n FROM %s.orders", cat)); err != nil {
+			t.Errorf("COUNT(city) on %s: %v", cat, err)
+		}
+	}
+}
+
 func TestAggregateFallbackCountedAndLogged(t *testing.T) {
 	e, pinot := setupEngine(t, 120)
 	var logged []string

@@ -232,6 +232,16 @@ type ExecOptions struct {
 	// deep store — the ConsistencyHot execution mode, reported via
 	// ExecStats.SegmentsSkipped.
 	HotOnly bool
+	// TrimExact disables bounded top-K trimming for ORDER BY/LIMIT queries:
+	// every matching row and every candidate group crosses the wire, so
+	// results are byte-identical to a full sort. The default (false) trims
+	// like Pinot — fast, and for grouped aggregations potentially inexact
+	// under pathological cross-server skew.
+	TrimExact bool
+	// TrimSize overrides the minimum group budget of trimmed grouped top-K
+	// aggregations (0 = DefaultGroupTrimSize); the kept count is
+	// max(5·(Limit+Offset), TrimSize).
+	TrimSize int
 }
 
 // ExecuteOn runs a query over the named sealed segments hosted here,
@@ -243,7 +253,9 @@ type ExecOptions struct {
 // attached loader and installed back as resident (or skipped under
 // opts.HotOnly). The context cancels in-flight work between segment scans;
 // ORDER-BY-agnostic LIMIT selections stop as soon as enough rows have been
-// gathered.
+// gathered. ORDER BY + LIMIT queries execute through the bounded top-K path
+// (segment heaps / group trims plus a server-level trim of the merged
+// partial) unless opts.TrimExact asks for full-sort execution.
 func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string, opts ExecOptions) (*Partial, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -324,10 +336,26 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 		workers = len(segs)
 	}
 	limit := earlyLimit(q)
+	var tp *topKPlan
+	if !opts.TrimExact {
+		tp = planTopK(q, opts.TrimSize)
+	}
 	acc := newPartial(q)
 	acc.stats.SegmentsPruned = pruned
 	acc.stats.SegmentsReloaded = reloaded
 	acc.stats.SegmentsSkipped = skipped
+	// finish applies the server-level trim to the merged partial — the same
+	// bound the segments used, so at most groupK groups / rowK rows cross
+	// the server→broker boundary — and records what actually shipped.
+	finish := func() *Partial {
+		acc.trimTopK(q, tp)
+		if acc.agg {
+			acc.stats.GroupsShipped = int64(len(acc.groups))
+		} else {
+			acc.stats.RowsShipped = int64(len(acc.rows))
+		}
+		return acc
+	}
 
 	if workers <= 1 {
 		// Serial fast path: no goroutine or channel overhead — the
@@ -336,7 +364,7 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			p, err := seg.ExecutePartial(q, valids[i])
+			p, err := seg.executePartialTrim(q, valids[i], tp)
 			if err != nil {
 				return nil, err
 			}
@@ -345,7 +373,7 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 				break
 			}
 		}
-		return acc, nil
+		return finish(), nil
 	}
 
 	// Bounded worker pool: workers pull segment indexes from a shared
@@ -365,7 +393,7 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 				if i >= len(segs) || ctx.Err() != nil {
 					return
 				}
-				p, err := segs[i].ExecutePartial(q, valids[i])
+				p, err := segs[i].executePartialTrim(q, valids[i], tp)
 				if err != nil {
 					errs <- err
 					return
@@ -383,11 +411,11 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 		case p := <-results:
 			acc.Merge(p)
 			if limit > 0 && acc.Rows() >= limit {
-				return acc, nil // defer cancel() stops the remaining workers
+				return finish(), nil // defer cancel() stops the remaining workers
 			}
 		}
 	}
-	return acc, nil
+	return finish(), nil
 }
 
 // MemBytes approximates the server's resident segment memory. Offloaded

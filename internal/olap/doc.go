@@ -29,6 +29,16 @@
 // segments, and ORDER-BY-agnostic LIMIT selections cancel the remaining
 // fan-out as soon as enough rows have been gathered.
 //
+// ORDER BY + LIMIT queries take the bounded top-K path (topk.go): segments
+// keep a Limit+Offset row heap (selections) or trim candidate groups by
+// the leading ORDER BY term to max(5·(Limit+Offset), TrimSize) — Pinot's
+// minSegmentGroupTrimSize rule — and servers apply the same bound to the
+// merged partial, so the broker's gather phase holds O(K · servers) state
+// instead of O(groups). Group trimming can be inexact under pathological
+// cross-server skew (like Pinot); QueryRequest.TrimExact disables it for
+// byte-identical full-sort results. ExecStats reports GroupsTrimmed,
+// RowsHeapKept and the GroupsShipped/RowsShipped boundary counts.
+//
 // # Query API v2: typed requests and pluggable routing
 //
 // The typed entry point is Broker.Execute(ctx, *QueryRequest): per-request

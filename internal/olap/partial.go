@@ -179,7 +179,7 @@ func (p *Partial) Finalize(q *Query) (*Result, error) {
 	res := &Result{Columns: cols, Stats: p.stats}
 	if len(p.groups) == 0 && len(q.GroupBy) == 0 {
 		// SQL semantics: a global aggregate over zero rows still returns one
-		// row (count = 0, sums = 0).
+		// row (count = 0, sum = 0, min/max/avg = NULL).
 		row := make([]any, 0, len(q.Aggs))
 		for _, spec := range q.Aggs {
 			row = append(row, aggValue(aggState{}, spec.Kind))
@@ -215,10 +215,11 @@ func (p *Partial) Finalize(q *Query) (*Result, error) {
 
 // earlyLimit returns the row budget after which a query's fan-out can stop
 // early: selection queries with a LIMIT and no ORDER BY are satisfied by any
-// Limit matching rows. Aggregations and ordered queries must see every row.
+// Limit+Offset matching rows. Aggregations and ordered queries must see
+// every row.
 func earlyLimit(q *Query) int {
 	if len(q.Aggs) == 0 && q.Limit > 0 && len(q.OrderBy) == 0 {
-		return q.Limit
+		return q.Limit + q.Offset
 	}
 	return 0
 }

@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"repro/internal/metadata"
-	"repro/internal/record"
 )
 
 // FilterOp enumerates filter predicates.
@@ -141,6 +140,10 @@ type Query struct {
 	Select  []string
 	OrderBy []OrderSpec
 	Limit   int
+	// Offset skips that many rows after ORDER BY, before Limit applies.
+	// Bounded top-K execution keeps Limit+Offset candidates so pagination
+	// stays exact.
+	Offset int
 	// Time optionally restricts the query to a time window over the
 	// schema's TimeField. Servers skip segments whose time bounds fall
 	// outside the window (reported in ExecStats.SegmentsPruned) and apply
@@ -183,6 +186,17 @@ type ExecStats struct {
 	// SegmentsSkipped counts offloaded segments left unscanned under
 	// ConsistencyHot (hot-set-only execution).
 	SegmentsSkipped int
+	// GroupsTrimmed counts candidate groups dropped by per-segment and
+	// server-level top-K trims (always 0 under TrimExact).
+	GroupsTrimmed int64
+	// RowsHeapKept counts selection rows retained by bounded per-segment
+	// ORDER BY/LIMIT heaps instead of full materialization.
+	RowsHeapKept int64
+	// GroupsShipped / RowsShipped count what actually crossed the
+	// server→broker boundary after any trim — the fan-out cost the top-K
+	// path exists to bound (E19).
+	GroupsShipped int64
+	RowsShipped   int64
 }
 
 // Add accumulates another stats block into this one. The broker assigns
@@ -199,6 +213,10 @@ func (s *ExecStats) Add(o ExecStats) {
 	s.SegmentsPruned += o.SegmentsPruned
 	s.SegmentsReloaded += o.SegmentsReloaded
 	s.SegmentsSkipped += o.SegmentsSkipped
+	s.GroupsTrimmed += o.GroupsTrimmed
+	s.RowsHeapKept += o.RowsHeapKept
+	s.GroupsShipped += o.GroupsShipped
+	s.RowsShipped += o.RowsShipped
 }
 
 // groupAgg accumulates one output group as mergeable partial states.
@@ -401,14 +419,25 @@ func (s *Segment) Execute(q *Query, valid *Bitmap) (*Result, error) {
 // mergeable partial state — the scatter half of scatter-gather-merge.
 // Aggregations stay as running states (AVG as SUM+COUNT, DISTINCTCOUNT as a
 // value set) so partials from many segments merge exactly at any level.
+// Direct callers get exact (untrimmed) execution; the distributed path
+// (Server.ExecuteOn) threads a top-K trim plan via executePartialTrim.
 func (s *Segment) ExecutePartial(q *Query, valid *Bitmap) (*Partial, error) {
+	return s.executePartialTrim(q, valid, nil)
+}
+
+// executePartialTrim is ExecutePartial with an optional bounded top-K plan:
+// selections keep a Limit+Offset row heap, grouped aggregations trim to the
+// plan's group budget before the partial leaves the segment.
+func (s *Segment) executePartialTrim(q *Query, valid *Bitmap, tp *topKPlan) (*Partial, error) {
 	// Star-tree fast path (only when no upsert filtering applies, and —
 	// for time-windowed queries — only when the time predicate is a no-op
 	// the tree can safely ignore: the table has no time column, or the
 	// segment lies entirely inside the window).
 	timeNoop := q.Time == nil || s.Schema.TimeField == "" || q.Time.Contains(s.MinTime, s.MaxTime)
 	if s.Tree != nil && valid == nil && timeNoop && s.Tree.Eligible(q) {
-		p := partialFromGroups(s.Tree.query(s, q))
+		groups, trimmed := trimGroups(s.Tree.query(s, q), tp)
+		p := partialFromGroups(groups)
+		p.stats.GroupsTrimmed = trimmed
 		p.stats.SegmentsScanned = 1
 		p.stats.StarTreeServed = 1
 		return p, nil
@@ -429,9 +458,11 @@ func (s *Segment) ExecutePartial(q *Query, valid *Bitmap) (*Partial, error) {
 		if err != nil {
 			return nil, err
 		}
+		groups, trimmed := trimGroups(groups, tp)
 		p = partialFromGroups(groups)
+		p.stats.GroupsTrimmed = trimmed
 	} else {
-		p, err = s.executeSelect(q, bm)
+		p, err = s.executeSelect(q, bm, tp)
 		if err != nil {
 			return nil, err
 		}
@@ -453,8 +484,12 @@ func (s *Segment) executeAgg(q *Query, bm *Bitmap) (map[string]*groupAgg, error)
 			return nil, fmt.Errorf("olap: distinctcount requires a column")
 		}
 		if a.Column != "" {
-			if _, ok := s.Columns[a.Column]; !ok {
+			c, ok := s.Columns[a.Column]
+			if !ok {
 				return nil, fmt.Errorf("olap: unknown aggregation column %q", a.Column)
+			}
+			if err := aggTypeError(a.Kind, a.Column, c.Field.Type); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -580,17 +615,26 @@ func (s *Segment) executeAggSingleGroup(q *Query, bm *Bitmap) (map[string]*group
 }
 
 // aggValue collapses a partial state into the final user-facing value.
+// SQL NULL semantics: MIN/MAX/AVG over zero non-null values are NULL (nil),
+// never a fabricated 0 — only COUNT (0) and SUM (empty sum 0) have defined
+// zero-input values.
 func aggValue(a aggState, kind AggKind) any {
 	switch kind {
 	case AggSum:
 		return a.Sum
 	case AggMin:
+		if a.Count == 0 {
+			return nil
+		}
 		return a.Min
 	case AggMax:
+		if a.Count == 0 {
+			return nil
+		}
 		return a.Max
 	case AggAvg:
 		if a.Count == 0 {
-			return 0.0
+			return nil
 		}
 		return a.Sum / float64(a.Count)
 	case AggDistinctCount:
@@ -600,7 +644,22 @@ func aggValue(a aggState, kind AggKind) any {
 	}
 }
 
-func (s *Segment) executeSelect(q *Query, bm *Bitmap) (*Partial, error) {
+// aggTypeError rejects aggregations that are undefined over a column type:
+// SUM/AVG/MIN/MAX over string columns used to silently accumulate 0.0
+// (string dictionaries have no numeric values). COUNT and DISTINCTCOUNT
+// remain valid over any type; lexicographic MIN/MAX is deliberately not
+// offered — callers get a clear error instead of a silent zero.
+func aggTypeError(kind AggKind, col string, typ metadata.FieldType) error {
+	switch kind {
+	case AggSum, AggAvg, AggMin, AggMax:
+		if typ == metadata.TypeString {
+			return fmt.Errorf("olap: %s(%s) over a string column is not supported; use count or distinctcount", kind, col)
+		}
+	}
+	return nil
+}
+
+func (s *Segment) executeSelect(q *Query, bm *Bitmap, tp *topKPlan) (*Partial, error) {
 	cols := q.Select
 	if len(cols) == 0 {
 		cols = s.Schema.FieldNames()
@@ -611,10 +670,30 @@ func (s *Segment) executeSelect(q *Query, bm *Bitmap) (*Partial, error) {
 		}
 	}
 	p := &Partial{cols: append([]string(nil), cols...)}
-	limit := q.Limit
+	// Ordered LIMIT with a trim plan: keep a bounded heap of the best
+	// Limit+Offset rows instead of materializing every match. Per-segment
+	// top-K rows are independent, so their union still contains the global
+	// top K — this path is exact (up to tie order).
+	if tp != nil && tp.rowK > 0 && len(q.OrderBy) > 0 {
+		if cmp, ok := orderComparator(q, cols); ok {
+			tk := newTopKRows(tp.rowK, cmp)
+			bm.ForEach(func(i int) bool {
+				row := make([]any, len(cols))
+				for ci, c := range cols {
+					row[ci] = s.value(c, i)
+				}
+				tk.push(row)
+				return true
+			})
+			p.rows = tk.take()
+			p.stats.RowsHeapKept = int64(len(p.rows))
+			return p, nil
+		}
+	}
+	limit := q.Limit + q.Offset
 	// Order-by requires materializing all matches; plain limited selects
 	// can stop early.
-	early := limit > 0 && len(q.OrderBy) == 0
+	early := q.Limit > 0 && len(q.OrderBy) == 0
 	bm.ForEach(func(i int) bool {
 		row := make([]any, len(cols))
 		for ci, c := range cols {
@@ -626,37 +705,42 @@ func (s *Segment) executeSelect(q *Query, bm *Bitmap) (*Partial, error) {
 	return p, nil
 }
 
-// sortAndLimit applies ORDER BY / LIMIT to a merged result in place.
+// sortAndLimit applies ORDER BY / OFFSET / LIMIT to a merged result in
+// place. It sorts with the same orderComparator the bounded top-K heaps
+// and trims use, so the final sort and the candidate selection can never
+// disagree on ordering.
 func sortAndLimit(res *Result, q *Query) error {
 	if len(q.OrderBy) > 0 {
-		idx := make([]int, len(q.OrderBy))
-		for i, o := range q.OrderBy {
-			idx[i] = -1
-			for ci, c := range res.Columns {
-				if c == o.Column {
-					idx[i] = ci
+		cmp, ok := orderComparator(q, res.Columns)
+		if !ok {
+			// Name the first unresolvable column in the error.
+			for _, o := range q.OrderBy {
+				found := false
+				for _, c := range res.Columns {
+					if c == o.Column {
+						found = true
+					}
+				}
+				if !found {
+					return fmt.Errorf("olap: order-by column %q not in result", o.Column)
 				}
 			}
-			if idx[i] < 0 {
-				return fmt.Errorf("olap: order-by column %q not in result", o.Column)
-			}
+			return fmt.Errorf("olap: order-by columns not in result")
 		}
 		sort.SliceStable(res.Rows, func(a, b int) bool {
-			for i, o := range q.OrderBy {
-				cmp := record.Compare(res.Rows[a][idx[i]], res.Rows[b][idx[i]])
-				if cmp == 0 {
-					continue
-				}
-				if o.Desc {
-					return cmp > 0
-				}
-				return cmp < 0
-			}
-			return false
+			return cmp(res.Rows[a], res.Rows[b]) < 0
 		})
 	}
-	if q.Limit > 0 && len(res.Rows) > q.Limit {
-		res.Rows = res.Rows[:q.Limit]
+	if q.Offset > 0 || q.Limit > 0 {
+		start := q.Offset
+		if start > len(res.Rows) {
+			start = len(res.Rows)
+		}
+		rows := res.Rows[start:]
+		if q.Limit > 0 && len(rows) > q.Limit {
+			rows = rows[:q.Limit]
+		}
+		res.Rows = rows
 	}
 	return nil
 }

@@ -64,6 +64,17 @@ type QueryRequest struct {
 	Consistency Consistency
 	// Router overrides the broker's routing strategy for this request.
 	Router Router
+	// TrimExact disables the bounded top-K path for ORDER BY/LIMIT queries.
+	// The default (false) trims candidates at segments and servers — fast,
+	// exactly like Pinot, and for grouped aggregations potentially inexact
+	// under pathological cross-server skew (a group trimmed on one server
+	// may survive on another). TrimExact: true ships every row and group,
+	// making results byte-identical to a full sort at full fan-out cost.
+	TrimExact bool
+	// TrimSize overrides the minimum group budget trimmed grouped top-K
+	// aggregations keep per segment and server (0 = DefaultGroupTrimSize);
+	// the kept count is max(5·(Limit+Offset), TrimSize).
+	TrimSize int
 }
 
 // RouteInfo reports how a request was routed, for EXPLAIN output.
@@ -87,6 +98,10 @@ type QueryResponse struct {
 	Rows    [][]any
 	Stats   ExecStats
 	Route   RouteInfo
+	// TrimK is the per-server top-K candidate budget the bounded ORDER
+	// BY/LIMIT path applied (groups for aggregations, Limit+Offset rows for
+	// selections); 0 when the query ran exact/untrimmed.
+	TrimK int
 }
 
 // Execute runs one typed request: route (with the request's or broker's
@@ -107,6 +122,18 @@ func (b *Broker) Execute(ctx context.Context, req *QueryRequest) (*QueryResponse
 		q2 := *q
 		q2.Time = req.Time
 		q = &q2
+	}
+	// Reject type-invalid aggregations before any scan is scheduled, so the
+	// error surfaces even when routing prunes every segment.
+	for _, a := range q.Aggs {
+		if a.Column == "" {
+			continue
+		}
+		if f, ok := b.d.cfg.Schema.Field(a.Column); ok {
+			if err := aggTypeError(a.Kind, a.Column, f.Type); err != nil {
+				return nil, err
+			}
+		}
 	}
 	timeout := req.Timeout
 	if timeout == 0 {
@@ -171,9 +198,20 @@ func (b *Broker) executeRouted(ctx context.Context, req *QueryRequest, q *Query,
 	}
 	sort.Ints(servers)
 
-	execOpts := ExecOptions{Workers: req.Workers, HotOnly: req.Consistency == ConsistencyHot}
+	execOpts := ExecOptions{
+		Workers:   req.Workers,
+		HotOnly:   req.Consistency == ConsistencyHot,
+		TrimExact: req.TrimExact,
+		TrimSize:  req.TrimSize,
+	}
 	if execOpts.Workers == 0 {
 		execOpts.Workers = b.opts.Workers
+	}
+	// The same plan the servers derive from ExecOptions, used here to trim
+	// consuming-partition partials and to report the applied budget.
+	var tp *topKPlan
+	if !req.TrimExact {
+		tp = planTopK(q, req.TrimSize)
 	}
 
 	// Scatter: one subquery per assigned server plus one scan per routed
@@ -212,10 +250,23 @@ func (b *Broker) executeRouted(ctx context.Context, req *QueryRequest, q *Query,
 				errs <- err
 				return
 			}
+			// Consuming partials obey the same top-K bound as server
+			// partials, so the gather phase stays O(K · fan-out) even for
+			// tables with a large consuming tail — and their shipped units
+			// count toward the boundary stats.
+			p.trimTopK(q, tp)
+			if p.agg {
+				p.stats.GroupsShipped = int64(len(p.groups))
+			} else {
+				p.stats.RowsShipped = int64(len(p.rows))
+			}
 			results <- p
 		}(cs)
 	}
 
+	// Gather: under default trimming each server partial carries at most
+	// groupK groups / Limit+Offset rows, so the streaming merge holds
+	// O(K · servers) state instead of O(groups) — the top-K memory bound.
 	acc := newPartial(q)
 	limit := earlyLimit(q)
 	for served := 0; served < units; served++ {
@@ -238,10 +289,19 @@ func (b *Broker) executeRouted(ctx context.Context, req *QueryRequest, q *Query,
 	}
 	res.Stats.ServersContacted = len(contacted)
 	res.Stats.PartitionsPruned = plan.PartitionsPruned
+	trimK := 0
+	if tp != nil {
+		if len(q.Aggs) > 0 {
+			trimK = tp.groupK
+		} else {
+			trimK = tp.rowK
+		}
+	}
 	return &QueryResponse{
 		Columns: res.Columns,
 		Rows:    res.Rows,
 		Stats:   res.Stats,
+		TrimK:   trimK,
 		Route: RouteInfo{
 			Router:           router.Name(),
 			ReplicaGroup:     plan.ReplicaGroup,

@@ -309,6 +309,67 @@ func TestFilterComparisonOps(t *testing.T) {
 	}
 }
 
+// TestStrictBoundsAbsentAndExtremeLiterals pins codeRangeBitmap's
+// exclusive-bound adjustment against brute force: the boundary code is only
+// dropped when the literal is exactly present in the dictionary, so `<` and
+// `>` with absent literals, literals at the dictionary extremes, and
+// literals entirely outside the domain must all stay exact. Regression
+// guard for the top-K rewrite of the execution path.
+func TestStrictBoundsAbsentAndExtremeLiterals(t *testing.T) {
+	rows := orderRows(120) // amount ∈ {0.5 .. 49.5}, items ∈ {1 .. 7}
+	brute := func(col string, pred func(float64) bool) int64 {
+		var n int64
+		for _, r := range rows {
+			if pred(r.Double(col)) {
+				n++
+			}
+		}
+		return n
+	}
+	cases := []struct {
+		name string
+		f    Filter
+		want int64
+	}{
+		{"lt-absent-mid", Filter{Column: "amount", Op: OpLt, Value: 10.25},
+			brute("amount", func(v float64) bool { return v < 10.25 })},
+		{"gt-absent-mid", Filter{Column: "amount", Op: OpGt, Value: 10.25},
+			brute("amount", func(v float64) bool { return v > 10.25 })},
+		{"lt-present-mid", Filter{Column: "amount", Op: OpLt, Value: 10.5},
+			brute("amount", func(v float64) bool { return v < 10.5 })},
+		{"gt-present-mid", Filter{Column: "amount", Op: OpGt, Value: 10.5},
+			brute("amount", func(v float64) bool { return v > 10.5 })},
+		{"lt-dict-min", Filter{Column: "amount", Op: OpLt, Value: 0.5}, 0},
+		{"gt-dict-max", Filter{Column: "amount", Op: OpGt, Value: 49.5}, 0},
+		{"lt-below-domain", Filter{Column: "amount", Op: OpLt, Value: 0.1}, 0},
+		{"gt-above-domain", Filter{Column: "amount", Op: OpGt, Value: 100.0}, 0},
+		{"lt-above-domain", Filter{Column: "amount", Op: OpLt, Value: 100.0}, 120},
+		{"gt-below-domain", Filter{Column: "amount", Op: OpGt, Value: 0.1}, 120},
+		{"lt-long-absent", Filter{Column: "items", Op: OpLt, Value: int64(0)}, 0},
+		{"gt-long-dict-min", Filter{Column: "items", Op: OpGt, Value: int64(1)},
+			brute("items", func(v float64) bool { return v > 1 })},
+		{"lt-long-dict-max", Filter{Column: "items", Op: OpLt, Value: int64(7)},
+			brute("items", func(v float64) bool { return v < 7 })},
+	}
+	for _, cfg := range []IndexConfig{
+		{},
+		{InvertedColumns: []string{"amount", "items"}},
+		{SortedColumn: "amount"},
+	} {
+		seg := buildTestSegment(t, rows, cfg)
+		for _, tc := range cases {
+			q := &Query{Filters: []Filter{tc.f}, Aggs: []AggSpec{{Kind: AggCount}}}
+			r, err := seg.Execute(q, nil)
+			if err != nil {
+				t.Fatalf("cfg %+v case %s: %v", cfg, tc.name, err)
+			}
+			if got := r.Rows[0][0].(int64); got != tc.want {
+				t.Errorf("cfg %+v case %s: count = %d, want %d", cfg, tc.name, got, tc.want)
+			}
+		}
+	}
+}
+
 func TestGroupByAggregation(t *testing.T) {
 	rows := orderRows(120)
 	seg := buildTestSegment(t, rows, IndexConfig{})

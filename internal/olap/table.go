@@ -119,6 +119,13 @@ func executeRows(ctx context.Context, schema *metadata.Schema, rows []record.Rec
 			if a.Kind == AggDistinctCount && a.Column == "" {
 				return nil, fmt.Errorf("olap: distinctcount requires a column")
 			}
+			if a.Column != "" {
+				if f, ok := schema.Field(a.Column); ok {
+					if err := aggTypeError(a.Kind, a.Column, f.Type); err != nil {
+						return nil, err
+					}
+				}
+			}
 		}
 		groups := make(map[string]*groupAgg)
 		for i, r := range rows {
@@ -196,7 +203,7 @@ func executeRows(ctx context.Context, schema *metadata.Schema, rows []record.Rec
 			row[ci] = r[c]
 		}
 		p.rows = append(p.rows, row)
-		if q.Limit > 0 && len(q.OrderBy) == 0 && len(p.rows) >= q.Limit {
+		if q.Limit > 0 && len(q.OrderBy) == 0 && len(p.rows) >= q.Limit+q.Offset {
 			break
 		}
 	}

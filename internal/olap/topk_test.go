@@ -1,0 +1,394 @@
+package olap
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/metadata"
+	"repro/internal/record"
+)
+
+// topKOrderRows returns n rows whose amounts are a deterministic permutation
+// of multiples of 0.25 — unique (so orderings are tie-free) and exactly
+// representable in float64 (so sums merge bit-identically in any order).
+func topKOrderRows(n int) []record.Record {
+	cities := []string{"sf", "nyc", "la", "chi"}
+	statuses := []string{"placed", "cooking", "delivered"}
+	rows := make([]record.Record, n)
+	for i := range rows {
+		rows[i] = record.Record{
+			"order_id": fmt.Sprintf("o-%05d", i),
+			"city":     cities[i%len(cities)],
+			"status":   statuses[i%len(statuses)],
+			"amount":   float64((i*7919)%n)*0.25 + 0.25, // 7919 is prime: a permutation when gcd(7919,n)=1
+			"items":    int64(i%7 + 1),
+			"ts":       int64(1700000000000 + i*1000),
+		}
+	}
+	return rows
+}
+
+func ingestAll(t *testing.T, d *Deployment, rows []record.Record, partitions int) {
+	t.Helper()
+	for i, r := range rows {
+		if err := d.Ingest(i%partitions, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTopKTrimmedMatchesExactUniqueKeys pins the headline property of the
+// trimmed path: when every group lives in exactly one segment (unique group
+// keys), segment/server trimming is provably exact, ships far fewer
+// candidates, and reports the trim in the new stats.
+func TestTopKTrimmedMatchesExactUniqueKeys(t *testing.T) {
+	rows := topKOrderRows(400)
+	d, _ := newDeployment(t, 2, 1, false, BackupP2P, nil)
+	ingestAll(t, d, rows, 2) // 8 sealed segments of 50 rows, no consuming tail
+	b := NewBrokerWithOptions(d, BrokerOptions{Workers: 4})
+	ctx := context.Background()
+
+	grouped := &Query{
+		GroupBy: []string{"order_id"},
+		Aggs:    []AggSpec{{Kind: AggSum, Column: "amount", As: "rev"}},
+		OrderBy: []OrderSpec{{Column: "rev", Desc: true}},
+		Limit:   7,
+	}
+	exact, err := b.Execute(ctx, &QueryRequest{Query: grouped, TrimExact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trim, err := b.Execute(ctx, &QueryRequest{Query: grouped, TrimSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trim.Rows, exact.Rows) {
+		t.Errorf("trimmed top-K diverged on unique keys:\n trim %v\nexact %v", trim.Rows, exact.Rows)
+	}
+	if exact.Stats.GroupsTrimmed != 0 {
+		t.Errorf("TrimExact run trimmed %d groups", exact.Stats.GroupsTrimmed)
+	}
+	if trim.Stats.GroupsTrimmed == 0 {
+		t.Error("trimmed run reported no GroupsTrimmed")
+	}
+	if exact.Stats.GroupsShipped != 400 {
+		t.Errorf("exact GroupsShipped = %d, want 400", exact.Stats.GroupsShipped)
+	}
+	// groupK = max(5*7, 10) = 35 per server, 2 servers.
+	if want := int64(2 * GroupTrimK(7, 10)); trim.Stats.GroupsShipped != want {
+		t.Errorf("trimmed GroupsShipped = %d, want %d", trim.Stats.GroupsShipped, want)
+	}
+
+	selection := &Query{
+		Select:  []string{"order_id", "amount"},
+		OrderBy: []OrderSpec{{Column: "amount", Desc: true}},
+		Limit:   7,
+	}
+	exactS, err := b.Execute(ctx, &QueryRequest{Query: selection, TrimExact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimS, err := b.Execute(ctx, &QueryRequest{Query: selection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trimS.Rows, exactS.Rows) {
+		t.Errorf("selection heap diverged:\n trim %v\nexact %v", trimS.Rows, exactS.Rows)
+	}
+	if exactS.Stats.RowsShipped != 400 || exactS.Stats.RowsHeapKept != 0 {
+		t.Errorf("exact selection shipped %d rows, heap kept %d; want 400 / 0",
+			exactS.Stats.RowsShipped, exactS.Stats.RowsHeapKept)
+	}
+	if trimS.Stats.RowsShipped != 14 { // 7 per server after the server trim
+		t.Errorf("trimmed selection RowsShipped = %d, want 14", trimS.Stats.RowsShipped)
+	}
+	if trimS.Stats.RowsHeapKept != 7*8 { // 7 kept by each of the 8 segment heaps
+		t.Errorf("RowsHeapKept = %d, want 56", trimS.Stats.RowsHeapKept)
+	}
+}
+
+// randomTopKQuery draws one ORDER BY/LIMIT query shape: grouped on a
+// unique key (trim provably exact), grouped on a low-cardinality key (trim
+// never kicks in), or an ordered selection — with random direction, limit,
+// offset and an optional filter. Order keys are tie-free by fixture
+// construction.
+func randomTopKQuery(rng *rand.Rand) *Query {
+	q := &Query{Limit: 1 + rng.Intn(15), Offset: rng.Intn(4)}
+	if rng.Intn(3) > 0 {
+		q.Filters = nil
+	} else {
+		q.Filters = []Filter{{Column: "city", Op: OpEq, Value: []string{"sf", "nyc"}[rng.Intn(2)]}}
+	}
+	desc := rng.Intn(2) == 0
+	switch rng.Intn(3) {
+	case 0: // high-cardinality group-by: every group lives in one segment
+		kind := []AggKind{AggSum, AggAvg, AggMax}[rng.Intn(3)]
+		q.GroupBy = []string{"order_id"}
+		q.Aggs = []AggSpec{{Kind: kind, Column: "amount", As: "m"}}
+		q.OrderBy = []OrderSpec{{Column: "m", Desc: desc}}
+	case 1: // low-cardinality group-by: fewer groups than any trim budget
+		kind := []AggKind{AggSum, AggAvg, AggCount}[rng.Intn(3)]
+		col := "amount"
+		if kind == AggCount {
+			col = ""
+		}
+		q.GroupBy = []string{"city"}
+		q.Aggs = []AggSpec{{Kind: kind, Column: col, As: "m"}}
+		q.OrderBy = []OrderSpec{{Column: "m", Desc: desc}}
+	default: // ordered selection
+		q.Select = []string{"order_id", "amount"}
+		col := []string{"order_id", "amount"}[rng.Intn(2)]
+		q.OrderBy = []OrderSpec{{Column: col, Desc: desc}}
+	}
+	return q
+}
+
+// TestTopKRandomizedEquivalence is the randomized equivalence matrix over
+// generated queries: TrimExact must always equal the single-segment
+// full-sort oracle byte for byte, and the default trimmed path must agree
+// on low-skew data (unique or low-cardinality group keys). Runs with a
+// parallel worker pool, so -race exercises the trim path concurrently.
+func TestTopKRandomizedEquivalence(t *testing.T) {
+	rows := topKOrderRows(360)
+	d, _ := newDeployment(t, 2, 1, false, BackupP2P, nil)
+	ingestAll(t, d, rows, 2) // sealed segments plus a 30-row consuming tail per partition
+	oracle, err := BuildSegment("all", ordersSchema(), rows, IndexConfig{}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBrokerWithOptions(d, BrokerOptions{Workers: 4})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7)) // fixed seed: deterministic matrix
+	for i := 0; i < 60; i++ {
+		q := randomTopKQuery(rng)
+		want, err := oracle.Execute(q, nil)
+		if err != nil {
+			t.Fatalf("query %d oracle: %v", i, err)
+		}
+		exact, err := b.Execute(ctx, &QueryRequest{Query: q, TrimExact: true})
+		if err != nil {
+			t.Fatalf("query %d exact: %v", i, err)
+		}
+		trim, err := b.Execute(ctx, &QueryRequest{Query: q, TrimSize: 25})
+		if err != nil {
+			t.Fatalf("query %d trimmed: %v", i, err)
+		}
+		if !reflect.DeepEqual(exact.Rows, want.Rows) {
+			t.Errorf("query %d %+v: TrimExact != full sort:\n got %v\nwant %v", i, q, exact.Rows, want.Rows)
+		}
+		if !reflect.DeepEqual(trim.Rows, want.Rows) {
+			t.Errorf("query %d %+v: trimmed diverged on low-skew data:\n got %v\nwant %v", i, q, trim.Rows, want.Rows)
+		}
+	}
+}
+
+// TestQueryOffsetPagination checks Limit+Offset pagination: pages stitched
+// together must reproduce the unpaginated prefix, on both the trimmed and
+// exact paths (heaps keep Limit+Offset candidates).
+func TestQueryOffsetPagination(t *testing.T) {
+	rows := topKOrderRows(200)
+	d, _ := newDeployment(t, 2, 1, false, BackupP2P, nil)
+	ingestAll(t, d, rows, 2)
+	b := NewBroker(d)
+	ctx := context.Background()
+	base := &Query{
+		GroupBy: []string{"order_id"},
+		Aggs:    []AggSpec{{Kind: AggSum, Column: "amount", As: "rev"}},
+		OrderBy: []OrderSpec{{Column: "rev", Desc: true}},
+		Limit:   10,
+	}
+	full, err := b.Execute(ctx, &QueryRequest{Query: base, TrimExact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, trimExact := range []bool{false, true} {
+		var paged [][]any
+		for off := 0; off < 10; off += 5 {
+			q := *base
+			q.Limit, q.Offset = 5, off
+			resp, err := b.Execute(ctx, &QueryRequest{Query: &q, TrimExact: trimExact})
+			if err != nil {
+				t.Fatal(err)
+			}
+			paged = append(paged, resp.Rows...)
+		}
+		if !reflect.DeepEqual(paged, full.Rows) {
+			t.Errorf("trimExact=%v: stitched pages != top-10:\n got %v\nwant %v", trimExact, paged, full.Rows)
+		}
+	}
+
+	// Unordered Limit+Offset over consuming (unsealed) rows: the row-scan
+	// early stop must gather Limit+Offset rows so the page is full —
+	// regression for the consuming-path offset bug.
+	dc, _ := newDeployment(t, 1, 1, false, BackupP2P, nil)
+	ingestAll(t, dc, topKOrderRows(30), 1) // stays below the 50-row seal threshold
+	page, err := NewBroker(dc).Query(&Query{Select: []string{"order_id"}, Limit: 10, Offset: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Rows) != 10 {
+		t.Errorf("consuming-path page = %d rows, want 10 (offset 5 of 30)", len(page.Rows))
+	}
+}
+
+// scoresSchema has a nullable numeric column, so groups can have zero
+// non-null values — the NULL-semantics bugfix surface.
+func scoresSchema() *metadata.Schema {
+	return &metadata.Schema{
+		Name:    "scores",
+		Version: 1,
+		Fields: []metadata.Field{
+			{Name: "order_id", Type: metadata.TypeString},
+			{Name: "city", Type: metadata.TypeString, Dimension: true},
+			{Name: "score", Type: metadata.TypeDouble, Nullable: true},
+			{Name: "ts", Type: metadata.TypeTimestamp},
+		},
+		TimeField:  "ts",
+		PrimaryKey: "order_id",
+	}
+}
+
+func scoreRows(n int) []record.Record {
+	rows := make([]record.Record, n)
+	for i := range rows {
+		r := record.Record{
+			"order_id": fmt.Sprintf("s-%03d", i),
+			"city":     []string{"scored", "unscored"}[i%2],
+			"ts":       int64(1700000000000 + i),
+		}
+		if i%2 == 0 { // only the "scored" city ever has a score
+			r["score"] = float64(i) + 0.5
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// TestAggNullSemantics: MIN/MAX/AVG over zero non-null values must be SQL
+// NULL (nil), never a fabricated 0 — while COUNT stays 0 and SUM keeps the
+// empty-sum 0. Checked on the sealed-segment path, the consuming-row path,
+// and the zero-row global aggregate.
+func TestAggNullSemantics(t *testing.T) {
+	aggs := []AggSpec{
+		{Kind: AggMin, Column: "score"},
+		{Kind: AggMax, Column: "score"},
+		{Kind: AggAvg, Column: "score"},
+		{Kind: AggCount, Column: "score", As: "nonnull"},
+		{Kind: AggSum, Column: "score"},
+	}
+	checkGroups := func(t *testing.T, rows [][]any) {
+		t.Helper()
+		byCity := map[string][]any{}
+		for _, r := range rows {
+			byCity[r[0].(string)] = r[1:]
+		}
+		un, ok := byCity["unscored"]
+		if !ok {
+			t.Fatalf("unscored group missing: %v", rows)
+		}
+		if un[0] != nil || un[1] != nil || un[2] != nil {
+			t.Errorf("min/max/avg over zero non-null values = %v/%v/%v, want nil/nil/nil", un[0], un[1], un[2])
+		}
+		if un[3] != int64(0) || un[4] != 0.0 {
+			t.Errorf("count/sum over zero non-null values = %v/%v, want 0/0", un[3], un[4])
+		}
+		if sc := byCity["scored"]; sc[0] == nil || sc[2] == nil {
+			t.Errorf("scored group lost its values: %v", sc)
+		}
+	}
+
+	// Sealed-segment path (dense single-group-by accumulators).
+	seg, err := BuildSegment("scores", scoresSchema(), scoreRows(40), IndexConfig{}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := seg.Execute(&Query{GroupBy: []string{"city"}, Aggs: aggs}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGroups(t, res.Rows)
+
+	// Consuming-row path (unsealed deployment) plus the zero-row global
+	// aggregate through the broker.
+	d, err := NewDeployment(DeploymentConfig{
+		Table:   TableConfig{Name: "scores", Schema: scoresSchema(), SegmentRows: 1000, Upsert: false},
+		Servers: []*Server{NewServer("s0")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, d, scoreRows(40), 1)
+	b := NewBroker(d)
+	got, err := b.Query(&Query{GroupBy: []string{"city"}, Aggs: aggs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGroups(t, got.Rows)
+
+	empty, err := b.Query(&Query{
+		Filters: []Filter{{Column: "city", Op: OpEq, Value: "nowhere"}},
+		Aggs:    aggs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Rows) != 1 {
+		t.Fatalf("zero-row global aggregate rows = %v", empty.Rows)
+	}
+	want := []any{nil, nil, nil, int64(0), 0.0}
+	if !reflect.DeepEqual(empty.Rows[0], want) {
+		t.Errorf("zero-row global aggregate = %v, want %v", empty.Rows[0], want)
+	}
+}
+
+// TestStringAggRejected: SUM/AVG/MIN/MAX over string columns must fail with
+// a clear validation error instead of silently accumulating 0.0, on the
+// single-group-by fast path, the multi-group path, the global path, and the
+// consuming-row path — while COUNT/DISTINCTCOUNT over strings keep working.
+func TestStringAggRejected(t *testing.T) {
+	seg := buildTestSegment(t, orderRows(30), IndexConfig{})
+	badKinds := []AggKind{AggSum, AggAvg, AggMin, AggMax}
+	shapes := map[string]*Query{
+		"single-group-by": {GroupBy: []string{"status"}},
+		"multi-group-by":  {GroupBy: []string{"status", "items"}},
+		"global":          {},
+	}
+	for name, shape := range shapes {
+		for _, kind := range badKinds {
+			q := *shape
+			q.Aggs = []AggSpec{{Kind: kind, Column: "city"}}
+			_, err := seg.Execute(&q, nil)
+			if err == nil || !strings.Contains(err.Error(), "string column") {
+				t.Errorf("%s %s(city) on segment: err = %v, want string-column rejection", name, kind, err)
+			}
+		}
+	}
+
+	// Consuming-row path and broker-level validation.
+	d, _ := newDeployment(t, 2, 1, false, BackupP2P, nil)
+	ingestOrders(t, d, 30, 2) // stays consuming (threshold 50)
+	b := NewBroker(d)
+	for _, kind := range badKinds {
+		_, err := b.Query(&Query{Aggs: []AggSpec{{Kind: kind, Column: "city"}}})
+		if err == nil || !strings.Contains(err.Error(), "string column") {
+			t.Errorf("broker %s(city): err = %v, want string-column rejection", kind, err)
+		}
+	}
+
+	// COUNT and DISTINCTCOUNT remain valid over strings, everywhere.
+	for _, q := range []*Query{
+		{Aggs: []AggSpec{{Kind: AggCount, Column: "city"}, {Kind: AggDistinctCount, Column: "city"}}},
+		{GroupBy: []string{"status"}, Aggs: []AggSpec{{Kind: AggDistinctCount, Column: "city"}}},
+	} {
+		if _, err := seg.Execute(q, nil); err != nil {
+			t.Errorf("segment count/distinctcount over strings: %v", err)
+		}
+		if _, err := b.Query(q); err != nil {
+			t.Errorf("broker count/distinctcount over strings: %v", err)
+		}
+	}
+}
