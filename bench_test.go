@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -170,6 +171,41 @@ func BenchmarkE18_PushdownRouting(b *testing.B) {
 func BenchmarkE19_TopK(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		report(b, experiments.E19(40_000))
+	}
+}
+
+// BenchmarkE20_CacheAdmission — north star: broker result cache + admission
+// control under heavy multi-tenant traffic. Hit-path p50 collapses vs the
+// miss path (hit_speedup), ≥100 concurrent identical queries execute once,
+// and a 100x tenant burst sheds typed instead of collapsing the broker.
+func BenchmarkE20_CacheAdmission(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E20(24_000))
+	}
+}
+
+// BenchmarkCacheHitPath is the tier-1 hit-path microbenchmark the CI
+// baseline gate watches (cmd/benchjson): one warmed cached Execute per
+// iteration, so ns/op is the pure cache-hit service time.
+func BenchmarkCacheHitPath(b *testing.B) {
+	d := experiments.ScatterGatherDeployment(30_000, 3_000)
+	broker := olap.NewBrokerWithOptions(d, olap.BrokerOptions{CacheMaxBytes: 8 << 20})
+	req := &olap.QueryRequest{Query: &olap.Query{
+		GroupBy: []string{"city"},
+		Aggs:    []olap.AggSpec{{Kind: olap.AggSum, Column: "amount"}, {Kind: olap.AggCount}},
+	}}
+	if _, err := broker.Execute(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := broker.Execute(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Stats.CacheHit != 1 {
+			b.Fatal("hit-path benchmark missed the cache")
+		}
 	}
 }
 

@@ -8,14 +8,16 @@
 // -timeout bounds each query (0 = none); a timed-out query cancels its
 // scatter-gather fan-out mid-flight via the engine's context path.
 //
-// Prefix any SELECT with EXPLAIN to see the pushdown, routing and top-K
-// trim decisions instead of the rows (EXPLAIN ANALYZE semantics: the query
-// executes and the real per-scan stats are reported):
+// Prefix any SELECT with EXPLAIN to see the pushdown, routing, top-K trim
+// and result-cache decisions instead of the rows (EXPLAIN ANALYZE
+// semantics: the query executes and the real per-scan stats are reported).
+// The demo Pinot brokers run with a result cache, so repeating an EXPLAIN
+// flips its plan line from cache=miss to cache=hit:
 //
 //	sql> EXPLAIN SELECT order_id, SUM(amount) AS rev FROM pinot.orders GROUP BY order_id ORDER BY rev DESC LIMIT 10
 //	plan:
-//	  scan pinot.orders [aggregate-scan] pushdown=filters+aggs+limit route=partition servers_contacted=4 trim=server k=1000 groups_trimmed=16000 rows_moved=10
-//	stats: rows_moved=10 fallbacks=0 segments_scanned=8 rows_scanned=20000 servers_contacted=4 partitions_pruned=0 segments_time_pruned=0 groups_trimmed=16000 rows_heap_kept=0
+//	  scan pinot.orders [aggregate-scan] pushdown=filters+aggs+limit route=partition servers_contacted=4 trim=server k=1000 groups_trimmed=16000 cache=hit rows_moved=10
+//	stats: rows_moved=10 fallbacks=0 segments_scanned=8 rows_scanned=20000 servers_contacted=4 partitions_pruned=0 segments_time_pruned=0 groups_trimmed=16000 rows_heap_kept=0 cache_hit=1 coalesced=0 cache_bytes=1672 shed=0
 package main
 
 import (
@@ -106,10 +108,11 @@ func printExplain(res *fedsql.Result) {
 		fmt.Println("  " + line)
 	}
 	st := res.Stats
-	fmt.Printf("stats: rows_moved=%d fallbacks=%d segments_scanned=%d rows_scanned=%d servers_contacted=%d partitions_pruned=%d segments_time_pruned=%d groups_trimmed=%d rows_heap_kept=%d\n",
+	fmt.Printf("stats: rows_moved=%d fallbacks=%d segments_scanned=%d rows_scanned=%d servers_contacted=%d partitions_pruned=%d segments_time_pruned=%d groups_trimmed=%d rows_heap_kept=%d cache_hit=%d coalesced=%d cache_bytes=%d shed=%d\n",
 		st.RowsReturned, st.PushdownFallbacks, st.Exec.SegmentsScanned, st.Exec.RowsScanned,
 		st.Exec.ServersContacted, st.Exec.PartitionsPruned, st.Exec.SegmentsPruned,
-		st.Exec.GroupsTrimmed, st.Exec.RowsHeapKept)
+		st.Exec.GroupsTrimmed, st.Exec.RowsHeapKept,
+		st.Exec.CacheHit, st.Exec.Coalesced, st.Exec.CacheMemBytes, st.Exec.Shed)
 	fmt.Printf("(%d rows)\n", len(res.Rows))
 }
 
@@ -178,6 +181,9 @@ func buildDemo() (*fedsql.Engine, error) {
 	}
 	pinot := fedsql.NewPinotConnector("pinot")
 	pinot.Router = &olap.PartitionRouter{}
+	// Dashboard traffic repeats the same handful of queries: give the demo
+	// broker a result cache so a repeated EXPLAIN shows cache=hit.
+	pinot.CacheMaxBytes = 8 << 20
 	pinot.AddTable(d)
 
 	store := objstore.NewMemStore()

@@ -139,5 +139,6 @@ func AllWithIntegration() []Experiment {
 	merged = append(merged, lifecycleExperiments()...)
 	merged = append(merged, pushdownRoutingExperiments()...)
 	merged = append(merged, topKExperiments()...)
+	merged = append(merged, cacheAdmissionExperiments()...)
 	return append(merged, Ablations()...)
 }

@@ -169,6 +169,33 @@ func TestExperimentShapes(t *testing.T) {
 			t.Error("trimmed top-K result diverged from exact full sort on unique group keys")
 		}
 	})
+	t.Run("E20", func(t *testing.T) {
+		rows := E20(16_000)
+		// The acceptance bar is 10x at full scale; at reduced test scale
+		// (and under -race) require a conservative 3x so CI stays stable.
+		if r := get(rows, "hit_speedup"); r < 3 {
+			t.Errorf("cache hit p50 speedup = %.1fx, want >= 3x", r)
+		}
+		if r := get(rows, "executions"); r != 1 {
+			t.Errorf("%v concurrent identical queries ran %v executions, want 1",
+				get(rows, "concurrent_identical"), r)
+		}
+		if get(rows, "shared_row_mismatches") != 0 {
+			t.Error("shared responses returned different rows")
+		}
+		if get(rows, "burst_shed") == 0 {
+			t.Error("100x tenant burst was never shed")
+		}
+		if get(rows, "burst_shed_untyped") != 0 {
+			t.Error("shed queries must fail with typed ErrOverloaded")
+		}
+		if get(rows, "dash_served") == 0 {
+			t.Error("well-behaved tenant starved during the burst")
+		}
+		if get(rows, "mem_bounded") != 1 {
+			t.Error("cache memory exceeded its bound")
+		}
+	})
 	t.Run("E18", func(t *testing.T) {
 		rows := E18(12_000)
 		if r := get(rows, "rows_reduction"); r < 10 {
@@ -195,7 +222,7 @@ func TestAllListsEverything(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15", "E16", "E17", "E18", "E19"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15", "E16", "E17", "E18", "E19", "E20"} {
 		if !ids[want] {
 			t.Errorf("experiment %s missing from AllWithIntegration", want)
 		}

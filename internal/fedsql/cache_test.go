@@ -1,0 +1,69 @@
+package fedsql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/objstore"
+	"repro/internal/olap"
+)
+
+// TestPlanLineShowsCacheDecisions: a connector with a broker result cache
+// reports cache=miss then cache=hit in the EXPLAIN plan line, with
+// identical rows both times, and a post-ingest query goes back to miss.
+func TestPlanLineShowsCacheDecisions(t *testing.T) {
+	servers := []*olap.Server{olap.NewServer("s0"), olap.NewServer("s1")}
+	d, err := olap.NewDeployment(olap.DeploymentConfig{
+		Table:        olap.TableConfig{Name: "orders", Schema: ordersSchema(), SegmentRows: 50},
+		Servers:      servers,
+		SegmentStore: objstore.NewMemStore(),
+		Backup:       olap.BackupP2P,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := orderRows(200)
+	for i, r := range rows {
+		if err := d.Ingest(i%2, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinot := NewPinotConnector("pinot")
+	pinot.CacheMaxBytes = 1 << 20
+	pinot.AddTable(d)
+	e := NewEngine()
+	e.Register(pinot)
+
+	const sql = "SELECT city, SUM(amount) AS revenue FROM pinot.orders GROUP BY city"
+	first, err := e.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Plan) != 1 || !strings.Contains(first.Plan[0], "cache=miss") {
+		t.Fatalf("first plan %v should show cache=miss", first.Plan)
+	}
+	second, err := e.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.Plan[0], "cache=hit") {
+		t.Fatalf("second plan %v should show cache=hit", second.Plan)
+	}
+	if second.Stats.Exec.CacheHit != 1 || second.Stats.Exec.CacheMemBytes <= 0 {
+		t.Fatalf("hit stats %+v", second.Stats.Exec)
+	}
+	if rowsKey(first) != rowsKey(second) {
+		t.Fatal("cached result differs from executed result")
+	}
+
+	if err := d.Ingest(0, rows[0]); err != nil {
+		t.Fatal(err)
+	}
+	third, err := e.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(third.Plan[0], "cache=miss") {
+		t.Fatalf("post-ingest plan %v should show cache=miss", third.Plan)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/metadata"
 	"repro/internal/objstore"
 	"repro/internal/olap"
+	"repro/internal/olap/qcache"
 	"repro/internal/record"
 	"repro/internal/sqlparse"
 )
@@ -156,6 +157,17 @@ type PinotConnector struct {
 	// pushed-down ORDER BY/LIMIT queries: exact full-sort results at full
 	// fan-out cost. The default (false) trims like Pinot.
 	TrimExact bool
+	// CacheMaxBytes enables the broker result cache (with in-flight
+	// deduplication) for tables added after it is set; 0 disables. Cached
+	// entries invalidate automatically on any ingest/seal/compact/offload/
+	// drop of the backing table.
+	CacheMaxBytes int64
+	// Admission enables per-tenant quotas and bounded queueing on brokers
+	// created by AddTable; overloaded queries fail with olap.ErrOverloaded.
+	Admission *qcache.AdmissionConfig
+	// Tenant tags every query this connector issues, for the brokers'
+	// per-tenant admission quotas ("" is the default tenant).
+	Tenant string
 }
 
 // NewPinotConnector creates an empty Pinot catalog.
@@ -171,8 +183,10 @@ func NewPinotConnector(name string) *PinotConnector {
 func (p *PinotConnector) AddTable(d *olap.Deployment) {
 	cfg := d.Table()
 	p.brokers[cfg.Name] = olap.NewBrokerWithOptions(d, olap.BrokerOptions{
-		Workers: p.Parallelism,
-		Router:  p.Router,
+		Workers:       p.Parallelism,
+		Router:        p.Router,
+		CacheMaxBytes: p.CacheMaxBytes,
+		Admission:     p.Admission,
 	})
 	p.schemas[cfg.Name] = cfg.Schema
 }
@@ -273,7 +287,7 @@ func (p *PinotConnector) AggregateScan(ctx context.Context, table string, aq Agg
 // run executes an OLAP query through the typed v2 broker surface and
 // converts the response into connector rows + unified stats.
 func (p *PinotConnector) run(ctx context.Context, broker *olap.Broker, q *olap.Query, stats QueryStats) ([]record.Record, QueryStats, error) {
-	resp, err := broker.Execute(ctx, &olap.QueryRequest{Query: q, TrimExact: p.TrimExact})
+	resp, err := broker.Execute(ctx, &olap.QueryRequest{Query: q, TrimExact: p.TrimExact, Tenant: p.Tenant})
 	if err != nil {
 		return nil, QueryStats{}, err
 	}

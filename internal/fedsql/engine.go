@@ -347,6 +347,16 @@ func planLine(catalog, table, kind string, st QueryStats, residual int) string {
 			fmt.Fprintf(&b, " segments_time_pruned=%d", st.Exec.SegmentsPruned)
 		}
 	}
+	// Result-cache decision: shown whenever the backend has a cache (its
+	// resident bytes are reported even on a miss).
+	switch {
+	case st.Exec.CacheHit > 0:
+		b.WriteString(" cache=hit")
+	case st.Exec.Coalesced > 0:
+		b.WriteString(" cache=coalesced")
+	case st.Exec.CacheMemBytes > 0:
+		b.WriteString(" cache=miss")
+	}
 	if st.TrimK > 0 {
 		fmt.Fprintf(&b, " trim=server k=%d", st.TrimK)
 		if st.Exec.GroupsTrimmed > 0 {

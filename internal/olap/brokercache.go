@@ -1,0 +1,288 @@
+package olap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/olap/qcache"
+)
+
+// This file threads the qcache subsystem through the broker: result caching
+// keyed by a canonical request hash plus the table's generation fingerprint,
+// in-flight deduplication of identical queries, and per-tenant admission
+// control with bounded queueing. The design invariant that keeps cached
+// results exact is ordering: the generation is read BEFORE the execution
+// snapshots any data, so an entry can only ever be stored under a generation
+// at or below the data it contains — a mutation racing the execution has
+// already bumped past the stored fingerprint and the next Get invalidates.
+
+// ErrOverloaded is returned when admission control sheds a query: the
+// tenant's token bucket is empty, the broker queue is full, or the deadline
+// expired while queued. It aliases qcache.ErrOverloaded so errors.Is works
+// through either package.
+var ErrOverloaded = qcache.ErrOverloaded
+
+// Generation returns the table's mutation fingerprint: a counter bumped by
+// every ingest, seal, compaction, offload, drop and recovery. Result-cache
+// entries record the generation observed before their execution and are
+// invalidated on any mismatch.
+func (d *Deployment) Generation() int64 { return d.gen.Load() }
+
+// bumpGen marks a data or residency mutation, invalidating every cached
+// result for the table.
+func (d *Deployment) bumpGen() { d.gen.Add(1) }
+
+// CacheStats reports the broker result cache's counters (zero when the
+// cache is disabled).
+func (b *Broker) CacheStats() qcache.CacheStats {
+	if b.cache == nil {
+		return qcache.CacheStats{}
+	}
+	return b.cache.Stats()
+}
+
+// AdmissionStats reports the broker's admission counters (zero when
+// admission control is disabled).
+func (b *Broker) AdmissionStats() qcache.AdmissionStats {
+	if b.admit == nil {
+		return qcache.AdmissionStats{}
+	}
+	return b.admit.Stats()
+}
+
+// executeShared is the shared-traffic half of Execute: tenant quota, result
+// cache, and in-flight deduplication, in that order. Every caller — leader,
+// coalesced follower, or cache hit — receives its own QueryResponse struct
+// (independent ExecStats snapshot); only the row data is shared, read-only.
+func (b *Broker) executeShared(ctx context.Context, req *QueryRequest, q *Query, router Router) (*QueryResponse, error) {
+	if b.admit != nil {
+		if err := b.admit.ChargeTenant(req.Tenant); err != nil {
+			return nil, fmt.Errorf("olap: %w", err)
+		}
+	}
+	if b.cache == nil && b.flight == nil {
+		if b.admit == nil {
+			return b.executeAdmitted(ctx, req, q, router, nil)
+		}
+		// Admission without a cache still reports Queued and the Shed
+		// gauge through respond().
+		queued := false
+		resp, err := b.executeAdmitted(ctx, req, q, router, &queued)
+		if err != nil {
+			return nil, err
+		}
+		return b.respond(resp, false, false, queued), nil
+	}
+
+	key := requestKey(b.d.cfg.Name, req, q, router.Name())
+	// Generation BEFORE any execution snapshot: entries stored under this
+	// fingerprint can never mask a mutation that lands mid-execution.
+	gen := b.d.Generation()
+	// Only ConsistencyFull responses are cached: hot-only answers depend on
+	// transient segment residency (a deep-store reload mid-flight changes
+	// them without any data mutation), so they always execute.
+	cacheable := b.cache != nil && req.Consistency == ConsistencyFull
+	if cacheable {
+		if v, ok := b.cache.Get(key, gen); ok {
+			return b.respond(v.(*QueryResponse), true, false, false), nil
+		}
+	}
+
+	// queued/lateHit are only written by the exec closure, which runs in
+	// this goroutine (flight leaders run fn synchronously; followers never
+	// run it) — no cross-goroutine sharing.
+	queued := false
+	lateHit := false
+	exec := func() (any, error) {
+		// Double-check the cache: between this caller's miss above and its
+		// flight registration, a previous leader may have completed and
+		// Put (the leader removes its flight entry only after Put), so a
+		// late-arriving leader finds the entry here instead of executing
+		// the scatter-gather a second time.
+		if cacheable {
+			if v, ok := b.cache.Get(key, gen); ok {
+				lateHit = true
+				return v, nil
+			}
+		}
+		resp, err := b.executeAdmitted(ctx, req, q, router, &queued)
+		if err != nil {
+			return nil, err
+		}
+		if cacheable {
+			b.cache.Put(key, gen, resp, responseSize(resp))
+		}
+		return resp, nil
+	}
+	if b.flight == nil {
+		v, err := exec()
+		if err != nil {
+			return nil, err
+		}
+		return b.respond(v.(*QueryResponse), lateHit, false, queued), nil
+	}
+	// The flight key includes the generation: a query arriving after a
+	// mutation never coalesces onto a pre-mutation execution, so coalescing
+	// preserves read-your-writes for ConsistencyFull callers.
+	fkey := key + "|g" + strconv.FormatInt(gen, 10)
+	for attempt := 0; ; attempt++ {
+		v, shared, err := b.flight.Do(ctx, fkey, exec)
+		if err != nil {
+			// A follower must not inherit the leader's private deadline:
+			// the flight key deliberately excludes Timeout, so a
+			// short-deadline leader can die of its own context while this
+			// caller's is fine. Rejoin the flight instead of executing
+			// directly — of all the released followers, one becomes the
+			// new leader and the rest coalesce again, so the retry stays
+			// a single execution rather than a thundering herd.
+			if shared && ctx.Err() == nil && attempt < 3 &&
+				(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				continue
+			}
+			return nil, err
+		}
+		return b.respond(v.(*QueryResponse), lateHit, shared, !shared && queued), nil
+	}
+}
+
+// executeAdmitted runs one real execution through the bounded concurrency
+// gate (cache hits and coalesced followers never reach it) with the broker's
+// one re-route on ErrServerDown. queuedOut, when non-nil, reports whether
+// the execution waited for a slot.
+func (b *Broker) executeAdmitted(ctx context.Context, req *QueryRequest, q *Query, router Router, queuedOut *bool) (*QueryResponse, error) {
+	if b.admit != nil {
+		release, queued, err := b.admit.AcquireSlot(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("olap: %w", err)
+		}
+		defer release()
+		if queuedOut != nil {
+			*queuedOut = queued
+		}
+	}
+	resp, err := b.executeRouted(ctx, req, q, router)
+	if err != nil && errors.Is(err, ErrServerDown) && ctx.Err() == nil {
+		// One re-route: the failed server is down now, so the router's
+		// liveness closures steer the retry around it (unless the strategy
+		// pins the segment there, e.g. upsert owner routing).
+		resp, err = b.executeRouted(ctx, req, q, router)
+	}
+	return resp, err
+}
+
+// respond hands one caller its own copy of a (possibly shared) response.
+// The struct copy gives every caller an independent ExecStats snapshot —
+// coalesced callers and cache hits must never share a mutable stats block —
+// while the row data stays shared, read-only by contract.
+func (b *Broker) respond(src *QueryResponse, hit, coalesced, queued bool) *QueryResponse {
+	out := *src
+	if hit {
+		out.Stats.CacheHit = 1
+	}
+	if coalesced {
+		out.Stats.Coalesced = 1
+	}
+	if queued {
+		out.Stats.Queued = 1
+	}
+	if b.cache != nil {
+		out.Stats.CacheMemBytes = b.cache.Bytes()
+	}
+	if b.admit != nil {
+		out.Stats.Shed = b.admit.Shed()
+	}
+	return &out
+}
+
+// requestKey canonicalizes everything that can change a request's result
+// rows: the full query shape (filters, group-by, aggregations, projection,
+// order, limit/offset, time window) plus the result-affecting execution
+// options (consistency, trim mode and budget, segment budget, router
+// strategy). Tenant, timeout and worker counts are deliberately excluded —
+// they never change the rows, so tenants share cache entries. The encoding
+// is injective: every list carries its length, every variable-length string
+// is length-prefixed (keyStr/keyValue), and the remaining fields are
+// fixed-format integers — so no string content, including separator
+// characters, can forge another request's key.
+func requestKey(table string, req *QueryRequest, q *Query, routerName string) string {
+	var sb strings.Builder
+	sb.Grow(160)
+	keyStr(&sb, table)
+	keyStr(&sb, routerName)
+	fmt.Fprintf(&sb, "c%d,x%v,ts%d,ms%d,", req.Consistency, req.TrimExact, req.TrimSize, req.MaxSegments)
+	fmt.Fprintf(&sb, "F%d,", len(q.Filters))
+	for _, f := range q.Filters {
+		fmt.Fprintf(&sb, "%d,", f.Op)
+		keyStr(&sb, f.Column)
+		keyValue(&sb, f.Value)
+		keyValue(&sb, f.Value2)
+		fmt.Fprintf(&sb, "V%d,", len(f.Values))
+		for _, v := range f.Values {
+			keyValue(&sb, v)
+		}
+	}
+	fmt.Fprintf(&sb, "G%d,", len(q.GroupBy))
+	for _, g := range q.GroupBy {
+		keyStr(&sb, g)
+	}
+	fmt.Fprintf(&sb, "A%d,", len(q.Aggs))
+	for _, a := range q.Aggs {
+		fmt.Fprintf(&sb, "%d,", a.Kind)
+		keyStr(&sb, a.Column)
+		keyStr(&sb, a.As)
+	}
+	fmt.Fprintf(&sb, "S%d,", len(q.Select))
+	for _, s := range q.Select {
+		keyStr(&sb, s)
+	}
+	fmt.Fprintf(&sb, "O%d,", len(q.OrderBy))
+	for _, o := range q.OrderBy {
+		fmt.Fprintf(&sb, "%v,", o.Desc)
+		keyStr(&sb, o.Column)
+	}
+	fmt.Fprintf(&sb, "l%d,%d", q.Limit, q.Offset)
+	if q.Time != nil {
+		fmt.Fprintf(&sb, ",t%d,%d", q.Time.From, q.Time.To)
+	}
+	return sb.String()
+}
+
+// keyStr writes one length-prefixed string field; the prefix makes the
+// encoding unambiguous regardless of the string's content.
+func keyStr(sb *strings.Builder, s string) {
+	fmt.Fprintf(sb, "%d:%s,", len(s), s)
+}
+
+// keyValue writes one filter literal with a type tag and length prefix, so
+// values that compare differently can never alias one cache key.
+func keyValue(sb *strings.Builder, v any) {
+	if v == nil {
+		sb.WriteString("_,")
+		return
+	}
+	s := fmt.Sprint(v)
+	fmt.Fprintf(sb, "%T:%d:%s,", v, len(s), s)
+}
+
+// responseSize approximates a response's resident footprint for the cache's
+// byte accounting: slice headers plus per-value estimates (strings by
+// length, everything else as one word).
+func responseSize(resp *QueryResponse) int64 {
+	size := int64(128) // struct, stats, route
+	for _, c := range resp.Columns {
+		size += int64(len(c)) + 16
+	}
+	for _, row := range resp.Rows {
+		size += 24 // slice header
+		for _, v := range row {
+			size += 16
+			if s, ok := v.(string); ok {
+				size += int64(len(s))
+			}
+		}
+	}
+	return size
+}

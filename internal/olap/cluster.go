@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/objstore"
+	"repro/internal/olap/qcache"
 	"repro/internal/record"
 )
 
@@ -482,7 +483,13 @@ type Deployment struct {
 	mu sync.Mutex
 	// consuming per partition.
 	consuming map[int]*mutableSegment
-	segSeq    map[int]int
+	// sealing holds batches of rows that left the consuming segment but
+	// whose sealed segment has not entered routing yet. Queries keep
+	// serving them (routeView folds them into the consuming scan), so a
+	// Seal in progress never makes rows transiently invisible; the swap to
+	// the sealed segment is atomic under mu.
+	sealing map[int][]*sealingBatch
+	segSeq  map[int]int
 	// upsert metadata per partition: pk -> latest location.
 	upsertLoc map[int]map[string]location
 	// segment placement: name -> replica server indexes.
@@ -507,7 +514,35 @@ type Deployment struct {
 	// freshness measurement.
 	lastIngestNanos int64
 
+	// gen is the table's mutation fingerprint: bumped (outside mu — reads
+	// are lock-free on the query hot path) by every ingest, seal,
+	// compaction, offload, drop and recovery. Broker result-cache entries
+	// record it and invalidate on any mismatch; see brokercache.go.
+	gen atomic.Int64
+
 	asyncWG sync.WaitGroup
+}
+
+// sealingBatch is one consuming segment mid-seal: its rows stay queryable
+// (served like consuming rows) and its invalid set keeps absorbing upsert
+// supersedes under the deployment lock until the sealed segment atomically
+// replaces the batch in routing. name is the future sealed-segment name, so
+// upsert locations can already point at it.
+type sealingBatch struct {
+	name    string
+	rows    []record.Record
+	invalid map[int]bool
+}
+
+// sealingBatchLocked finds a partition's in-flight sealing batch by its
+// future segment name. Caller holds d.mu.
+func (d *Deployment) sealingBatchLocked(partition int, name string) *sealingBatch {
+	for _, b := range d.sealing[partition] {
+		if b.name == name {
+			return b
+		}
+	}
+	return nil
 }
 
 // NewDeployment validates the config and prepares a deployment.
@@ -528,6 +563,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		store:          cfg.SegmentStore,
 		backup:         cfg.Backup,
 		consuming:      make(map[int]*mutableSegment),
+		sealing:        make(map[int][]*sealingBatch),
 		segSeq:         make(map[int]int),
 		upsertLoc:      make(map[int]map[string]location),
 		placement:      make(map[string][]int),
@@ -579,6 +615,11 @@ func (d *Deployment) Ingest(partition int, r record.Record) error {
 		if old, exists := locs[pk]; exists {
 			if old.segment == "" {
 				ms.invalid[old.doc] = true
+			} else if sb := d.sealingBatchLocked(partition, old.segment); sb != nil {
+				// The superseded row is mid-seal: record it on the batch so
+				// the sealed segment's validity bitmap (built at swap time)
+				// excludes it.
+				sb.invalid[old.doc] = true
 			} else {
 				d.servers[owner].invalidate(old.segment, old.doc)
 				// Keep replica validity consistent too.
@@ -598,6 +639,7 @@ func (d *Deployment) Ingest(partition int, r record.Record) error {
 	d.lastIngestNanos = time.Now().UnixNano()
 	needSeal := len(ms.rows) >= d.cfg.SegmentRows
 	d.mu.Unlock()
+	d.bumpGen() // the new row invalidates every cached result for the table
 	if needSeal {
 		return d.Seal(partition)
 	}
@@ -610,6 +652,13 @@ func (d *Deployment) segmentName(partition, seq int) string {
 
 // Seal converts the partition's consuming segment into an immutable sealed
 // segment, places it on replicas and backs it up per the configured mode.
+// The rows never become invisible mid-seal: they move to a sealingBatch
+// that queries keep serving (routeView folds it into the consuming scan)
+// until the sealed segment atomically replaces it in routing — so a cached
+// or uncached query racing the seal always sees every row exactly once.
+// Upsert supersedes that land while the segment builds accumulate on the
+// batch (the future segment name is already in the location map) and are
+// applied to the replicas' validity bitmaps at swap time.
 func (d *Deployment) Seal(partition int) error {
 	d.mu.Lock()
 	ms, ok := d.consuming[partition]
@@ -626,11 +675,31 @@ func (d *Deployment) Seal(partition int) error {
 		upsertPartition = partition
 	}
 	rows := ms.rows
-	invalid := ms.invalid
+	batch := &sealingBatch{name: ms.name, rows: rows, invalid: ms.invalid}
+	d.sealing[partition] = append(d.sealing[partition], batch)
+	// invalidSnap is the supersede set as of now; anything added to
+	// batch.invalid after this point (concurrent upserts, recorded under
+	// mu) is applied to the replicas at swap time.
+	invalidSnap := make(map[int]bool, len(ms.invalid))
+	for doc, v := range ms.invalid {
+		invalidSnap[doc] = v
+	}
+	if d.cfg.Upsert {
+		// Point mutable locations at the future sealed segment now, so
+		// supersedes during the build land on the batch (BuildSegment
+		// preserves row order for upsert tables, so docs carry over).
+		locs := d.upsertLoc[partition]
+		for pk, loc := range locs {
+			if loc.segment == "" {
+				locs[pk] = location{segment: ms.name, doc: loc.doc}
+			}
+		}
+	}
 	d.mu.Unlock()
 
 	seg, err := BuildSegment(ms.name, d.cfg.Schema, rows, d.cfg.Indexes, upsertPartition)
 	if err != nil {
+		d.restoreSealing(partition, batch, seq)
 		return err
 	}
 	var valid *Bitmap
@@ -640,7 +709,7 @@ func (d *Deployment) Seal(partition int) error {
 		// BuildSegment may reorder rows when a sorted column is set; upsert
 		// tables therefore must not configure one (Pinot has the same
 		// restriction).
-		for doc := range invalid {
+		for doc := range invalidSnap {
 			valid.Clear(doc)
 		}
 	}
@@ -663,13 +732,7 @@ func (d *Deployment) Seal(partition int) error {
 		d.controller.Unlock()
 		if err != nil {
 			// Put the rows back so ingestion can retry after recovery.
-			d.mu.Lock()
-			restored := newMutableSegment(ms.name)
-			restored.rows = rows
-			restored.invalid = invalid
-			d.consuming[partition] = restored
-			d.segSeq[partition] = seq
-			d.mu.Unlock()
+			d.restoreSealing(partition, batch, seq)
 			return fmt.Errorf("olap: centralized backup of %s: %w", seg.Name, err)
 		}
 		// Replicas download from the store.
@@ -707,16 +770,74 @@ func (d *Deployment) Seal(partition int) error {
 	}
 	d.sealed++
 	if d.cfg.Upsert {
-		// Rewrite mutable locations to the sealed segment.
-		locs := d.upsertLoc[partition]
-		for pk, loc := range locs {
-			if loc.segment == "" {
-				locs[pk] = location{segment: seg.Name, doc: loc.doc}
+		// Supersedes that landed on the batch after the bitmap snapshot:
+		// clear them on every replica (d.mu → s.mu is the established lock
+		// order; locations already name the sealed segment).
+		for doc := range batch.invalid {
+			if !invalidSnap[doc] {
+				for _, ri := range replicas {
+					d.servers[ri].invalidate(seg.Name, doc)
+				}
 			}
 		}
 	}
+	d.removeSealingLocked(partition, batch)
 	d.mu.Unlock()
+	d.bumpGen() // rows moved from consuming to sealed; trims/routing may differ
 	return nil
+}
+
+// removeSealingLocked unlinks a sealing batch. Caller holds d.mu.
+func (d *Deployment) removeSealingLocked(partition int, batch *sealingBatch) {
+	bs := d.sealing[partition]
+	for i, b := range bs {
+		if b == batch {
+			d.sealing[partition] = append(bs[:i:i], bs[i+1:]...)
+			return
+		}
+	}
+}
+
+// restoreSealing aborts a failed seal: the batch's rows move back into the
+// consuming segment (merging ahead of any rows ingested while the seal ran,
+// with upsert locations re-pointed and re-offset) and the sequence number is
+// released so the retry reuses the same segment name.
+func (d *Deployment) restoreSealing(partition int, batch *sealingBatch, seq int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.removeSealingLocked(partition, batch)
+	restored := newMutableSegment(batch.name)
+	restored.rows = append([]record.Record(nil), batch.rows...)
+	restored.invalid = batch.invalid
+	off := len(batch.rows)
+	cur, has := d.consuming[partition]
+	if has {
+		restored.rows = append(restored.rows, cur.rows...)
+		for doc, v := range cur.invalid {
+			restored.invalid[doc+off] = v
+		}
+	}
+	if d.cfg.Upsert {
+		locs := d.upsertLoc[partition]
+		for pk, loc := range locs {
+			switch loc.segment {
+			case batch.name: // batch rows: same docs, back to mutable
+				locs[pk] = location{segment: "", doc: loc.doc}
+			case "": // rows ingested during the seal: shifted by the merge
+				if has {
+					locs[pk] = location{segment: "", doc: loc.doc + off}
+				}
+			}
+		}
+	}
+	d.consuming[partition] = restored
+	// Release the sequence number only if no later seal claimed one in the
+	// meantime — rolling back past a concurrent successful seal would
+	// reissue its segment name and silently overwrite its placement. The
+	// retry reuses batch.name either way (it was never placed or stored).
+	if d.segSeq[partition] == seq+1 {
+		d.segSeq[partition] = seq
+	}
 }
 
 func (d *Deployment) storeKey(segment string) string {
@@ -809,6 +930,9 @@ func (d *Deployment) RecoverServer(failed int) (int, error) {
 		d.mu.Unlock()
 		recovered++
 	}
+	if recovered > 0 {
+		d.bumpGen() // placement and residency changed
+	}
 	return recovered, firstErr
 }
 
@@ -823,6 +947,13 @@ func (d *Deployment) RecoverServer(failed int) (int, error) {
 type Broker struct {
 	d    *Deployment
 	opts BrokerOptions
+
+	// cache/flight/admit are the qcache subsystem (nil when disabled):
+	// bounded LRU result cache, in-flight deduplication, and per-tenant
+	// admission control. See brokercache.go.
+	cache  *qcache.Cache
+	flight *qcache.Group
+	admit  *qcache.Admission
 }
 
 // BrokerOptions tunes query execution.
@@ -836,15 +967,35 @@ type BrokerOptions struct {
 	// (overridable per request). Nil means the round-robin default, which
 	// preserves the §4.3.1 partition-owner strategy for upsert tables.
 	Router Router
+	// CacheMaxBytes enables the broker result cache with that memory bound
+	// (0 disables it). Enabling the cache also enables in-flight
+	// deduplication: N concurrent identical queries execute once and share
+	// the response. Entries invalidate automatically on any ingest, seal,
+	// compaction, offload, drop or recovery of the table. With the cache
+	// enabled, QueryResponse.Rows are shared read-only data — callers must
+	// copy before mutating (see QueryResponse).
+	CacheMaxBytes int64
+	// Admission enables per-tenant token-bucket quotas and the bounded
+	// execution queue with deadline-aware shedding (typed ErrOverloaded).
+	// Nil disables admission control.
+	Admission *qcache.AdmissionConfig
 }
 
 // NewBroker creates a broker over a deployment with default options
-// (parallel scans, no deadline).
+// (parallel scans, no deadline, no cache or admission control).
 func NewBroker(d *Deployment) *Broker { return NewBrokerWithOptions(d, BrokerOptions{}) }
 
 // NewBrokerWithOptions creates a broker with explicit execution options.
 func NewBrokerWithOptions(d *Deployment, opts BrokerOptions) *Broker {
-	return &Broker{d: d, opts: opts}
+	b := &Broker{d: d, opts: opts}
+	if opts.CacheMaxBytes > 0 {
+		b.cache = qcache.NewCache(opts.CacheMaxBytes)
+		b.flight = qcache.NewGroup()
+	}
+	if opts.Admission != nil {
+		b.admit = qcache.NewAdmission(*opts.Admission)
+	}
+	return b
 }
 
 // Query executes a structured query with the broker's default context.

@@ -55,6 +55,20 @@
 // QueryResponse carries ExecStats plus a RouteInfo for EXPLAIN-style
 // consumers.
 //
+// # Result cache and admission control
+//
+// Brokers can front execution with the internal/olap/qcache subsystem
+// (BrokerOptions.CacheMaxBytes, BrokerOptions.Admission; brokercache.go):
+// a bounded-memory LRU result cache keyed by the canonical request shape
+// plus the deployment's Generation — an atomic counter bumped by every
+// ingest, seal, compaction, offload, drop and recovery, so stale entries
+// invalidate automatically — in-flight deduplication of identical queries
+// (N concurrent callers execute once and share the response, each with an
+// independent ExecStats snapshot), and per-tenant token-bucket admission
+// (QueryRequest.Tenant) with a bounded, deadline-aware execution queue
+// that sheds overload as the typed ErrOverloaded. ExecStats reports
+// CacheHit, Coalesced, Queued, the Shed gauge and CacheMemBytes.
+//
 // # Segment lifecycle
 //
 // Sealed segments move through a lifecycle managed by the subpackage

@@ -191,6 +191,11 @@ func (d *Deployment) OffloadSegment(name string) (int, error) {
 			released++
 		}
 	}
+	if released > 0 {
+		// Residency changed: hot-consistency answers (and cached results
+		// conservatively) must not outlive the offload.
+		d.bumpGen()
+	}
 	return released, nil
 }
 
@@ -215,6 +220,7 @@ func (d *Deployment) DropSegment(name string, deleteArchive bool) {
 		}
 	}
 	d.mu.Unlock()
+	d.bumpGen() // the dropped segment's rows left the table
 	for _, ri := range replicas {
 		d.servers[ri].Retire(name)
 	}
@@ -313,7 +319,7 @@ func (d *Deployment) Compact(names []string) (CompactResult, error) {
 
 	if len(rows) == 0 {
 		// Every row superseded: compaction degenerates to garbage
-		// collection of the inputs.
+		// collection of the inputs (retireSegments bumps the generation).
 		d.retireSegments(names)
 		return res, nil
 	}
@@ -361,6 +367,7 @@ func (d *Deployment) Compact(names []string) (CompactResult, error) {
 		delete(d.segMeta, name)
 	}
 	d.mu.Unlock()
+	d.bumpGen() // segment set swapped (inputs replaced by the merged segment)
 	for _, name := range names {
 		for _, ri := range replicas {
 			d.servers[ri].Retire(name)
@@ -390,6 +397,7 @@ func (d *Deployment) retireSegments(names []string) {
 		delete(d.segMeta, name)
 	}
 	d.mu.Unlock()
+	d.bumpGen() // segments left routing
 	for _, name := range names {
 		for _, ri := range replicasOf[name] {
 			d.servers[ri].Retire(name)

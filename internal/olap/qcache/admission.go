@@ -1,0 +1,225 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is the typed rejection of the admission layer: the caller
+// exceeded its tenant quota, the broker queue was full, or the request's
+// deadline expired while queued. Callers match it with errors.Is and back
+// off instead of retrying hot.
+var ErrOverloaded = errors.New("qcache: overloaded")
+
+// TenantQuota is one tenant's token-bucket parameters.
+type TenantQuota struct {
+	// Rate is the sustained admission rate in queries per second; 0 means
+	// unlimited for that tenant.
+	Rate float64
+	// Burst is the bucket capacity — how many queries may arrive at once
+	// before the bucket empties. 0 defaults to max(Rate, 1).
+	Burst float64
+}
+
+// AdmissionConfig tunes the admission controller.
+type AdmissionConfig struct {
+	// MaxConcurrent bounds how many query executions run at once; further
+	// executions queue. 0 disables the execution gate (quotas still apply).
+	MaxConcurrent int
+	// MaxQueue bounds how many executions may wait for a slot; a request
+	// arriving at a full queue is shed with ErrOverloaded instead of
+	// growing an unbounded backlog. Only meaningful with MaxConcurrent > 0.
+	MaxQueue int
+	// TenantRate / TenantBurst are the default per-tenant token bucket
+	// (each tenant gets its own bucket with these parameters). Rate 0 means
+	// tenants are unlimited unless overridden.
+	TenantRate  float64
+	TenantBurst float64
+	// TenantOverrides pins specific tenants to their own quotas — e.g. a
+	// bursty batch tenant capped tightly while dashboards stay unlimited.
+	TenantOverrides map[string]TenantQuota
+}
+
+// AdmissionStats is a snapshot of admission counters.
+type AdmissionStats struct {
+	// Admitted counts requests that passed quota (whether or not they then
+	// queued for an execution slot).
+	Admitted int64
+	// Queued counts executions that had to wait for a slot.
+	Queued int64
+	// Shed counts requests rejected with ErrOverloaded: tenant quota
+	// exhausted, queue full, or deadline expired while queued.
+	Shed int64
+	// QueueLen is the current number of waiters.
+	QueueLen int
+}
+
+// maxTenantBuckets bounds the per-tenant bucket map: Tenant is a
+// caller-controlled string, so without a cap a broker fed per-user ids
+// would grow the map forever. On overflow the least-recently-charged
+// bucket is evicted (it refills to full burst if that tenant returns —
+// a brief quota reset, never a leak).
+const maxTenantBuckets = 10_000
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+	rate   float64
+	burst  float64
+}
+
+// Admission is the broker's load-shedding front door: per-tenant token
+// buckets plus a bounded FIFO-ish execution gate. Safe for concurrent use.
+type Admission struct {
+	cfg   AdmissionConfig
+	slots chan struct{} // nil when MaxConcurrent == 0
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	queueLen atomic.Int64
+	admitted atomic.Int64
+	queued   atomic.Int64
+	shed     atomic.Int64
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+// NewAdmission creates an admission controller.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	a := &Admission{
+		cfg:     cfg,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+	if cfg.MaxConcurrent > 0 {
+		a.slots = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	return a
+}
+
+// quotaFor resolves the tenant's bucket parameters.
+func (a *Admission) quotaFor(tenant string) TenantQuota {
+	if q, ok := a.cfg.TenantOverrides[tenant]; ok {
+		return q
+	}
+	return TenantQuota{Rate: a.cfg.TenantRate, Burst: a.cfg.TenantBurst}
+}
+
+// ChargeTenant takes one token from the tenant's bucket, shedding with
+// ErrOverloaded when the bucket is empty — the per-tenant quota that keeps
+// one tenant's 100x burst from starving everyone else. Tenants with no
+// configured rate are unlimited.
+func (a *Admission) ChargeTenant(tenant string) error {
+	q := a.quotaFor(tenant)
+	if q.Rate <= 0 {
+		a.admitted.Add(1)
+		return nil
+	}
+	if q.Burst <= 0 {
+		q.Burst = q.Rate
+		if q.Burst < 1 {
+			q.Burst = 1
+		}
+	}
+	a.mu.Lock()
+	b, ok := a.buckets[tenant]
+	now := a.now()
+	if !ok {
+		if len(a.buckets) >= maxTenantBuckets {
+			a.evictStalestBucketLocked()
+		}
+		b = &bucket{tokens: q.Burst, last: now, rate: q.Rate, burst: q.Burst}
+		a.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += b.rate * dt
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		a.mu.Unlock()
+		a.shed.Add(1)
+		return fmt.Errorf("%w: tenant %q over quota (rate %.0f/s, burst %.0f)", ErrOverloaded, tenant, q.Rate, q.Burst)
+	}
+	b.tokens--
+	a.mu.Unlock()
+	a.admitted.Add(1)
+	return nil
+}
+
+// AcquireSlot takes an execution slot, queueing (bounded) when all slots are
+// busy. Shedding is deadline-aware: a request whose deadline has already
+// passed is shed immediately, and a queued request whose context expires is
+// shed instead of executing late — both as typed ErrOverloaded so callers
+// can distinguish overload from query failure. release must be called
+// exactly once when the execution finishes; queued reports whether the
+// caller waited.
+func (a *Admission) AcquireSlot(ctx context.Context) (release func(), queued bool, err error) {
+	if a.slots == nil {
+		return func() {}, false, nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, false, nil
+	default:
+	}
+	// All slots busy: queue, bounded and deadline-aware.
+	if dl, ok := ctx.Deadline(); ok && !dl.After(a.now()) {
+		a.shed.Add(1)
+		return nil, false, fmt.Errorf("%w: deadline expired before execution", ErrOverloaded)
+	}
+	if int(a.queueLen.Add(1)) > a.cfg.MaxQueue {
+		a.queueLen.Add(-1)
+		a.shed.Add(1)
+		return nil, false, fmt.Errorf("%w: broker queue full (%d waiting)", ErrOverloaded, a.cfg.MaxQueue)
+	}
+	a.queued.Add(1)
+	select {
+	case a.slots <- struct{}{}:
+		a.queueLen.Add(-1)
+		return a.release, true, nil
+	case <-ctx.Done():
+		a.queueLen.Add(-1)
+		a.shed.Add(1)
+		return nil, true, fmt.Errorf("%w: shed while queued: %v", ErrOverloaded, ctx.Err())
+	}
+}
+
+// evictStalestBucketLocked drops the least-recently-charged tenant bucket.
+// Caller holds a.mu. O(n) at the cap only, on the rare overflow insert.
+func (a *Admission) evictStalestBucketLocked() {
+	var stalest string
+	var when time.Time
+	first := true
+	for tenant, b := range a.buckets {
+		if first || b.last.Before(when) {
+			stalest, when, first = tenant, b.last, false
+		}
+	}
+	delete(a.buckets, stalest)
+}
+
+func (a *Admission) release() { <-a.slots }
+
+// Shed returns the cumulative count of requests rejected with
+// ErrOverloaded.
+func (a *Admission) Shed() int64 { return a.shed.Load() }
+
+// Stats snapshots the admission counters.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		Admitted: a.admitted.Load(),
+		Queued:   a.queued.Load(),
+		Shed:     a.shed.Load(),
+		QueueLen: int(a.queueLen.Load()),
+	}
+}

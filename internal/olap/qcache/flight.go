@@ -1,0 +1,84 @@
+package qcache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// call is one in-flight execution shared by every concurrent requester of
+// the same key.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Group deduplicates concurrent executions of the same key (singleflight):
+// the first caller becomes the leader and runs fn; every caller that arrives
+// while the leader is still running waits for — and shares — the leader's
+// result instead of executing again. The caller is responsible for putting
+// the data generation in the key, so a request that arrives after a mutation
+// never coalesces onto a pre-mutation execution.
+type Group struct {
+	mu        sync.Mutex
+	calls     map[string]*call
+	coalesced int64
+}
+
+// NewGroup creates an empty dedup group.
+func NewGroup() *Group {
+	return &Group{calls: make(map[string]*call)}
+}
+
+// Do executes fn under key, deduplicating against concurrent callers.
+// shared reports whether this caller received a leader's result rather than
+// executing itself. A follower whose context expires stops waiting and
+// returns the context error while the leader keeps running; the leader
+// always runs fn to completion under its own context.
+func (g *Group) Do(ctx context.Context, key string, fn func() (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.coalesced++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// Cleanup runs even if fn panics: the call must leave the map and the
+	// done channel must close, or every follower (and every future caller
+	// of this key) would hang on a dead leader. The panic itself is
+	// propagated to the leader's caller after followers are released with
+	// a typed error.
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("qcache: in-flight execution panicked: %v", r)
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+			panic(r)
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	return c.val, false, c.err
+}
+
+// Coalesced returns how many callers have shared a leader's execution so
+// far.
+func (g *Group) Coalesced() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.coalesced
+}

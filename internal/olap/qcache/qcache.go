@@ -1,0 +1,164 @@
+// Package qcache is the broker-side query admission layer of the OLAP
+// serving stack: a bounded-memory LRU result cache with generation-based
+// invalidation, in-flight request deduplication (singleflight), and
+// per-tenant admission control with a bounded execution queue.
+//
+// The package is deliberately value-agnostic — keys are canonical strings
+// and cached values are opaque (any) with caller-provided sizes — so it has
+// no dependency on the olap package's types and the olap broker can layer it
+// over typed requests without an import cycle. Correctness against concurrent
+// data mutation comes from the generation fingerprint: every entry records
+// the table generation observed *before* the producing execution snapshotted
+// its data, and Get treats any generation mismatch as an invalidation. A
+// mutation that lands mid-execution therefore can never be masked: the entry
+// was stored under the pre-execution generation, which the mutation has
+// already bumped past.
+package qcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats is a snapshot of cache effectiveness counters.
+type CacheStats struct {
+	// Hits / Misses count Get outcomes. A generation mismatch counts as
+	// both a miss and an invalidation.
+	Hits   int64
+	Misses int64
+	// Evictions counts entries dropped to keep Bytes under the bound.
+	Evictions int64
+	// Invalidations counts entries dropped because their generation no
+	// longer matched the table's (stale after ingest/seal/compact/offload/
+	// drop).
+	Invalidations int64
+	// Entries / Bytes describe the current resident set.
+	Entries int
+	Bytes   int64
+}
+
+// entry is one cached value with its admission-time generation fingerprint.
+type entry struct {
+	key  string
+	gen  int64
+	val  any
+	size int64
+}
+
+// Cache is a bounded-memory LRU result cache keyed by canonical request
+// strings, with generation-fingerprint invalidation. Safe for concurrent
+// use.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions, invalidations int64
+}
+
+// NewCache creates a cache bounded to maxBytes of accounted entry size.
+// maxBytes must be positive.
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = 1
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value for key if present AND stored under the same
+// generation. An entry with an OLDER generation is stale — some mutation
+// bumped the table since it was stored — so it is dropped and the call
+// misses. An entry with a NEWER generation only means the *reader's* view
+// is old (it read the counter before a concurrent writer refreshed the
+// entry): the call misses but the fresh entry is kept for current readers.
+func (c *Cache) Get(key string, gen int64) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if e.gen != gen {
+		if e.gen < gen {
+			c.removeLocked(el)
+			c.invalidations++
+		}
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return e.val, true
+}
+
+// Put stores a value under key at the given generation, evicting
+// least-recently-used entries until the byte bound holds. Values larger than
+// the whole bound are not cached. A racing Put for the same key keeps the
+// newer generation (or the latest write on a tie).
+func (c *Cache) Put(key string, gen int64, val any, size int64) {
+	if size > c.maxBytes {
+		return
+	}
+	if size < 1 {
+		size = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		if el.Value.(*entry).gen > gen {
+			return // an entry from a newer snapshot already landed
+		}
+		c.removeLocked(el)
+	}
+	for c.curBytes+size > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions++
+	}
+	el := c.ll.PushFront(&entry{key: key, gen: gen, val: val, size: size})
+	c.items[key] = el
+	c.curBytes += size
+}
+
+// removeLocked unlinks one element. Caller holds c.mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.curBytes -= e.size
+}
+
+// Bytes returns the current accounted resident size.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
+}
+
+// MaxBytes returns the configured bound.
+func (c *Cache) MaxBytes() int64 { return c.maxBytes }
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.ll.Len(),
+		Bytes:         c.curBytes,
+	}
+}

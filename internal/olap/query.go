@@ -197,6 +197,23 @@ type ExecStats struct {
 	// path exists to bound (E19).
 	GroupsShipped int64
 	RowsShipped   int64
+	// CacheHit is 1 when this response was served from the broker result
+	// cache (no scatter, no scan — every scan counter above is then the
+	// cached execution's).
+	CacheHit int64
+	// Coalesced is 1 when this response was shared from a concurrent
+	// identical in-flight execution (singleflight follower).
+	Coalesced int64
+	// Queued is 1 when this execution waited in the broker's bounded
+	// admission queue before running.
+	Queued int64
+	// Shed is the broker's cumulative count of queries rejected with
+	// ErrOverloaded, sampled when this response was produced — a gauge,
+	// not a per-query counter (shed queries return errors, not stats).
+	Shed int64
+	// CacheMemBytes is the broker result cache's resident size when this
+	// response was produced — a gauge bounded by BrokerOptions.CacheMaxBytes.
+	CacheMemBytes int64
 }
 
 // Add accumulates another stats block into this one. The broker assigns
@@ -217,6 +234,17 @@ func (s *ExecStats) Add(o ExecStats) {
 	s.RowsHeapKept += o.RowsHeapKept
 	s.GroupsShipped += o.GroupsShipped
 	s.RowsShipped += o.RowsShipped
+	s.CacheHit += o.CacheHit
+	s.Coalesced += o.Coalesced
+	s.Queued += o.Queued
+	// Gauges, not counters: across merged scans (federated joins) keep the
+	// largest observation instead of summing snapshots of the same broker.
+	if o.Shed > s.Shed {
+		s.Shed = o.Shed
+	}
+	if o.CacheMemBytes > s.CacheMemBytes {
+		s.CacheMemBytes = o.CacheMemBytes
+	}
 }
 
 // groupAgg accumulates one output group as mergeable partial states.

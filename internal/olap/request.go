@@ -75,6 +75,11 @@ type QueryRequest struct {
 	// aggregations keep per segment and server (0 = DefaultGroupTrimSize);
 	// the kept count is max(5·(Limit+Offset), TrimSize).
 	TrimSize int
+	// Tenant names the workload issuing this request, for the broker's
+	// per-tenant admission quotas ("" is the default tenant). Tenants are
+	// an admission concept only: cached results are shared across tenants,
+	// since the rows are identical.
+	Tenant string
 }
 
 // RouteInfo reports how a request was routed, for EXPLAIN output.
@@ -93,6 +98,11 @@ type RouteInfo struct {
 }
 
 // QueryResponse is the typed result of Broker.Execute.
+//
+// Rows are read-only: on a broker with a result cache, hits and coalesced
+// responses alias the shared cached row data (only the response struct and
+// its Stats are per-caller copies). Callers that need to mutate or sort in
+// place must copy the rows first.
 type QueryResponse struct {
 	Columns []string
 	Rows    [][]any
@@ -104,12 +114,16 @@ type QueryResponse struct {
 	TrimK int
 }
 
-// Execute runs one typed request: route (with the request's or broker's
-// Router), scatter one subquery per assigned server plus one scan per
-// routed consuming partition, and merge the partial-aggregate states as
-// they stream back. A scatter that fails because a routed server went down
-// between routing and execution is re-routed once against the new liveness
-// state before the error surfaces.
+// Execute runs one typed request: admit it (per-tenant quota, bounded
+// execution queue — see brokercache.go), serve it from the result cache when
+// the table generation still matches, coalesce it onto an identical
+// in-flight execution when one exists, and otherwise route (with the
+// request's or broker's Router), scatter one subquery per assigned server
+// plus one scan per routed consuming partition, and merge the
+// partial-aggregate states as they stream back. A scatter that fails because
+// a routed server went down between routing and execution is re-routed once
+// against the new liveness state before the error surfaces. Overload is
+// reported as a typed ErrOverloaded, never by queueing without bound.
 func (b *Broker) Execute(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
 	if req == nil || req.Query == nil {
 		return nil, fmt.Errorf("olap: nil query request")
@@ -151,15 +165,7 @@ func (b *Broker) Execute(ctx context.Context, req *QueryRequest) (*QueryResponse
 	if router == nil {
 		router = defaultRouter
 	}
-
-	resp, err := b.executeRouted(ctx, req, q, router)
-	if err != nil && errors.Is(err, ErrServerDown) && ctx.Err() == nil {
-		// One re-route: the failed server is down now, so the router's
-		// liveness closures steer the retry around it (unless the strategy
-		// pins the segment there, e.g. upsert owner routing).
-		resp, err = b.executeRouted(ctx, req, q, router)
-	}
-	return resp, err
+	return b.executeShared(ctx, req, q, router)
 }
 
 // executeRouted performs one route + scatter-gather round.
@@ -364,13 +370,35 @@ func (b *Broker) routeView() (*RouteView, *querySnapshot) {
 		upsert:    d.cfg.Upsert,
 		schema:    d.cfg.Schema,
 	}
-	for part, ms := range d.consuming {
+	// One scan per partition holding unsealed rows: in-flight sealing
+	// batches first (rows mid-seal stay visible until their segment enters
+	// routing — the seal swap is atomic under this same lock), then the
+	// consuming segment, with upsert-invalid docs offset to match.
+	parts := make(map[int]bool, len(d.consuming)+len(d.sealing))
+	for part := range d.consuming {
+		parts[part] = true
+	}
+	for part, bs := range d.sealing {
+		if len(bs) > 0 {
+			parts[part] = true
+		}
+	}
+	for part := range parts {
 		view.ConsumingPartitions = append(view.ConsumingPartitions, part)
-		cs := consumingScan{owner: d.partitionOwner[part], part: part}
-		cs.rows = append([]record.Record(nil), ms.rows...)
-		cs.invalid = make(map[int]bool, len(ms.invalid))
-		for k, v := range ms.invalid {
-			cs.invalid[k] = v
+		cs := consumingScan{owner: d.partitionOwner[part], part: part, invalid: make(map[int]bool)}
+		for _, b := range d.sealing[part] {
+			off := len(cs.rows)
+			cs.rows = append(cs.rows, b.rows...)
+			for doc, v := range b.invalid {
+				cs.invalid[doc+off] = v
+			}
+		}
+		if ms, ok := d.consuming[part]; ok {
+			off := len(cs.rows)
+			cs.rows = append(cs.rows, ms.rows...)
+			for doc, v := range ms.invalid {
+				cs.invalid[doc+off] = v
+			}
 		}
 		snapshot.consuming[part] = cs
 	}
