@@ -1,13 +1,14 @@
 // Command benchjson runs the tier-1 performance benchmarks and writes them
-// as machine-readable JSON — the artifact CI publishes (BENCH_pr5.json) and
+// as machine-readable JSON — the artifact CI publishes (BENCH_pr6.json) and
 // gates pull requests on.
 //
 // The metric set is the query-serving hot path: cache-hit and cache-miss
 // p50 service time (ns/op), the hit-path speedup and hit rate, in-flight
 // coalescing (executions for 128 concurrent identical queries), burst
-// shedding, and the bounded top-K shipping counts from E19. With -baseline,
-// the run is compared against a checked-in reference and the process exits
-// non-zero when a hit-path metric regresses beyond -maxregress (default 2x).
+// shedding, the bounded top-K shipping counts from E19, and the
+// materialized-view serving ratios from E21. With -baseline, the run is
+// compared against a checked-in reference and the process exits non-zero
+// when a hit-path metric regresses beyond -maxregress (default 2x).
 //
 // Gating policy: absolute wall-clock numbers are machine-dependent (the
 // checked-in baseline was recorded on different hardware than a CI
@@ -19,8 +20,8 @@
 //
 // Usage:
 //
-//	benchjson -out BENCH_pr5.json                      # measure + write
-//	benchjson -out BENCH_pr5.json -baseline BENCH_baseline.json
+//	benchjson -out BENCH_pr6.json                      # measure + write
+//	benchjson -out BENCH_pr6.json -baseline BENCH_baseline.json
 package main
 
 import (
@@ -46,7 +47,7 @@ type Metric struct {
 	Direction string `json:"direction"`
 }
 
-// Report is the BENCH_pr5.json schema.
+// Report is the BENCH_pr6.json schema.
 type Report struct {
 	Schema    string            `json:"schema"`
 	Go        string            `json:"go"`
@@ -58,7 +59,7 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr5.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr6.json", "output JSON path")
 	baseline := flag.String("baseline", "", "baseline JSON to gate against (optional)")
 	maxRegress := flag.Float64("maxregress", 2.0, "max allowed regression factor for gated metrics")
 	flag.Parse()
@@ -92,8 +93,8 @@ func main() {
 }
 
 // measure runs the tier-1 benchmarks (the E20 cache/admission suite at
-// benchmark scale plus E19's bounded top-K shipping counts) and assembles
-// the report.
+// benchmark scale, E19's bounded top-K shipping counts, and E21's
+// materialized-view serving ratios) and assembles the report.
 func measure() Report {
 	rep := Report{
 		Schema:    "repro-bench/v1",
@@ -118,6 +119,15 @@ func measure() Report {
 	e19 := rows(experiments.E19(40_000))
 	rep.Metrics["topk_groups_shipped"] = Metric{e19["trim_groups_shipped"], "groups", "lower"}
 	rep.Metrics["topk_rows_shipped"] = Metric{e19["trim_rows_shipped"], "rows", "lower"}
+
+	// E21: view serving under continuous ingest. The gated ratios are
+	// measured in the same run (view p50 / cache-hit p50, both on this
+	// machine), so they transfer across hardware like cache_hit_speedup.
+	e21 := rows(experiments.E21(24_000))
+	rep.Metrics["view_p50_ns"] = Metric{e21["view_p50_us"] * 1e3, "ns/op", "info"}
+	rep.Metrics["view_vs_cachehit"] = Metric{e21["view_vs_cachehit"], "x", "lower"}
+	rep.Metrics["view_hit_rate_under_ingest"] = Metric{e21["view_hit_rate_under_ingest"], "frac", "higher"}
+	rep.Metrics["view_answer_matches_cold"] = Metric{e21["view_answer_matches_cold"], "bool", "higher"}
 	return rep
 }
 

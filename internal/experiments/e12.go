@@ -140,5 +140,6 @@ func AllWithIntegration() []Experiment {
 	merged = append(merged, pushdownRoutingExperiments()...)
 	merged = append(merged, topKExperiments()...)
 	merged = append(merged, cacheAdmissionExperiments()...)
+	merged = append(merged, matviewExperiments()...)
 	return append(merged, Ablations()...)
 }

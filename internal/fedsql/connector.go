@@ -9,6 +9,7 @@ import (
 	"repro/internal/metadata"
 	"repro/internal/objstore"
 	"repro/internal/olap"
+	"repro/internal/olap/matview"
 	"repro/internal/olap/qcache"
 	"repro/internal/record"
 	"repro/internal/sqlparse"
@@ -168,6 +169,13 @@ type PinotConnector struct {
 	// Tenant tags every query this connector issues, for the brokers'
 	// per-tenant admission quotas ("" is the default tenant).
 	Tenant string
+	// EnableViews attaches a materialized-view registry to tables added
+	// after it is set: standing aggregate shapes registered via
+	// RegisterView are maintained incrementally from the table's mutation
+	// feed and served ahead of the result cache (EXPLAIN's view=hit line)
+	// regardless of write rate. Nil disables views. Set before AddTable.
+	EnableViews *matview.Config
+	views       map[string]*matview.Registry
 }
 
 // NewPinotConnector creates an empty Pinot catalog.
@@ -176,19 +184,51 @@ func NewPinotConnector(name string) *PinotConnector {
 		name:    name,
 		brokers: make(map[string]*olap.Broker),
 		schemas: make(map[string]*metadata.Schema),
+		views:   make(map[string]*matview.Registry),
 	}
 }
 
 // AddTable registers a deployment under its table name.
 func (p *PinotConnector) AddTable(d *olap.Deployment) {
 	cfg := d.Table()
+	var views olap.ViewServer
+	if p.EnableViews != nil {
+		reg := matview.NewRegistry(d, *p.EnableViews)
+		p.views[cfg.Name] = reg
+		views = reg
+	}
 	p.brokers[cfg.Name] = olap.NewBrokerWithOptions(d, olap.BrokerOptions{
 		Workers:       p.Parallelism,
 		Router:        p.Router,
 		CacheMaxBytes: p.CacheMaxBytes,
 		Admission:     p.Admission,
+		Views:         views,
 	})
 	p.schemas[cfg.Name] = cfg.Schema
+}
+
+// RegisterView registers a standing aggregate fragment as a materialized
+// view on one table: the exact OLAP query AggregateScan would push down for
+// this fragment is materialized once and maintained incrementally, so every
+// later federated query with the same shape is served from the view. The
+// connector must have been created with EnableViews set before AddTable.
+func (p *PinotConnector) RegisterView(ctx context.Context, table string, aq AggregateQuery) error {
+	reg, ok := p.views[table]
+	if !ok {
+		return fmt.Errorf("fedsql: views not enabled for pinot table %q", table)
+	}
+	q, _, err := p.aggQuery(table, aq)
+	if err != nil {
+		return err
+	}
+	_, err = reg.Register(ctx, &olap.QueryRequest{Query: q})
+	return err
+}
+
+// ViewRegistry exposes one table's registry (nil when views are disabled),
+// for stats and direct registration of non-SQL shapes.
+func (p *PinotConnector) ViewRegistry(table string) *matview.Registry {
+	return p.views[table]
 }
 
 // Name implements Connector.
@@ -262,6 +302,17 @@ func (p *PinotConnector) AggregateScan(ctx context.Context, table string, aq Agg
 	if !ok {
 		return nil, QueryStats{}, fmt.Errorf("fedsql: pinot table %q not found", table)
 	}
+	q, stats, err := p.aggQuery(table, aq)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return p.run(ctx, broker, q, stats)
+}
+
+// aggQuery translates an aggregate fragment into the OLAP query pushed into
+// the broker — shared by AggregateScan and RegisterView, so a registered
+// view's shape is guaranteed to match the later pushed-down execution.
+func (p *PinotConnector) aggQuery(table string, aq AggregateQuery) (*olap.Query, QueryStats, error) {
 	q := &olap.Query{Table: table, GroupBy: aq.GroupBy}
 	stats := QueryStats{PushedFilters: len(aq.Filters) > 0, PushedAggs: true}
 	for _, f := range aq.Filters {
@@ -281,7 +332,7 @@ func (p *PinotConnector) AggregateScan(ctx context.Context, table string, aq Agg
 		q.Limit = aq.Limit
 		stats.PushedLimit = true
 	}
-	return p.run(ctx, broker, q, stats)
+	return q, stats, nil
 }
 
 // run executes an OLAP query through the typed v2 broker surface and

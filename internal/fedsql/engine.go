@@ -347,9 +347,20 @@ func planLine(catalog, table, kind string, st QueryStats, residual int) string {
 			fmt.Fprintf(&b, " segments_time_pruned=%d", st.Exec.SegmentsPruned)
 		}
 	}
+	// Materialized-view decision comes first: a view hit answered ahead of
+	// the result cache (no routing, no scan), optionally with the staleness
+	// bound of a snapshot served mid-re-materialization.
+	if st.Exec.ViewHit > 0 {
+		b.WriteString(" view=hit")
+		if st.Exec.ViewStalenessMs > 0 {
+			fmt.Fprintf(&b, " view_staleness_ms=%d", st.Exec.ViewStalenessMs)
+		}
+	}
 	// Result-cache decision: shown whenever the backend has a cache (its
-	// resident bytes are reported even on a miss).
+	// resident bytes are reported even on a miss) — except on a view hit,
+	// which answered before the cache was ever consulted.
 	switch {
+	case st.Exec.ViewHit > 0:
 	case st.Exec.CacheHit > 0:
 		b.WriteString(" cache=hit")
 	case st.Exec.Coalesced > 0:

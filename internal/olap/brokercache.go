@@ -35,12 +35,31 @@ func (d *Deployment) Generation() int64 { return d.gen.Load() }
 // result for the table.
 func (d *Deployment) bumpGen() { d.gen.Add(1) }
 
+// ViewServer serves registered materialized-view shapes for a broker; the
+// canonical implementation is *matview.Registry (internal/olap/matview).
+// ServeView returns the view's finalized response for a canonical ViewKey
+// with the answer's staleness in milliseconds (0 = exact at serve time), or
+// ok=false when the shape is not registered or the view is mid-
+// re-materialization past its staleness bound (the broker then falls
+// through to the cache and the scatter-gather path). The returned response
+// is shared: the broker hands each caller a struct copy and the rows stay
+// read-only, exactly like cache hits.
+type ViewServer interface {
+	ServeView(key string) (resp *QueryResponse, stalenessMs int64, ok bool)
+}
+
 // CacheStats reports the broker result cache's counters (zero when the
-// cache is disabled).
+// cache is disabled), after reconciling the resident-memory gauge: entries
+// invalidated by a generation bump are normally dropped lazily — only when
+// their own key is next queried — so an in-flight execution that completes
+// after a mutation (or a warmed set the mutation orphaned) would keep its
+// dead bytes in the gauge indefinitely. Sweeping them here keeps
+// Entries/Bytes an honest account of memory that can still serve a hit.
 func (b *Broker) CacheStats() qcache.CacheStats {
 	if b.cache == nil {
 		return qcache.CacheStats{}
 	}
+	b.cache.SweepStale(b.d.Generation())
 	return b.cache.Stats()
 }
 
@@ -61,6 +80,17 @@ func (b *Broker) executeShared(ctx context.Context, req *QueryRequest, q *Query,
 	if b.admit != nil {
 		if err := b.admit.ChargeTenant(req.Tenant); err != nil {
 			return nil, fmt.Errorf("olap: %w", err)
+		}
+	}
+	// Registered materialized views answer ahead of the qcache lookup: a
+	// view's state is maintained incrementally from the mutation feed, so —
+	// unlike cache entries, which any ingest invalidates — it keeps serving
+	// at hit latency regardless of write rate. Only ConsistencyFull shapes
+	// are served (views answer over all rows, like the cache) and a view
+	// hit never fills the cache: the same shape must not be double-served.
+	if b.views != nil && req.Consistency == ConsistencyFull {
+		if resp, stale, ok := b.views.ServeView(viewKey(b.d.cfg.Name, q)); ok {
+			return b.respondView(resp, stale), nil
 		}
 	}
 	if b.cache == nil && b.flight == nil {
@@ -112,7 +142,15 @@ func (b *Broker) executeShared(ctx context.Context, req *QueryRequest, q *Query,
 		if err != nil {
 			return nil, err
 		}
-		if cacheable {
+		if cacheable && b.d.Generation() == gen {
+			// Dead-on-arrival guard: if the table mutated while this
+			// execution ran, the entry could never serve a hit (every
+			// future Get carries a newer generation) yet it would sit in
+			// the cache — and in the memory gauge — until its key happens
+			// to be re-queried. The generation bump already evicted this
+			// in-flight result; don't store it. A mutation racing past
+			// this check still lands a dead entry, which the CacheStats
+			// sweep reconciles.
 			b.cache.Put(key, gen, resp, responseSize(resp))
 		}
 		return resp, nil
@@ -197,6 +235,22 @@ func (b *Broker) respond(src *QueryResponse, hit, coalesced, queued bool) *Query
 	return &out
 }
 
+// respondView hands one caller its copy of a view-served response: ViewHit
+// set, staleness reported, gauges sampled — and, like respond, an
+// independent ExecStats snapshot over shared read-only rows.
+func (b *Broker) respondView(src *QueryResponse, stalenessMs int64) *QueryResponse {
+	out := *src
+	out.Stats.ViewHit = 1
+	out.Stats.ViewStalenessMs = stalenessMs
+	if b.cache != nil {
+		out.Stats.CacheMemBytes = b.cache.Bytes()
+	}
+	if b.admit != nil {
+		out.Stats.Shed = b.admit.Shed()
+	}
+	return &out
+}
+
 // requestKey canonicalizes everything that can change a request's result
 // rows: the full query shape (filters, group-by, aggregations, projection,
 // order, limit/offset, time window) plus the result-affecting execution
@@ -213,41 +267,76 @@ func requestKey(table string, req *QueryRequest, q *Query, routerName string) st
 	keyStr(&sb, table)
 	keyStr(&sb, routerName)
 	fmt.Fprintf(&sb, "c%d,x%v,ts%d,ms%d,", req.Consistency, req.TrimExact, req.TrimSize, req.MaxSegments)
-	fmt.Fprintf(&sb, "F%d,", len(q.Filters))
+	keyQueryShape(&sb, q)
+	return sb.String()
+}
+
+// ViewKey canonicalizes the result identity of a request for the
+// materialized-view registry: the table plus the full query shape, with
+// QueryRequest.Time folded in exactly as Execute folds it. Unlike
+// requestKey it deliberately excludes the execution options (router, trim
+// mode and budget, segment budget): a view's answer is exact and
+// routing-independent, so every router and trim setting maps to the same
+// registered view. Consistency is excluded too — the broker only consults
+// views for ConsistencyFull requests.
+func ViewKey(table string, req *QueryRequest) string {
+	q := req.Query
+	if req.Time != nil {
+		q2 := *q
+		q2.Time = req.Time
+		q = &q2
+	}
+	return viewKey(table, q)
+}
+
+// viewKey is ViewKey over an already-normalized query (the form
+// executeShared holds).
+func viewKey(table string, q *Query) string {
+	var sb strings.Builder
+	sb.Grow(160)
+	keyStr(&sb, table)
+	keyQueryShape(&sb, q)
+	return sb.String()
+}
+
+// keyQueryShape writes the injective encoding of everything in the query
+// itself that can change its result rows — shared by requestKey and
+// ViewKey.
+func keyQueryShape(sb *strings.Builder, q *Query) {
+	fmt.Fprintf(sb, "F%d,", len(q.Filters))
 	for _, f := range q.Filters {
-		fmt.Fprintf(&sb, "%d,", f.Op)
-		keyStr(&sb, f.Column)
-		keyValue(&sb, f.Value)
-		keyValue(&sb, f.Value2)
-		fmt.Fprintf(&sb, "V%d,", len(f.Values))
+		fmt.Fprintf(sb, "%d,", f.Op)
+		keyStr(sb, f.Column)
+		keyValue(sb, f.Value)
+		keyValue(sb, f.Value2)
+		fmt.Fprintf(sb, "V%d,", len(f.Values))
 		for _, v := range f.Values {
-			keyValue(&sb, v)
+			keyValue(sb, v)
 		}
 	}
-	fmt.Fprintf(&sb, "G%d,", len(q.GroupBy))
+	fmt.Fprintf(sb, "G%d,", len(q.GroupBy))
 	for _, g := range q.GroupBy {
-		keyStr(&sb, g)
+		keyStr(sb, g)
 	}
-	fmt.Fprintf(&sb, "A%d,", len(q.Aggs))
+	fmt.Fprintf(sb, "A%d,", len(q.Aggs))
 	for _, a := range q.Aggs {
-		fmt.Fprintf(&sb, "%d,", a.Kind)
-		keyStr(&sb, a.Column)
-		keyStr(&sb, a.As)
+		fmt.Fprintf(sb, "%d,", a.Kind)
+		keyStr(sb, a.Column)
+		keyStr(sb, a.As)
 	}
-	fmt.Fprintf(&sb, "S%d,", len(q.Select))
+	fmt.Fprintf(sb, "S%d,", len(q.Select))
 	for _, s := range q.Select {
-		keyStr(&sb, s)
+		keyStr(sb, s)
 	}
-	fmt.Fprintf(&sb, "O%d,", len(q.OrderBy))
+	fmt.Fprintf(sb, "O%d,", len(q.OrderBy))
 	for _, o := range q.OrderBy {
-		fmt.Fprintf(&sb, "%v,", o.Desc)
-		keyStr(&sb, o.Column)
+		fmt.Fprintf(sb, "%v,", o.Desc)
+		keyStr(sb, o.Column)
 	}
-	fmt.Fprintf(&sb, "l%d,%d", q.Limit, q.Offset)
+	fmt.Fprintf(sb, "l%d,%d", q.Limit, q.Offset)
 	if q.Time != nil {
-		fmt.Fprintf(&sb, ",t%d,%d", q.Time.From, q.Time.To)
+		fmt.Fprintf(sb, ",t%d,%d", q.Time.From, q.Time.To)
 	}
-	return sb.String()
 }
 
 // keyStr writes one length-prefixed string field; the prefix makes the

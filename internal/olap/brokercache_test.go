@@ -516,3 +516,175 @@ func TestCachedExecuteNeverStaleUnderMutation(t *testing.T) {
 		t.Fatal("quiesced table should serve from cache")
 	}
 }
+
+// fakeViews is a canned ViewServer: it answers exactly one ViewKey. The
+// broker-side view plumbing (serve-before-cache, no cache fill, stats
+// surface) is tested here against the interface alone; the real registry's
+// answers are gated by the differential harness in internal/olap/matview.
+type fakeViews struct {
+	key   string
+	resp  *QueryResponse
+	stale int64
+	calls int
+}
+
+func (f *fakeViews) ServeView(key string) (*QueryResponse, int64, bool) {
+	f.calls++
+	if key == f.key {
+		return f.resp, f.stale, true
+	}
+	return nil, 0, false
+}
+
+// TestViewHitBypassesCacheFill: a registered shape is never double-served —
+// the view answers ahead of the cache and must not fill it (the same rows
+// living under both a view and a cache entry would double memory and could
+// serve the cache's copy after Unregister). Unregistered shapes keep the
+// exact PR 5 cache behavior, and hot-consistency requests never consult
+// views.
+func TestViewHitBypassesCacheFill(t *testing.T) {
+	d, _ := newDeployment(t, 2, 1, false, BackupP2P, nil)
+	ingestOrders(t, d, 100, 2)
+	fake := &fakeViews{
+		key:   ViewKey("orders", countReq()),
+		resp:  &QueryResponse{Columns: []string{"count"}, Rows: [][]any{{int64(100)}}},
+		stale: 7,
+	}
+	b := NewBrokerWithOptions(d, BrokerOptions{CacheMaxBytes: 1 << 20, Views: fake})
+
+	for i := 0; i < 2; i++ {
+		resp, err := b.Execute(context.Background(), countReq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Stats.ViewHit != 1 || resp.Stats.CacheHit != 0 {
+			t.Fatalf("serve %d: want a pure view hit, got %+v", i, resp.Stats)
+		}
+		if resp.Stats.ViewStalenessMs != 7 {
+			t.Fatalf("staleness must pass through, got %d", resp.Stats.ViewStalenessMs)
+		}
+		if got := resp.Rows[0][0].(int64); got != 100 {
+			t.Fatalf("view rows not served: %v", resp.Rows)
+		}
+	}
+	if st := b.CacheStats(); st.Entries != 0 || st.Hits != 0 {
+		t.Fatalf("view hits must not touch the cache: %+v", st)
+	}
+
+	// An unregistered shape misses the view server and keeps PR 5 caching.
+	other := &QueryRequest{Query: &Query{GroupBy: []string{"city"},
+		Aggs: []AggSpec{{Kind: AggSum, Column: "amount"}}}}
+	r1, err := b.Execute(context.Background(), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.ViewHit != 0 || r1.Stats.CacheHit != 0 {
+		t.Fatalf("unregistered first execution: %+v", r1.Stats)
+	}
+	r2, err := b.Execute(context.Background(), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats.ViewHit != 0 || r2.Stats.CacheHit != 1 {
+		t.Fatalf("unregistered second execution must cache-hit: %+v", r2.Stats)
+	}
+
+	// Hot consistency never consults views (their answers span all rows).
+	before := fake.calls
+	hot := countReq()
+	hot.Consistency = ConsistencyHot
+	resp, err := b.Execute(context.Background(), hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.ViewHit != 0 || fake.calls != before {
+		t.Fatalf("hot request consulted the view server: %+v calls %d->%d",
+			resp.Stats, before, fake.calls)
+	}
+}
+
+// TestCacheStatsSweepsGenerationOrphans: entries orphaned by a generation
+// bump are normally dropped lazily — only when their own key is re-queried
+// — so a warmed set would keep its dead bytes in the Entries/Bytes gauge
+// indefinitely. CacheStats must reconcile the gauge by sweeping them.
+func TestCacheStatsSweepsGenerationOrphans(t *testing.T) {
+	d, _ := newDeployment(t, 2, 1, false, BackupP2P, nil)
+	ingestOrders(t, d, 200, 2)
+	b := NewBrokerWithOptions(d, BrokerOptions{CacheMaxBytes: 1 << 20})
+
+	const warmed = 10
+	for i := 0; i < warmed; i++ {
+		req := &QueryRequest{Query: &Query{
+			Filters: []Filter{{Column: "items", Op: OpEq, Value: int64(i + 1)}},
+			Aggs:    []AggSpec{{Kind: AggCount}},
+		}}
+		if _, err := b.Execute(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := b.CacheStats(); st.Entries != warmed || st.Bytes == 0 {
+		t.Fatalf("warm set not resident: %+v", st)
+	}
+
+	// One ingested row orphans every entry without touching their keys.
+	extra := orderRows(201)[200]
+	if err := d.Ingest(0, extra); err != nil {
+		t.Fatal(err)
+	}
+	st := b.CacheStats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("gauge still counts dead entries after the bump: %+v", st)
+	}
+	if st.Invalidations < warmed {
+		t.Fatalf("sweep must account the drops as invalidations: %+v", st)
+	}
+}
+
+// TestInFlightCompletionAfterMutationNotCached: an execution that was in
+// flight when a mutation landed must not store its result — every future
+// Get carries a newer generation, so the entry could never serve a hit and
+// would only sit in the memory gauge (dead on arrival).
+func TestInFlightCompletionAfterMutationNotCached(t *testing.T) {
+	d, _ := newDeployment(t, 2, 1, false, BackupP2P, nil)
+	ingestOrders(t, d, 100, 2)
+	router := &slowFirstRouter{inner: &RoundRobinRouter{}, started: make(chan struct{}), delay: 150 * time.Millisecond}
+	b := NewBrokerWithOptions(d, BrokerOptions{CacheMaxBytes: 1 << 20, Router: router})
+
+	leaderDone := make(chan *QueryResponse, 1)
+	go func() {
+		resp, err := b.Execute(context.Background(), countReq())
+		if err != nil {
+			t.Error(err)
+		}
+		leaderDone <- resp
+	}()
+	<-router.started // leader snapshotted its data, now stalled mid-flight
+
+	extra := orderRows(101)[100]
+	if err := d.Ingest(0, extra); err != nil {
+		t.Fatal(err)
+	}
+	resp := <-leaderDone
+	if resp == nil {
+		t.Fatal("leader failed")
+	}
+	if got := resp.Rows[0][0].(int64); got != 100 {
+		t.Fatalf("leader snapshot count = %d, want 100 (pre-ingest)", got)
+	}
+	// Raw cache stats (no CacheStats sweep): the DOA guard itself must have
+	// refused the Put.
+	if st := b.cache.Stats(); st.Entries != 0 {
+		t.Fatalf("dead-on-arrival entry landed in the cache: %+v", st)
+	}
+	// And the next identical query re-executes against the new data.
+	r, err := b.Execute(context.Background(), countReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.CacheHit != 0 {
+		t.Fatal("post-mutation query must not be served from a stale entry")
+	}
+	if got := r.Rows[0][0].(int64); got != 101 {
+		t.Fatalf("post-mutation count = %d, want 101", got)
+	}
+}

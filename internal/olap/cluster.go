@@ -514,13 +514,64 @@ type Deployment struct {
 	// freshness measurement.
 	lastIngestNanos int64
 
-	// gen is the table's mutation fingerprint: bumped (outside mu — reads
-	// are lock-free on the query hot path) by every ingest, seal,
-	// compaction, offload, drop and recovery. Broker result-cache entries
-	// record it and invalidate on any mismatch; see brokercache.go.
+	// gen is the table's mutation fingerprint: bumped by every ingest,
+	// seal, compaction, offload, drop and recovery (reads stay lock-free on
+	// the query hot path). Visible-data mutations bump it INSIDE their mu
+	// critical section, in the same section that changes row visibility —
+	// so the value read by routeView under mu totally orders the snapshot
+	// against every ViewMutation seq (see AddMutationHook). Broker
+	// result-cache entries record it and invalidate on any mismatch; see
+	// brokercache.go.
 	gen atomic.Int64
 
+	// hooks observe visible-data mutations (appends, upsert supersedes,
+	// segment drops) synchronously inside the critical section that applied
+	// them — the matview registry's maintenance feed. Registered before
+	// traffic; see AddMutationHook.
+	hooks []func(ViewMutation)
+
 	asyncWG sync.WaitGroup
+}
+
+// ViewMutation describes one visible-data mutation, delivered to mutation
+// hooks inside the deployment critical section that applied it. Seq is the
+// generation value assigned to the mutation, so hooks observe mutations in
+// the exact order queries observe their effects: a routing snapshot taken
+// at generation G contains precisely the mutations with Seq <= G.
+type ViewMutation struct {
+	Seq       int64
+	Partition int
+	// Row is the appended record (conformed to the table schema; shared,
+	// read-only). Nil for coarse retractions such as segment drops.
+	Row record.Record
+	// Retract marks a non-monotonic mutation: visible rows were removed or
+	// replaced (an upsert supersede, a retention drop). Mergeable
+	// partial-aggregate states cannot subtract, so incremental view
+	// maintenance must fall back to re-materialization past one of these.
+	Retract bool
+}
+
+// AddMutationHook registers fn to observe every visible-data mutation.
+// fn runs inside the deployment's mu critical section: it must be fast
+// and must not call back into the Deployment or a Broker (routeView takes
+// the same lock). Neutral mutations — seals, compactions, offloads,
+// recoveries — still bump the generation but deliver no event: they never
+// change which rows a query sees.
+func (d *Deployment) AddMutationHook(fn func(ViewMutation)) {
+	d.mu.Lock()
+	d.hooks = append(d.hooks, fn)
+	d.mu.Unlock()
+}
+
+// emitMutationLocked bumps the generation and notifies hooks of one
+// visible-data mutation. Caller holds d.mu — the bump and the hook delivery
+// must share the critical section that changed row visibility, or the
+// seq-vs-snapshot ordering contract above breaks.
+func (d *Deployment) emitMutationLocked(partition int, row record.Record, retract bool) {
+	seq := d.gen.Add(1)
+	for _, fn := range d.hooks {
+		fn(ViewMutation{Seq: seq, Partition: partition, Row: row, Retract: retract})
+	}
 }
 
 // sealingBatch is one consuming segment mid-seal: its rows stay queryable
@@ -605,6 +656,7 @@ func (d *Deployment) Ingest(partition int, r record.Record) error {
 		ms = newMutableSegment(d.segmentName(partition, d.segSeq[partition]))
 		d.consuming[partition] = ms
 	}
+	superseded := false
 	if d.cfg.Upsert {
 		pk := conformed.String(d.cfg.Schema.PrimaryKey)
 		locs, ok := d.upsertLoc[partition]
@@ -613,6 +665,7 @@ func (d *Deployment) Ingest(partition int, r record.Record) error {
 			d.upsertLoc[partition] = locs
 		}
 		if old, exists := locs[pk]; exists {
+			superseded = true
 			if old.segment == "" {
 				ms.invalid[old.doc] = true
 			} else if sb := d.sealingBatchLocked(partition, old.segment); sb != nil {
@@ -638,8 +691,14 @@ func (d *Deployment) Ingest(partition int, r record.Record) error {
 	d.ingested++
 	d.lastIngestNanos = time.Now().UnixNano()
 	needSeal := len(ms.rows) >= d.cfg.SegmentRows
+	// The bump (and hook delivery) happens inside the same critical section
+	// that made the row visible, so the generation totally orders this
+	// mutation against every routing snapshot — the invariant both the
+	// result cache and incremental view maintenance rely on. An upsert
+	// supersede is a retraction: the old row left the visible set, which
+	// mergeable aggregates cannot undo incrementally.
+	d.emitMutationLocked(partition, conformed, superseded)
 	d.mu.Unlock()
-	d.bumpGen() // the new row invalidates every cached result for the table
 	if needSeal {
 		return d.Seal(partition)
 	}
@@ -782,8 +841,11 @@ func (d *Deployment) Seal(partition int) error {
 		}
 	}
 	d.removeSealingLocked(partition, batch)
-	d.mu.Unlock()
+	// Neutral for view maintenance (the same rows, now sealed) but bumped
+	// inside the swap's critical section so the generation keeps totally
+	// ordering routing snapshots against mutations.
 	d.bumpGen() // rows moved from consuming to sealed; trims/routing may differ
+	d.mu.Unlock()
 	return nil
 }
 
@@ -954,6 +1016,10 @@ type Broker struct {
 	cache  *qcache.Cache
 	flight *qcache.Group
 	admit  *qcache.Admission
+
+	// views serves registered materialized-view shapes ahead of the cache
+	// (nil when disabled); see brokercache.go and internal/olap/matview.
+	views ViewServer
 }
 
 // BrokerOptions tunes query execution.
@@ -979,6 +1045,13 @@ type BrokerOptions struct {
 	// execution queue with deadline-aware shedding (typed ErrOverloaded).
 	// Nil disables admission control.
 	Admission *qcache.AdmissionConfig
+	// Views serves registered materialized-view shapes ahead of the result
+	// cache: a ConsistencyFull request whose ViewKey matches a registered
+	// view is answered from the view's incrementally-maintained state
+	// (ExecStats.ViewHit) without routing, scanning, or filling the cache.
+	// Typically a *matview.Registry over the same deployment. Nil disables
+	// view serving.
+	Views ViewServer
 }
 
 // NewBroker creates a broker over a deployment with default options
@@ -995,6 +1068,7 @@ func NewBrokerWithOptions(d *Deployment, opts BrokerOptions) *Broker {
 	if opts.Admission != nil {
 		b.admit = qcache.NewAdmission(*opts.Admission)
 	}
+	b.views = opts.Views
 	return b
 }
 

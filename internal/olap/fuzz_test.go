@@ -1,0 +1,192 @@
+package olap
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/record"
+)
+
+// FuzzMergePartials is the algebraic gate for the partial-aggregate layer
+// (and therefore for matview incremental maintenance, which is nothing but
+// Merge over PartialOfRows batches): for fuzz-derived row sets, splitting
+// the rows into any chunking and merging the chunk partials in any rotation
+// — or as a balanced tree — must finalize byte-identically to a single-pass
+// aggregation over all rows. The derived rows include the PR 4
+// NULL-semantics edges: missing measure values, all-null chunks, empty
+// chunks, and filters that match zero rows (MIN/MAX/AVG over empty sets).
+
+// fuzzRow derives one row from one fuzz byte. Numerics are exactly
+// representable (multiples of 0.5 below 16), so float64 sums are
+// merge-order independent and byte-identical comparison is sound.
+func fuzzRow(b byte, i int) record.Record {
+	cities := []string{"sf", "nyc", "la", "chi"}
+	statuses := []string{"placed", "cooking", "delivered"}
+	r := record.Record{
+		"order_id": fmt.Sprintf("o-%05d", i),
+		"city":     cities[int(b)&3],
+		"status":   statuses[(int(b)>>2)%3],
+		"amount":   float64(b>>3) / 2,
+		"items":    int64(b % 7),
+		"ts":       int64(1700000000000 + i*1000),
+	}
+	if b%11 == 0 {
+		delete(r, "amount") // null measure: SUM/MIN/MAX/AVG/COUNT(col) skip it
+	}
+	if b%13 == 0 {
+		delete(r, "items")
+	}
+	if b&1 == 0 {
+		r["rush"] = b&2 == 0
+	}
+	return r
+}
+
+// fuzzQueries is the shape set every chunking is checked against: global
+// and grouped aggregations over every kind, plus filtered shapes that can
+// match zero rows in some or all chunks.
+func fuzzQueries() []*Query {
+	return []*Query{
+		{Aggs: []AggSpec{
+			{Kind: AggCount},
+			{Kind: AggSum, Column: "amount"},
+			{Kind: AggMin, Column: "amount"},
+			{Kind: AggMax, Column: "amount"},
+			{Kind: AggAvg, Column: "amount"},
+			{Kind: AggDistinctCount, Column: "items"},
+		}},
+		{GroupBy: []string{"city"}, Aggs: []AggSpec{
+			{Kind: AggCount, Column: "rush"},
+			{Kind: AggAvg, Column: "amount"},
+			{Kind: AggMin, Column: "items"},
+			{Kind: AggMax, Column: "items"},
+			{Kind: AggDistinctCount, Column: "status"},
+		}},
+		// Sparse filter: zero matching rows in most (or all) chunks.
+		{Filters: []Filter{{Column: "city", Op: OpEq, Value: "sf"},
+			{Column: "amount", Op: OpGe, Value: 12.0}},
+			GroupBy: []string{"status"},
+			Aggs: []AggSpec{{Kind: AggMin, Column: "amount"},
+				{Kind: AggMax, Column: "amount"}, {Kind: AggAvg, Column: "amount"}}},
+		// Matches nothing anywhere: the empty-set NULL row must survive any
+		// merge order.
+		{Filters: []Filter{{Column: "status", Op: OpEq, Value: "nope"}},
+			Aggs: []AggSpec{{Kind: AggMin, Column: "amount"},
+				{Kind: AggMax, Column: "items"}, {Kind: AggAvg, Column: "amount"},
+				{Kind: AggCount}}},
+	}
+}
+
+func FuzzMergePartials(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{3, 1, 42})
+	f.Add([]byte{0, 7, 0, 11, 13, 22, 33, 44, 55, 66, 77, 88, 99, 255})
+	f.Add([]byte{255, 255, 255, 255, 255, 255})
+	f.Add([]byte{1, 2, 0, 13, 26, 39, 52, 65, 78, 91, 104, 117, 130, 143})
+	f.Add([]byte{7, 3, 8, 16, 24, 32, 40, 48, 56, 64, 72, 80, 88, 96, 104, 112, 120, 128})
+
+	schema := ordersSchema()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		rot, nChunks := 0, 1
+		if len(data) > 0 {
+			rot = int(data[0])
+			data = data[1:]
+		}
+		if len(data) > 0 {
+			nChunks = int(data[0])%8 + 1
+			data = data[1:]
+		}
+		rows := make([]record.Record, len(data))
+		for i, b := range data {
+			rows[i] = fuzzRow(b, i)
+		}
+
+		for qi, q := range fuzzQueries() {
+			single, err := PartialOfRows(schema, rows, q)
+			if err != nil {
+				t.Fatalf("q%d single-pass: %v", qi, err)
+			}
+			want, err := single.Finalize(q)
+			if err != nil {
+				t.Fatalf("q%d finalize: %v", qi, err)
+			}
+
+			// Chunk the rows evenly (some chunks may be empty) and append
+			// one always-empty chunk.
+			parts := make([]*Partial, 0, nChunks+1)
+			per := (len(rows) + nChunks - 1) / nChunks
+			if per == 0 {
+				per = 1
+			}
+			for at := 0; at < nChunks; at++ {
+				lo := at * per
+				hi := lo + per
+				if lo > len(rows) {
+					lo = len(rows)
+				}
+				if hi > len(rows) {
+					hi = len(rows)
+				}
+				p, err := PartialOfRows(schema, rows[lo:hi], q)
+				if err != nil {
+					t.Fatalf("q%d chunk %d: %v", qi, at, err)
+				}
+				parts = append(parts, p)
+			}
+			empty, err := PartialOfRows(schema, nil, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts = append(parts, empty)
+
+			// Rotated sequential merge: commutativity across arrival orders.
+			acc, err := PartialOfRows(schema, nil, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range parts {
+				acc.Merge(parts[(i+rot)%len(parts)])
+			}
+			got, err := acc.Finalize(q)
+			if err != nil {
+				t.Fatalf("q%d rotated finalize: %v", qi, err)
+			}
+			if !reflect.DeepEqual(got.Columns, want.Columns) || !reflect.DeepEqual(got.Rows, want.Rows) {
+				t.Fatalf("q%d rotated merge diverges from single pass:\n got %v %v\nwant %v %v",
+					qi, got.Columns, got.Rows, want.Columns, want.Rows)
+			}
+
+			// Balanced-tree merge: associativity across groupings. Merge
+			// leaves o unchanged, so reusing parts here is safe.
+			left, err := PartialOfRows(schema, nil, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			right, err := PartialOfRows(schema, nil, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range parts {
+				if i < len(parts)/2 {
+					left.Merge(p)
+				} else {
+					right.Merge(p)
+				}
+			}
+			left.Merge(right)
+			got2, err := left.Finalize(q)
+			if err != nil {
+				t.Fatalf("q%d tree finalize: %v", qi, err)
+			}
+			if !reflect.DeepEqual(got2.Rows, want.Rows) {
+				t.Fatalf("q%d tree merge diverges from single pass:\n got %v\nwant %v",
+					qi, got2.Rows, want.Rows)
+			}
+		}
+	})
+}

@@ -219,8 +219,16 @@ func (d *Deployment) DropSegment(name string, deleteArchive bool) {
 			}
 		}
 	}
+	part := -1
+	if meta != nil {
+		part = meta.partition
+	}
+	// A retention drop removes visible rows — a retraction for any
+	// registered materialized view (and, via the bump, every cached
+	// result). Emitted inside the critical section that unrouted the
+	// segment so the seq orders against routing snapshots.
+	d.emitMutationLocked(part, nil, true)
 	d.mu.Unlock()
-	d.bumpGen() // the dropped segment's rows left the table
 	for _, ri := range replicas {
 		d.servers[ri].Retire(name)
 	}
@@ -366,8 +374,11 @@ func (d *Deployment) Compact(names []string) (CompactResult, error) {
 		delete(d.placement, name)
 		delete(d.segMeta, name)
 	}
-	d.mu.Unlock()
+	// Neutral for views (the visible rows are unchanged: superseded rows
+	// were already invisible) but bumped inside the swap section to keep
+	// generation ordering exact.
 	d.bumpGen() // segment set swapped (inputs replaced by the merged segment)
+	d.mu.Unlock()
 	for _, name := range names {
 		for _, ri := range replicas {
 			d.servers[ri].Retire(name)
@@ -396,8 +407,8 @@ func (d *Deployment) retireSegments(names []string) {
 		delete(d.placement, name)
 		delete(d.segMeta, name)
 	}
+	d.bumpGen() // segments left routing (visible rows unchanged: all superseded)
 	d.mu.Unlock()
-	d.bumpGen() // segments left routing
 	for _, name := range names {
 		for _, ri := range replicasOf[name] {
 			d.servers[ri].Retire(name)

@@ -1,0 +1,504 @@
+package matview_test
+
+// The differential harness is the matview gate: for hundreds of randomized
+// aggregate query shapes, interleaved with ingests, seals, compactions and
+// upserts, every view-served answer must be byte-identical
+// (reflect.DeepEqual on columns and rows) to a cold broker execution of the
+// same shape at the same generation, with caching disabled and trimming
+// exact. Numeric values in the fixture are exactly representable (small
+// multiples of 0.5, far below 2^52), so float64 sums are merge-order
+// independent and "byte-identical" is a meaningful bar; group-bys use
+// string columns, whose value identity is path-independent.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metadata"
+	"repro/internal/objstore"
+	"repro/internal/olap"
+	"repro/internal/olap/matview"
+	"repro/internal/record"
+
+	"math/rand"
+)
+
+func diffSchema() *metadata.Schema {
+	return &metadata.Schema{
+		Name:    "orders",
+		Version: 1,
+		Fields: []metadata.Field{
+			{Name: "order_id", Type: metadata.TypeString},
+			{Name: "city", Type: metadata.TypeString, Dimension: true},
+			{Name: "status", Type: metadata.TypeString, Dimension: true},
+			{Name: "amount", Type: metadata.TypeDouble},
+			{Name: "items", Type: metadata.TypeLong},
+			{Name: "rush", Type: metadata.TypeBool, Nullable: true},
+			{Name: "ts", Type: metadata.TypeTimestamp},
+		},
+		TimeField:  "ts",
+		PrimaryKey: "order_id",
+	}
+}
+
+func newDiffDeployment(t *testing.T, upsert bool) *olap.Deployment {
+	t.Helper()
+	servers := make([]*olap.Server, 3)
+	for i := range servers {
+		servers[i] = olap.NewServer(fmt.Sprintf("server-%d", i))
+	}
+	d, err := olap.NewDeployment(olap.DeploymentConfig{
+		Table: olap.TableConfig{
+			Name:        "orders",
+			Schema:      diffSchema(),
+			SegmentRows: 60,
+			Upsert:      upsert,
+			Replicas:    1,
+			Indexes:     olap.IndexConfig{InvertedColumns: []string{"city"}},
+		},
+		Servers:      servers,
+		SegmentStore: objstore.NewMemStore(),
+		Backup:       olap.BackupP2P,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+var diffCities = []string{"sf", "nyc", "la", "chi", "sea"}
+var diffStatuses = []string{"placed", "cooking", "delivered"}
+
+const diffTsBase = int64(1700000000000)
+
+// diffRow builds row i with exactly-representable numerics: amounts are
+// multiples of 0.5 below 50, items small ints — float64 sums over any merge
+// order are exact.
+func diffRow(i, keySpace int) record.Record {
+	k := i
+	if keySpace > 0 {
+		k = i % keySpace
+	}
+	r := record.Record{
+		"order_id": fmt.Sprintf("o-%06d", k),
+		"city":     diffCities[i%len(diffCities)],
+		"status":   diffStatuses[i%len(diffStatuses)],
+		"amount":   float64(i%97) / 2,
+		"items":    int64(i%9 + 1),
+		"ts":       diffTsBase + int64(i)*1000,
+	}
+	if i%2 == 0 {
+		r["rush"] = i%4 == 0
+	}
+	return r
+}
+
+// randShape generates one registrable aggregate query shape: random
+// aggregation multiset (including DISTINCTCOUNT and the nullable column),
+// random string group-bys, random filters over strings/numerics/time, and
+// sometimes ORDER BY / LIMIT / OFFSET over an output column.
+func randShape(rng *rand.Rand) *olap.QueryRequest {
+	aggPool := []olap.AggSpec{
+		{Kind: olap.AggCount},
+		{Kind: olap.AggCount, Column: "rush"}, // nullable: counts non-null only
+		{Kind: olap.AggSum, Column: "amount"},
+		{Kind: olap.AggSum, Column: "items"},
+		{Kind: olap.AggMin, Column: "amount"},
+		{Kind: olap.AggMax, Column: "amount"},
+		{Kind: olap.AggAvg, Column: "amount"},
+		{Kind: olap.AggMin, Column: "items"},
+		{Kind: olap.AggMax, Column: "items"},
+		{Kind: olap.AggAvg, Column: "items"},
+		{Kind: olap.AggDistinctCount, Column: "city"},
+		{Kind: olap.AggDistinctCount, Column: "items"},
+		{Kind: olap.AggDistinctCount, Column: "order_id"},
+	}
+	rng.Shuffle(len(aggPool), func(i, j int) { aggPool[i], aggPool[j] = aggPool[j], aggPool[i] })
+	q := &olap.Query{Aggs: append([]olap.AggSpec(nil), aggPool[:rng.Intn(3)+1]...)}
+	if rng.Intn(3) == 0 {
+		q.Aggs[0].As = "a" + strconv.Itoa(rng.Intn(4))
+	}
+	switch rng.Intn(4) {
+	case 1:
+		q.GroupBy = []string{"city"}
+	case 2:
+		q.GroupBy = []string{"status"}
+	case 3:
+		q.GroupBy = []string{"city", "status"}
+	}
+	for _, f := range []func() olap.Filter{
+		func() olap.Filter {
+			return olap.Filter{Column: "city", Op: olap.OpEq, Value: diffCities[rng.Intn(len(diffCities))]}
+		},
+		func() olap.Filter {
+			return olap.Filter{Column: "city", Op: olap.OpIn,
+				Values: []any{diffCities[rng.Intn(len(diffCities))], diffCities[rng.Intn(len(diffCities))]}}
+		},
+		func() olap.Filter {
+			return olap.Filter{Column: "status", Op: olap.OpNe, Value: diffStatuses[rng.Intn(len(diffStatuses))]}
+		},
+		func() olap.Filter {
+			lo := int64(rng.Intn(5) + 1)
+			return olap.Filter{Column: "items", Op: olap.OpBetween, Value: lo, Value2: lo + int64(rng.Intn(4))}
+		},
+		func() olap.Filter {
+			return olap.Filter{Column: "amount", Op: olap.OpGe, Value: float64(rng.Intn(60)) / 2}
+		},
+	} {
+		if rng.Intn(5) == 0 {
+			q.Filters = append(q.Filters, f())
+		}
+	}
+	req := &olap.QueryRequest{Query: q, Consistency: olap.ConsistencyFull}
+	if rng.Intn(5) == 0 {
+		from := diffTsBase + int64(rng.Intn(500))*1000
+		req.Time = &olap.TimeRange{From: from, To: from + int64(rng.Intn(4000)+500)*1000}
+	}
+	if rng.Intn(2) == 0 {
+		ord := q.Aggs[0].As
+		if ord == "" {
+			ord = q.Aggs[0].Kind.String()
+			if q.Aggs[0].Column != "" {
+				ord += "_" + q.Aggs[0].Column
+			} else {
+				ord = "count"
+			}
+		}
+		if len(q.GroupBy) > 0 && rng.Intn(3) == 0 {
+			ord = q.GroupBy[0]
+		}
+		q.OrderBy = []olap.OrderSpec{{Column: ord, Desc: rng.Intn(2) == 0}}
+		q.Limit = rng.Intn(5) + 1
+		q.Offset = rng.Intn(3)
+	}
+	return req
+}
+
+// coldReq copies a shape for the oracle execution: trimming exact so the
+// cold answer is byte-stable, everything else identical.
+func coldReq(req *olap.QueryRequest) *olap.QueryRequest {
+	r2 := *req
+	r2.TrimExact = true
+	return &r2
+}
+
+// checkShape asserts the view-served answer is byte-identical to the cold
+// execution at the current (quiescent) generation.
+func checkShape(t *testing.T, vb, cold *olap.Broker, req *olap.QueryRequest, wantHit bool) {
+	t.Helper()
+	ctx := context.Background()
+	got, err := vb.Execute(ctx, req)
+	if err != nil {
+		t.Fatalf("view execute: %v", err)
+	}
+	want, err := cold.Execute(ctx, coldReq(req))
+	if err != nil {
+		t.Fatalf("cold execute: %v", err)
+	}
+	if wantHit {
+		if got.Stats.ViewHit != 1 {
+			t.Fatalf("expected a view hit, got %+v", got.Stats)
+		}
+		if got.Stats.ViewStalenessMs != 0 {
+			t.Fatalf("fresh view must report 0 staleness, got %d", got.Stats.ViewStalenessMs)
+		}
+		if got.Stats.RowsScanned != 0 || got.Stats.SegmentsScanned != 0 {
+			t.Fatalf("view hit must not scan: %+v", got.Stats)
+		}
+	}
+	if !reflect.DeepEqual(got.Columns, want.Columns) {
+		t.Fatalf("columns diverge for %+v:\n view %v\n cold %v", req.Query, got.Columns, want.Columns)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatalf("rows diverge for %+v:\n view %v\n cold %v", req.Query, got.Rows, want.Rows)
+	}
+}
+
+func diffSeed(t *testing.T) int64 {
+	if s := os.Getenv("MATVIEW_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("MATVIEW_SEED: %v", err)
+		}
+		return v
+	}
+	return 20260808
+}
+
+// TestDifferentialRandomizedViews is the main gate: 200 random registered
+// shapes over an append-only table, randomized interleavings of ingest
+// batches, seals and compactions, with view reads checked byte-identical to
+// cold execution at every observation point and a full sweep at the end.
+// Append-only mutations never retract, so every single read must be a fresh
+// view hit.
+func TestDifferentialRandomizedViews(t *testing.T) {
+	seed := diffSeed(t)
+	t.Logf("differential seed %d (override with MATVIEW_SEED)", seed)
+	rng := rand.New(rand.NewSource(seed))
+	d := newDiffDeployment(t, false)
+
+	next := 0
+	ingest := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := d.Ingest(next%2, diffRow(next, 0)); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+	}
+	// Pre-load enough rows that initial materialization sees sealed and
+	// consuming segments on both partitions.
+	ingest(300)
+
+	reg := matview.NewRegistry(d, matview.Config{})
+	vb := olap.NewBrokerWithOptions(d, olap.BrokerOptions{Views: reg})
+	cold := olap.NewBroker(d)
+
+	const shapes = 200
+	reqs := make([]*olap.QueryRequest, 0, shapes)
+	for len(reqs) < shapes {
+		req := randShape(rng)
+		if _, err := reg.Register(context.Background(), req); err != nil {
+			t.Fatalf("register %+v: %v", req.Query, err)
+		}
+		reqs = append(reqs, req)
+	}
+
+	compactPartition := func(part int) {
+		var names []string
+		for _, info := range d.SegmentInfos() {
+			if info.Partition == part {
+				names = append(names, info.Name)
+			}
+		}
+		if len(names) >= 2 {
+			if _, err := d.Compact(names); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for round := 0; round < 40; round++ {
+		switch rng.Intn(8) {
+		case 6:
+			if err := d.Seal(rng.Intn(2)); err != nil {
+				t.Fatal(err)
+			}
+		case 7:
+			compactPartition(rng.Intn(2))
+		default:
+			ingest(rng.Intn(25) + 5)
+		}
+		for i := 0; i < 6; i++ {
+			checkShape(t, vb, cold, reqs[rng.Intn(len(reqs))], true)
+		}
+	}
+	// Final sweep: every registered shape, byte-identical.
+	for _, req := range reqs {
+		checkShape(t, vb, cold, req, true)
+	}
+	st := reg.Stats()
+	if st.Views == 0 || st.Hits == 0 || st.RowsMerged == 0 {
+		t.Fatalf("registry did no incremental work: %+v", st)
+	}
+	if st.Rematerializations != 0 {
+		t.Fatalf("append-only run must not re-materialize, stats %+v", st)
+	}
+}
+
+// TestDifferentialUpsertRetraction exercises the retraction path: an upsert
+// table where random batches supersede existing keys, forcing views dirty
+// and re-materialized. MaxStaleness is 0, so every served answer is either
+// a fresh exact view hit or a cold fall-through — both must match the
+// oracle byte-for-byte; the harness waits for freshness after each batch so
+// hits are actually exercised.
+func TestDifferentialUpsertRetraction(t *testing.T) {
+	seed := diffSeed(t) + 1
+	t.Logf("differential seed %d (override with MATVIEW_SEED)", seed)
+	rng := rand.New(rand.NewSource(seed))
+	d := newDiffDeployment(t, true)
+
+	next := 0
+	const keySpace = 150 // every row past the first 150 supersedes one
+	ingest := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := d.Ingest(0, diffRow(next, keySpace)); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+	}
+	ingest(200)
+
+	reg := matview.NewRegistry(d, matview.Config{MaxStaleness: 0})
+	vb := olap.NewBrokerWithOptions(d, olap.BrokerOptions{Views: reg})
+	cold := olap.NewBroker(d)
+
+	const shapes = 30
+	reqs := make([]*olap.QueryRequest, 0, shapes)
+	for len(reqs) < shapes {
+		req := randShape(rng)
+		if _, err := reg.Register(context.Background(), req); err != nil {
+			t.Fatalf("register %+v: %v", req.Query, err)
+		}
+		reqs = append(reqs, req)
+	}
+
+	waitFresh := func(req *olap.QueryRequest) {
+		t.Helper()
+		v := reg.View(req)
+		if v == nil {
+			t.Fatal("shape not registered")
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for !v.Fresh() {
+			if time.Now().After(deadline) {
+				t.Fatal("view never re-materialized")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	for round := 0; round < 25; round++ {
+		if rng.Intn(6) == 5 {
+			if err := d.Seal(0); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			ingest(rng.Intn(20) + 5)
+		}
+		for i := 0; i < 4; i++ {
+			req := reqs[rng.Intn(len(reqs))]
+			// Answers must match the oracle whether the view is mid-
+			// re-materialization (cold fall-through) or already fresh.
+			checkShape(t, vb, cold, req, false)
+			waitFresh(req)
+			checkShape(t, vb, cold, req, true)
+		}
+	}
+	for _, req := range reqs {
+		waitFresh(req)
+		checkShape(t, vb, cold, req, true)
+	}
+	st := reg.Stats()
+	if st.Rematerializations == 0 {
+		t.Fatalf("upsert run must have re-materialized, stats %+v", st)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("upsert run must still serve fresh hits, stats %+v", st)
+	}
+}
+
+// TestDifferentialConcurrent is the -race smoke: a writer ingesting,
+// sealing and compacting continuously while readers serve registered views
+// through the broker. Readers assert the linearization invariant — a view
+// answer reflects at least every ingest that completed before the read
+// began and nothing beyond what has committed by the time it returns.
+func TestDifferentialConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(diffSeed(t) + 2))
+	d := newDiffDeployment(t, false)
+	for i := 0; i < 100; i++ {
+		if err := d.Ingest(i%2, diffRow(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := matview.NewRegistry(d, matview.Config{})
+	vb := olap.NewBrokerWithOptions(d, olap.BrokerOptions{Views: reg})
+
+	countShape := &olap.QueryRequest{Query: &olap.Query{Aggs: []olap.AggSpec{{Kind: olap.AggCount}}}}
+	if _, err := reg.Register(context.Background(), countShape); err != nil {
+		t.Fatal(err)
+	}
+	var others []*olap.QueryRequest
+	for len(others) < 8 {
+		req := randShape(rng)
+		if _, err := reg.Register(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+		others = append(others, req)
+	}
+
+	// started counts rows whose Ingest has begun, committed those whose
+	// Ingest has returned. A view answer observed between them can include
+	// the in-flight row (its mutation event lands inside Ingest's critical
+	// section, before committed increments), so the window is
+	// [committed-before, started-after].
+	var started, committed atomic.Int64
+	started.Store(100)
+	committed.Store(100)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 100; i < 2100; i++ {
+			started.Add(1)
+			if err := d.Ingest(i%2, diffRow(i, 0)); err != nil {
+				t.Error(err)
+				return
+			}
+			committed.Add(1)
+			if i%400 == 399 {
+				if err := d.Seal(i % 2); err != nil {
+					t.Error(err)
+					return
+				}
+				var part0 []string
+				for _, info := range d.SegmentInfos() {
+					if info.Partition == 0 {
+						part0 = append(part0, info.Name)
+					}
+				}
+				if len(part0) >= 2 {
+					if _, err := d.Compact(part0); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				before := committed.Load()
+				resp, err := vb.Execute(context.Background(), countShape)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				after := started.Load()
+				if resp.Stats.ViewHit != 1 {
+					t.Errorf("append-only reads must hit the view: %+v", resp.Stats)
+					return
+				}
+				n := resp.Rows[0][0].(int64)
+				if n < before || n > after {
+					t.Errorf("count %d outside committed window [%d, %d]", n, before, after)
+					return
+				}
+				if _, err := vb.Execute(context.Background(), others[r.Intn(len(others))]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-done
+}

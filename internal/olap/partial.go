@@ -1,11 +1,13 @@
 package olap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/metadata"
 	"repro/internal/record"
 )
 
@@ -211,6 +213,16 @@ func (p *Partial) Finalize(q *Query) (*Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// PartialOfRows computes the mergeable partial-aggregate state of a query
+// over a batch of raw rows, all treated as valid — the primitive the
+// matview registry uses to fold newly-ingested rows into a standing view's
+// state (Merge) without re-executing the query. It runs the exact
+// consuming-segment scan path, so the partial merges and finalizes
+// identically to scatter-gathered partials.
+func PartialOfRows(schema *metadata.Schema, rows []record.Record, q *Query) (*Partial, error) {
+	return executeRows(context.Background(), schema, rows, q, func(int) bool { return true })
 }
 
 // earlyLimit returns the row budget after which a query's fan-out can stop

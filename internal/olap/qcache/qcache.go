@@ -139,6 +139,30 @@ func (c *Cache) removeLocked(el *list.Element) {
 	c.curBytes -= e.size
 }
 
+// SweepStale drops every entry stored under a generation older than gen,
+// counting each as an invalidation, and returns how many were dropped. Get
+// already invalidates stale entries lazily, but only when their own key is
+// re-queried — an entry stored by an execution that a mutation raced past
+// (in-flight at eviction time) or a warmed set orphaned by a generation
+// bump would otherwise keep its bytes in the resident gauge indefinitely.
+// The broker calls this from CacheStats so Entries/Bytes only ever count
+// memory that can still serve a hit.
+func (c *Cache) SweepStale(gen int64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.ll.Back(); el != nil; {
+		prev := el.Prev()
+		if el.Value.(*entry).gen < gen {
+			c.removeLocked(el)
+			c.invalidations++
+			dropped++
+		}
+		el = prev
+	}
+	return dropped
+}
+
 // Bytes returns the current accounted resident size.
 func (c *Cache) Bytes() int64 {
 	c.mu.Lock()

@@ -214,6 +214,15 @@ type ExecStats struct {
 	// CacheMemBytes is the broker result cache's resident size when this
 	// response was produced — a gauge bounded by BrokerOptions.CacheMaxBytes.
 	CacheMemBytes int64
+	// ViewHit is 1 when this response was served from a registered
+	// materialized view (no scatter, no scan; see internal/olap/matview).
+	ViewHit int64
+	// ViewStalenessMs is how far behind the table a view-served answer may
+	// be, in milliseconds: 0 means the view was exact at serve time; a
+	// positive value means the view was re-materializing after a
+	// non-incremental mutation and the last consistent snapshot was served
+	// within the registry's staleness bound.
+	ViewStalenessMs int64
 }
 
 // Add accumulates another stats block into this one. The broker assigns
@@ -237,6 +246,7 @@ func (s *ExecStats) Add(o ExecStats) {
 	s.CacheHit += o.CacheHit
 	s.Coalesced += o.Coalesced
 	s.Queued += o.Queued
+	s.ViewHit += o.ViewHit
 	// Gauges, not counters: across merged scans (federated joins) keep the
 	// largest observation instead of summing snapshots of the same broker.
 	if o.Shed > s.Shed {
@@ -244,6 +254,9 @@ func (s *ExecStats) Add(o ExecStats) {
 	}
 	if o.CacheMemBytes > s.CacheMemBytes {
 		s.CacheMemBytes = o.CacheMemBytes
+	}
+	if o.ViewStalenessMs > s.ViewStalenessMs {
+		s.ViewStalenessMs = o.ViewStalenessMs
 	}
 }
 

@@ -168,8 +168,115 @@ func (b *Broker) Execute(ctx context.Context, req *QueryRequest) (*QueryResponse
 	return b.executeShared(ctx, req, q, router)
 }
 
-// executeRouted performs one route + scatter-gather round.
+// executeRouted performs one route + scatter-gather round and finalizes the
+// merged partial into a user-facing response.
 func (b *Broker) executeRouted(ctx context.Context, req *QueryRequest, q *Query, router Router) (*QueryResponse, error) {
+	g, err := b.gather(ctx, req, q, router)
+	if err != nil {
+		return nil, err
+	}
+	res, err := g.acc.Finalize(q)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.ServersContacted = g.contacted
+	res.Stats.PartitionsPruned = g.plan.PartitionsPruned
+	trimK := 0
+	if g.tp != nil {
+		if len(q.Aggs) > 0 {
+			trimK = g.tp.groupK
+		} else {
+			trimK = g.tp.rowK
+		}
+	}
+	return &QueryResponse{
+		Columns: res.Columns,
+		Rows:    res.Rows,
+		Stats:   res.Stats,
+		TrimK:   trimK,
+		Route: RouteInfo{
+			Router:           router.Name(),
+			ReplicaGroup:     g.plan.ReplicaGroup,
+			SegmentsRouted:   g.plan.SegmentCount(),
+			ServersContacted: g.contacted,
+			PartitionsPruned: g.plan.PartitionsPruned,
+		},
+	}, nil
+}
+
+// MaterializePartial executes one request and returns the merged mergeable
+// partial state instead of a finalized response, together with the
+// generation the routing snapshot was taken at — the primitive the matview
+// registry uses to (re)materialize a standing view. The snapshot generation
+// is read inside the same critical section that captures the routable data,
+// so the returned partial contains exactly the mutations with
+// ViewMutation.Seq at or below it. Trimming is forced exact: a view's state
+// must cover every group, never a top-K candidate subset. The request runs
+// directly (no cache, no coalescing, no admission), with the broker's usual
+// one re-route on ErrServerDown.
+func (b *Broker) MaterializePartial(ctx context.Context, req *QueryRequest) (*Partial, int64, error) {
+	if req == nil || req.Query == nil {
+		return nil, 0, fmt.Errorf("olap: nil query request")
+	}
+	r2 := *req
+	r2.TrimExact = true
+	req = &r2
+	q := req.Query
+	if req.Time != nil {
+		q2 := *q
+		q2.Time = req.Time
+		q = &q2
+	}
+	for _, a := range q.Aggs {
+		if a.Column == "" {
+			continue
+		}
+		if f, ok := b.d.cfg.Schema.Field(a.Column); ok {
+			if err := aggTypeError(a.Kind, a.Column, f.Type); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = b.opts.Timeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	router := req.Router
+	if router == nil {
+		router = b.opts.Router
+	}
+	if router == nil {
+		router = defaultRouter
+	}
+	g, err := b.gather(ctx, req, q, router)
+	if err != nil && errors.Is(err, ErrServerDown) && ctx.Err() == nil {
+		g, err = b.gather(ctx, req, q, router)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return g.acc, g.snapGen, nil
+}
+
+// gatherResult is one route + scatter round's merged, unfinalized output.
+type gatherResult struct {
+	acc       *Partial
+	plan      *RoutePlan
+	tp        *topKPlan
+	contacted int
+	// snapGen is the generation read inside routeView's critical section:
+	// the gathered data contains exactly the mutations with seq <= snapGen.
+	snapGen int64
+}
+
+// gather performs one route + scatter round, merging partial states as they
+// stream back, without finalizing.
+func (b *Broker) gather(ctx context.Context, req *QueryRequest, q *Query, router Router) (*gatherResult, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -288,34 +395,7 @@ func (b *Broker) executeRouted(ctx context.Context, req *QueryRequest, q *Query,
 			}
 		}
 	}
-
-	res, err := acc.Finalize(q)
-	if err != nil {
-		return nil, err
-	}
-	res.Stats.ServersContacted = len(contacted)
-	res.Stats.PartitionsPruned = plan.PartitionsPruned
-	trimK := 0
-	if tp != nil {
-		if len(q.Aggs) > 0 {
-			trimK = tp.groupK
-		} else {
-			trimK = tp.rowK
-		}
-	}
-	return &QueryResponse{
-		Columns: res.Columns,
-		Rows:    res.Rows,
-		Stats:   res.Stats,
-		TrimK:   trimK,
-		Route: RouteInfo{
-			Router:           router.Name(),
-			ReplicaGroup:     plan.ReplicaGroup,
-			SegmentsRouted:   plan.SegmentCount(),
-			ServersContacted: res.Stats.ServersContacted,
-			PartitionsPruned: plan.PartitionsPruned,
-		},
-	}, nil
+	return &gatherResult{acc: acc, plan: plan, tp: tp, contacted: len(contacted), snapGen: snapshot.gen}, nil
 }
 
 // consumingScan is one consuming segment's scan snapshot: the rows and
@@ -337,6 +417,11 @@ type querySnapshot struct {
 	consuming map[int]consumingScan
 	upsert    bool
 	schema    *metadata.Schema
+	// gen is the generation read inside the critical section: because
+	// visible-data mutations bump the generation in their own critical
+	// sections, this snapshot contains exactly the mutations with
+	// ViewMutation.Seq <= gen (see AddMutationHook).
+	gen int64
 }
 
 // routeView snapshots the routable cluster state for a Router, together
@@ -369,6 +454,7 @@ func (b *Broker) routeView() (*RouteView, *querySnapshot) {
 		consuming: make(map[int]consumingScan, len(d.consuming)),
 		upsert:    d.cfg.Upsert,
 		schema:    d.cfg.Schema,
+		gen:       d.gen.Load(),
 	}
 	// One scan per partition holding unsealed rows: in-flight sealing
 	// batches first (rows mid-seal stay visible until their segment enters
