@@ -195,6 +195,16 @@ func BenchmarkE21_MatView(b *testing.B) {
 	}
 }
 
+// BenchmarkE22_Observability — internal/obs: the slow-query log isolates an
+// induced slow segment scan to the responsible server (slow_isolated=1,
+// slow_false_positives=0) and hit-path tracing overhead stays a small ratio
+// (trace_overhead_x, gated in benchjson as obs_overhead).
+func BenchmarkE22_Observability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E22(12_000))
+	}
+}
+
 // BenchmarkCacheHitPath is the tier-1 hit-path microbenchmark the CI
 // baseline gate watches (cmd/benchjson): one warmed cached Execute per
 // iteration, so ns/op is the pure cache-hit service time.

@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -30,12 +31,22 @@ func main() {
 		ran++
 		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
 		fmt.Printf("    paper: %s\n", e.Claim)
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		rows := e.Run()
+		wall := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
 		for _, r := range rows {
 			fmt.Printf("    %-42s %14.2f %s\n", r.Name, r.Value, r.Unit)
 		}
-		fmt.Printf("    (%.2fs)\n\n", time.Since(start).Seconds())
+		// Allocated is the cumulative allocation the experiment performed;
+		// peak heap is the high-water mark of live heap the runtime saw.
+		fmt.Printf("    (wall %.2fs, allocated %.1f MB, peak heap %.1f MB)\n\n",
+			wall.Seconds(),
+			float64(after.TotalAlloc-before.TotalAlloc)/(1<<20),
+			float64(after.HeapSys-after.HeapReleased)/(1<<20))
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "rtbench: no experiment matched %v; available:\n", os.Args[1:])

@@ -9,10 +9,13 @@
 // scatter-gather fan-out mid-flight via the engine's context path.
 //
 // Prefix any SELECT with EXPLAIN to see the pushdown, routing, top-K trim,
-// materialized-view and result-cache decisions instead of the rows (EXPLAIN
-// ANALYZE semantics: the query executes and the real per-scan stats are
-// reported). The demo Pinot brokers run with a result cache, so repeating
-// an EXPLAIN flips its plan line from cache=miss to cache=hit:
+// materialized-view and result-cache decisions instead of the rows (the
+// query executes and the real per-scan stats are reported). Prefix with
+// EXPLAIN ANALYZE to additionally print the recorded span tree — every stage
+// from the federated scan through the broker scatter down to each segment
+// scan, with per-span durations and row counts. The demo Pinot brokers run
+// with a result cache, so repeating an EXPLAIN flips its plan line from
+// cache=miss to cache=hit:
 //
 //	sql> EXPLAIN SELECT order_id, SUM(amount) AS rev FROM pinot.orders GROUP BY order_id ORDER BY rev DESC LIMIT 10
 //	plan:
@@ -43,6 +46,7 @@ import (
 	"repro/internal/fedsql"
 	"repro/internal/metadata"
 	"repro/internal/objstore"
+	"repro/internal/obs"
 	"repro/internal/olap"
 	"repro/internal/olap/matview"
 	"repro/internal/record"
@@ -68,11 +72,19 @@ func main() {
 		case line == `\q`, line == "exit", line == "quit":
 			return
 		case len(line) > 8 && strings.EqualFold(line[:8], "EXPLAIN "):
-			res, err := runQuery(engine, strings.TrimSpace(line[8:]), *timeout)
+			rest := strings.TrimSpace(line[8:])
+			analyze := len(rest) > 8 && strings.EqualFold(rest[:8], "ANALYZE ")
+			if analyze {
+				rest = strings.TrimSpace(rest[8:])
+			}
+			res, err := runQuery(engine, rest, *timeout)
 			if err != nil {
 				fmt.Println("error:", err)
 			} else {
 				printExplain(res)
+				if analyze {
+					printTrace(res)
+				}
 			}
 		default:
 			res, err := runQuery(engine, line, *timeout)
@@ -128,6 +140,20 @@ func printExplain(res *fedsql.Result) {
 		st.Exec.CacheHit, st.Exec.Coalesced, st.Exec.CacheMemBytes, st.Exec.Shed,
 		st.Exec.ViewHit, st.Exec.ViewStalenessMs)
 	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+// printTrace renders the span tree a traced query recorded: every stage from
+// the federated scan through the broker scatter down to each segment scan,
+// with wall durations and row counts.
+func printTrace(res *fedsql.Result) {
+	if res.Trace == nil {
+		fmt.Println("trace: (tracer not configured)")
+		return
+	}
+	fmt.Println("trace:")
+	for _, line := range strings.Split(strings.TrimRight(res.Trace.Render(), "\n"), "\n") {
+		fmt.Println("  " + line)
+	}
 }
 
 func demoSchema() *metadata.Schema {
@@ -230,5 +256,12 @@ func buildDemo() (*fedsql.Engine, error) {
 	engine := fedsql.NewEngine()
 	engine.Register(pinot)
 	engine.Register(hive)
+	// EXPLAIN ANALYZE renders the span tree this tracer records; queries
+	// slower than the threshold also land in its slow-query ring.
+	engine.Tracer = obs.NewTracer(obs.TracerConfig{
+		Recent:        16,
+		Slow:          8,
+		SlowThreshold: 250 * time.Millisecond,
+	})
 	return engine, nil
 }

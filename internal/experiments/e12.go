@@ -141,5 +141,6 @@ func AllWithIntegration() []Experiment {
 	merged = append(merged, topKExperiments()...)
 	merged = append(merged, cacheAdmissionExperiments()...)
 	merged = append(merged, matviewExperiments()...)
+	merged = append(merged, observabilityExperiments()...)
 	return append(merged, Ablations()...)
 }

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/objstore"
+	"repro/internal/obs"
+	"repro/internal/olap"
+)
+
+// ---- E22: end-to-end observability (internal/obs) ----
+
+// obsDeployment is ScatterGatherDeployment with the server handles kept, so
+// the experiment can inject a per-scan delay into one server.
+func obsDeployment(rowsN, segmentRows int) (*olap.Deployment, []*olap.Server) {
+	servers := []*olap.Server{olap.NewServer("s0"), olap.NewServer("s1")}
+	d, err := olap.NewDeployment(olap.DeploymentConfig{
+		Table: olap.TableConfig{
+			Name:        "orders",
+			Schema:      ordersSchema(),
+			SegmentRows: segmentRows,
+		},
+		Servers:      servers,
+		SegmentStore: objstore.NewMemStore(),
+		Backup:       olap.BackupP2P,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range orderRows(rowsN) {
+		if err := d.Ingest(i%2, r); err != nil {
+			panic(err)
+		}
+	}
+	for p := 0; p < 2; p++ {
+		if err := d.Seal(p); err != nil {
+			panic(err)
+		}
+	}
+	d.WaitUploads()
+	return d, servers
+}
+
+// E22 exercises the observability layer end to end on a mixed workload:
+//
+//   - calibration: the slow-query threshold is derived from the measured
+//     baseline (4x the slowest uninstrumented query, plus margin), so the
+//     experiment is robust to slow CI runners — a fixed threshold would
+//     misfire on machines slower than the one that picked it;
+//   - mixed traffic through a traced, cached broker must produce zero
+//     slow-log entries (slow_false_positives);
+//   - a delay injected into one server's segment scans must land exactly one
+//     trace in the slow-query log, and that trace's slowest segment.scan
+//     must blame the delayed server (slow_isolated) — the pager workflow the
+//     span tree exists for;
+//   - tracing overhead on the cache-hit fast path is the traced/untraced
+//     p50 ratio, interleaved and min-of-rounds like benchjson's obs_overhead
+//     gate (trace_overhead_x);
+//   - the deployment registry must be populated by the traffic
+//     (metric_points).
+func E22(rowsN int) []Row {
+	if rowsN <= 0 {
+		rowsN = 12_000
+	}
+	d, servers := obsDeployment(rowsN, rowsN/8)
+	shapes := []*olap.Query{
+		{GroupBy: []string{"city"}, Aggs: []olap.AggSpec{{Kind: olap.AggSum, Column: "amount"}, {Kind: olap.AggCount}}},
+		{Filters: []olap.Filter{{Column: "status", Op: olap.OpEq, Value: "delivered"}},
+			GroupBy: []string{"city"}, Aggs: []olap.AggSpec{{Kind: olap.AggCount}}},
+		{Aggs: []olap.AggSpec{{Kind: olap.AggAvg, Column: "amount"}}},
+	}
+
+	// Phase 0 — calibrate the slow threshold from the uninstrumented
+	// baseline. The injected delay sits just above the threshold, so a
+	// single delayed segment scan is guaranteed to tip its query over.
+	plain := olap.NewBroker(d)
+	var maxBase time.Duration
+	for round := 0; round < 3; round++ {
+		for _, q := range shapes {
+			start := time.Now()
+			if _, err := plain.Query(q); err != nil {
+				panic(err)
+			}
+			if el := time.Since(start); el > maxBase {
+				maxBase = el
+			}
+		}
+	}
+	threshold := 4*maxBase + 2*time.Millisecond
+	delay := threshold + 2*time.Millisecond
+
+	tracer := obs.NewTracer(obs.TracerConfig{
+		Recent:        32,
+		Slow:          8,
+		SlowThreshold: threshold,
+		Hist:          d.Metrics().Histogram("broker_query_ns"),
+	})
+	traced := olap.NewBrokerWithOptions(d, olap.BrokerOptions{
+		Tracer:        tracer,
+		CacheMaxBytes: 8 << 20,
+	})
+
+	// Phase 1 — mixed workload: repeated shapes through the cached traced
+	// broker (a hit/miss mix), with nothing slow expected.
+	const mixedIters = 40
+	for i := 0; i < mixedIters; i++ {
+		if _, err := traced.Query(shapes[i%len(shapes)]); err != nil {
+			panic(err)
+		}
+	}
+	falsePositives := tracer.SlowCount()
+
+	// Phase 2 — fault injection: one server's segment scans slow down; the
+	// cache must be bypassed (fresh shape) so the query actually scatters.
+	servers[1].SetScanDelay(delay)
+	probe := &olap.Query{GroupBy: []string{"status"}, Aggs: []olap.AggSpec{{Kind: olap.AggCount}}}
+	if _, err := traced.Query(probe); err != nil {
+		panic(err)
+	}
+	servers[1].SetScanDelay(0)
+	isolated, blamedDelay := 0.0, time.Duration(0)
+	if slow := tracer.Slow(); len(slow) > 0 {
+		worst := slow[len(slow)-1]
+		if seg := worst.Slowest("segment.scan"); seg != nil {
+			blamedDelay = seg.Duration
+			parent := worst.Spans[seg.Parent]
+			for _, a := range parent.Attrs {
+				if a.Key == "server" && a.Value == servers[1].Name() {
+					isolated = 1
+				}
+			}
+		}
+	}
+
+	// Phase 3 — tracing overhead on the hit path: interleaved rounds,
+	// minimum ratio (scheduler-preempted rounds discarded on both sides).
+	cachedPlain := olap.NewBrokerWithOptions(d, olap.BrokerOptions{Workers: 1, CacheMaxBytes: 8 << 20})
+	cachedTraced := olap.NewBrokerWithOptions(d, olap.BrokerOptions{
+		Workers: 1, CacheMaxBytes: 8 << 20, Tracer: obs.NewTracer(obs.TracerConfig{Recent: 8}),
+	})
+	hit := shapes[0]
+	const hitIters = 120
+	p50 := func(b *olap.Broker) time.Duration {
+		samples := make([]time.Duration, hitIters)
+		for i := range samples {
+			start := time.Now()
+			if _, err := b.Query(hit); err != nil {
+				panic(err)
+			}
+			samples[i] = time.Since(start)
+		}
+		sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+		return samples[hitIters/2]
+	}
+	p50(cachedPlain) // warm both caches
+	p50(cachedTraced)
+	overhead, tracedHit := 0.0, time.Duration(0)
+	for round := 0; round < 3; round++ {
+		tp, pp := p50(cachedTraced), p50(cachedPlain)
+		if r := float64(tp) / float64(pp); overhead == 0 || r < overhead {
+			overhead, tracedHit = r, tp
+		}
+	}
+
+	return []Row{
+		{"baseline_max_us", float64(maxBase.Nanoseconds()) / 1e3, "us"},
+		{"slow_threshold_ms", float64(threshold.Nanoseconds()) / 1e6, "ms"},
+		{"slow_false_positives", float64(falsePositives), "queries"},
+		{"slow_count", float64(tracer.SlowCount() - falsePositives), "queries"},
+		{"slow_isolated", isolated, "bool"},
+		{"slow_blamed_scan_ms", float64(blamedDelay.Nanoseconds()) / 1e6, "ms"},
+		{"trace_overhead_x", overhead, "x"},
+		{"traced_hit_p50_us", float64(tracedHit.Nanoseconds()) / 1e3, "us"},
+		{"recent_traces", float64(len(tracer.Recent())), "traces"},
+		{"metric_points", float64(len(d.MetricsSnapshot())), "points"},
+	}
+}
+
+// observabilityExperiments registers E22 for rtbench / AllWithIntegration.
+func observabilityExperiments() []Experiment {
+	return []Experiment{
+		{
+			ID:    "E22",
+			Title: "End-to-end query tracing and slow-query capture (internal/obs)",
+			Claim: "per-query span trees isolate an induced slow segment scan to the responsible server via the slow-query log, with zero false positives on the mixed workload and hit-path tracing overhead bounded by the benchjson obs_overhead gate",
+			Run:   func() []Row { return E22(0) },
+		},
+	}
+}

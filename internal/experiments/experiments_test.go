@@ -196,6 +196,21 @@ func TestExperimentShapes(t *testing.T) {
 			t.Error("cache memory exceeded its bound")
 		}
 	})
+	t.Run("E22", func(t *testing.T) {
+		rows := E22(6_000)
+		if get(rows, "slow_false_positives") != 0 {
+			t.Error("mixed workload produced slow-log false positives")
+		}
+		if get(rows, "slow_count") != 1 {
+			t.Errorf("induced fault produced %v slow traces, want 1", get(rows, "slow_count"))
+		}
+		if get(rows, "slow_isolated") != 1 {
+			t.Error("slow-query log did not blame the delayed server")
+		}
+		if get(rows, "metric_points") <= 0 {
+			t.Error("deployment registry exported no metric points")
+		}
+	})
 	t.Run("E18", func(t *testing.T) {
 		rows := E18(12_000)
 		if r := get(rows, "rows_reduction"); r < 10 {
@@ -222,7 +237,7 @@ func TestAllListsEverything(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15", "E16", "E17", "E18", "E19", "E20"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22"} {
 		if !ids[want] {
 			t.Errorf("experiment %s missing from AllWithIntegration", want)
 		}

@@ -7,7 +7,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/sqlparse"
 )
@@ -19,8 +21,13 @@ type Result struct {
 	// Stats aggregates connector-side and backend execution statistics.
 	Stats QueryStats
 	// Plan holds one line per table scan describing the pushdown and
-	// routing decisions taken — the payload of sqlshell's EXPLAIN.
+	// routing decisions taken — the payload of sqlshell's EXPLAIN. When the
+	// engine has a Tracer, each line also carries the scan's elapsed time.
 	Plan []string
+	// Trace is the finished span tree of this query when the engine has a
+	// Tracer (fedsql.query → scan → broker.execute → ... down to
+	// segment.scan) — the payload of sqlshell's EXPLAIN ANALYZE.
+	Trace *obs.TraceSummary
 }
 
 // Records converts the result rows into records keyed by column name.
@@ -47,13 +54,33 @@ type Engine struct {
 	defaultCat string
 	// Logf, when set, receives one diagnostic line per pushdown fallback
 	// (an aggregate query a connector could not absorb). Fallbacks are
-	// counted in QueryStats.PushdownFallbacks regardless.
+	// counted in QueryStats.PushdownFallbacks regardless. Logf is the
+	// legacy compatibility sink: structured diagnostics flow through Log,
+	// and each event is also formatted onto Logf so existing consumers
+	// keep seeing one line per fallback.
 	Logf func(format string, args ...any)
+	// Log, when set, receives structured events (level + key/value fields)
+	// for the same diagnostics Logf renders as text.
+	Log *obs.Logger
+	// Tracer, when set, opens a fedsql.query root span per query; connector
+	// scans and the backend broker pipeline record child spans, and the
+	// finished tree is attached to Result.Trace.
+	Tracer *obs.Tracer
 }
 
-func (e *Engine) logf(format string, args ...any) {
+// event emits one structured diagnostic through the obs logger and renders
+// the same fact onto the legacy Logf sink.
+func (e *Engine) event(level obs.Level, msg string, legacy string, fields ...obs.Field) {
+	switch level {
+	case obs.LevelWarn:
+		e.Log.Warn(msg, fields...)
+	case obs.LevelError:
+		e.Log.Error(msg, fields...)
+	default:
+		e.Log.Info(msg, fields...)
+	}
 	if e.Logf != nil {
-		e.Logf(format, args...)
+		e.Logf("%s", legacy)
 	}
 }
 
@@ -103,7 +130,27 @@ func (e *Engine) QueryCtx(ctx context.Context, sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.execute(ctx, stmt)
+	// Trace wiring: own a fedsql.query root unless the caller's context
+	// already carries a span (then the query nests under it and the owner
+	// finishes the trace).
+	var root obs.Span
+	if e.Tracer != nil && !obs.SpanFromContext(ctx).Active() {
+		root = e.Tracer.StartTrace("fedsql.query")
+		ctx = obs.ContextWithSpan(ctx, root)
+	}
+	res, err := e.execute(ctx, stmt)
+	if root.Active() {
+		if err != nil {
+			root.SetAttr("error", err.Error())
+		} else {
+			root.SetRows(int64(len(res.Rows)))
+		}
+		sum := e.Tracer.FinishTraceSummary(root)
+		if err == nil {
+			res.Trace = sum
+		}
+	}
+	return res, err
 }
 
 // relation is an intermediate result: named rows plus the predicates the
@@ -249,12 +296,16 @@ func (e *Engine) scanTable(ctx context.Context, ref *sqlparse.TableRef, stmt *sq
 			if caps.Limit && (len(stmt.OrderBy) == 0 || len(aq.OrderBy) > 0) {
 				aq.Limit = stmt.Limit
 			}
-			rows, stats, err := conn.AggregateScan(ctx, ref.Name, aq)
+			sp, sctx := scanSpan(ctx, catalog, ref.Name, "aggregate-scan")
+			scanStart := time.Now()
+			rows, stats, err := conn.AggregateScan(sctx, ref.Name, aq)
+			elapsed := time.Since(scanStart)
+			endScanSpan(sp, rows, err)
 			if err == nil {
 				return &relation{
 					rows:       rows,
 					stats:      stats,
-					plan:       []string{planLine(catalog, ref.Name, "aggregate-scan", stats, 0)},
+					plan:       []string{planLine(catalog, ref.Name, "aggregate-scan", stats, 0, elapsed)},
 					aggregated: true,
 					ordered:    aq.Limit > 0 || len(aq.OrderBy) > 0,
 				}, nil
@@ -267,16 +318,23 @@ func (e *Engine) scanTable(ctx context.Context, ref *sqlparse.TableRef, stmt *sq
 		}
 		// Fallback: pull rows (with whatever filter pushdown the backend
 		// offers) and aggregate in the engine.
-		rows, stats, err := conn.Scan(ctx, ref.Name, Pushdown{Filters: pushFilters})
+		sp, sctx := scanSpan(ctx, catalog, ref.Name, "row-scan+engine-agg")
+		scanStart := time.Now()
+		rows, stats, err := conn.Scan(sctx, ref.Name, Pushdown{Filters: pushFilters})
+		elapsed := time.Since(scanStart)
+		endScanSpan(sp, rows, err)
 		if err != nil {
 			return nil, err
 		}
 		stats.PushdownFallbacks++
-		e.logf("fedsql: aggregate pushdown fallback for %s.%s (connector capabilities %+v)", catalog, ref.Name, caps)
+		e.event(obs.LevelWarn, "pushdown fallback",
+			fmt.Sprintf("fedsql: aggregate pushdown fallback for %s.%s (connector capabilities %+v)", catalog, ref.Name, caps),
+			obs.F("catalog", catalog), obs.F("table", ref.Name),
+			obs.F("fragment", "aggregate"), obs.F("capabilities", fmt.Sprintf("%+v", caps)))
 		return &relation{
 			rows:     rows,
 			stats:    stats,
-			plan:     []string{planLine(catalog, ref.Name, "row-scan+engine-agg", stats, len(residual))},
+			plan:     []string{planLine(catalog, ref.Name, "row-scan+engine-agg", stats, len(residual), elapsed)},
 			residual: residual,
 		}, nil
 	}
@@ -294,7 +352,11 @@ func (e *Engine) scanTable(ctx context.Context, ref *sqlparse.TableRef, stmt *sq
 			}
 		}
 	}
-	rows, stats, err := conn.Scan(ctx, ref.Name, pd)
+	sp, sctx := scanSpan(ctx, catalog, ref.Name, "row-scan")
+	scanStart := time.Now()
+	rows, stats, err := conn.Scan(sctx, ref.Name, pd)
+	elapsed := time.Since(scanStart)
+	endScanSpan(sp, rows, err)
 	if err != nil {
 		return nil, err
 	}
@@ -306,15 +368,39 @@ func (e *Engine) scanTable(ctx context.Context, ref *sqlparse.TableRef, stmt *sq
 	return &relation{
 		rows:     rows,
 		stats:    stats,
-		plan:     []string{planLine(catalog, ref.Name, "row-scan", stats, len(residual))},
+		plan:     []string{planLine(catalog, ref.Name, "row-scan", stats, len(residual), elapsed)},
 		residual: residual,
 		ordered:  ordered,
 	}, nil
 }
 
+// scanSpan opens the scan child span for one connector call (no-op without
+// a trace in ctx).
+func scanSpan(ctx context.Context, catalog, table, kind string) (obs.Span, context.Context) {
+	sp, sctx := obs.StartSpan(ctx, "scan")
+	if sp.Active() {
+		sp.SetAttr("catalog", catalog)
+		sp.SetAttr("table", table)
+		sp.SetAttr("kind", kind)
+	}
+	return sp, sctx
+}
+
+func endScanSpan(sp obs.Span, rows []record.Record, err error) {
+	if !sp.Active() {
+		return
+	}
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	} else {
+		sp.SetRows(int64(len(rows)))
+	}
+	sp.End()
+}
+
 // planLine renders one EXPLAIN line describing a table scan's pushdown and
-// routing decisions.
-func planLine(catalog, table, kind string, st QueryStats, residual int) string {
+// routing decisions, plus the scan's elapsed wall time.
+func planLine(catalog, table, kind string, st QueryStats, residual int, elapsed time.Duration) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "scan %s.%s [%s]", catalog, table, kind)
 	var pushed []string
@@ -375,6 +461,9 @@ func planLine(catalog, table, kind string, st QueryStats, residual int) string {
 		}
 	}
 	fmt.Fprintf(&b, " rows_moved=%d", st.RowsReturned)
+	if elapsed > 0 {
+		fmt.Fprintf(&b, " time=%s", elapsed.Round(time.Microsecond))
+	}
 	return b.String()
 }
 

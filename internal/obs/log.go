@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// Field is one structured key/value pair on an event.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Event is one structured log record.
+type Event struct {
+	Time   time.Time
+	Level  Level
+	Msg    string
+	Fields []Field
+}
+
+// Field returns the value for key, or nil.
+func (e Event) Field(key string) any {
+	for _, f := range e.Fields {
+		if f.Key == key {
+			return f.Value
+		}
+	}
+	return nil
+}
+
+// Format renders the event as "level msg key=value ...".
+func (e Event) Format() string {
+	var sb strings.Builder
+	sb.WriteString(e.Level.String())
+	sb.WriteByte(' ')
+	sb.WriteString(e.Msg)
+	for _, f := range e.Fields {
+		fmt.Fprintf(&sb, " %s=%v", f.Key, f.Value)
+	}
+	return sb.String()
+}
+
+// Logger is a small structured logger: events at or above the minimum level
+// go to the sink (if any) and into a bounded ring of recent events that
+// tests and debug tooling can inspect. A nil *Logger drops everything.
+type Logger struct {
+	min  Level
+	sink func(Event)
+
+	mu     sync.Mutex
+	recent []Event
+	pos    int
+	n      int
+}
+
+// NewLogger creates a logger keeping the last `recent` events (default 128)
+// and forwarding each kept event to sink (may be nil).
+func NewLogger(min Level, recent int, sink func(Event)) *Logger {
+	if recent <= 0 {
+		recent = 128
+	}
+	return &Logger{min: min, sink: sink, recent: make([]Event, recent)}
+}
+
+func (l *Logger) log(level Level, msg string, fields ...Field) {
+	if l == nil || level < l.min {
+		return
+	}
+	ev := Event{Time: time.Now(), Level: level, Msg: msg, Fields: fields}
+	l.mu.Lock()
+	l.recent[l.pos] = ev
+	l.pos = (l.pos + 1) % len(l.recent)
+	if l.n < len(l.recent) {
+		l.n++
+	}
+	sink := l.sink
+	l.mu.Unlock()
+	if sink != nil {
+		sink(ev)
+	}
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields...) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields...) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields...) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields...) }
+
+// Recent returns the retained events, oldest first.
+func (l *Logger) Recent() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.recent[(l.pos-l.n+i+len(l.recent))%len(l.recent)])
+	}
+	return out
+}

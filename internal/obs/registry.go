@@ -1,0 +1,444 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension (a Prometheus-style key/value pair).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; all methods are safe for concurrent use and nil-safe, so optional
+// instrumentation can hold an unbound handle at zero cost.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are a caller bug but are not rejected —
+// counters stay a single atomic).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous metric. Like Counter it is a single
+// atomic, concurrent- and nil-safe.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by a delta.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count: bucket i holds observations whose
+// nanosecond value has bit length i, i.e. [2^(i-1), 2^i). 40 buckets cover
+// 1ns through ~9 minutes — beyond any latency this repo measures.
+const histBuckets = 40
+
+// Histogram is a fixed-bucket latency histogram with base-2 exponential
+// buckets. Observe is one atomic add into a bucket selected by bits.Len64
+// (no floating point, no lock); quantiles are estimated by linear
+// interpolation inside the containing bucket, so an estimate is always
+// within one bucket width (a factor of 2) of the true value — and much
+// closer when observations cluster, as service latencies do. Nil-safe.
+type Histogram struct {
+	sum     atomic.Int64 // total observed nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper is bucket i's inclusive upper bound in nanoseconds.
+func bucketUpper(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return float64(^uint64(0) >> 1)
+	}
+	return float64(uint64(1)<<uint(i)) - 1
+}
+
+// bucketLower is bucket i's inclusive lower bound in nanoseconds.
+func bucketLower(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	return float64(uint64(1) << uint(i-1))
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in nanoseconds: the
+// containing bucket is found by cumulative rank and the position inside it
+// interpolated linearly. Returns 0 with no observations. The bucket counts
+// are read without a lock, so a concurrent snapshot is approximate — exactly
+// like scraping a live histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range counts {
+		if counts[i] == 0 {
+			continue
+		}
+		prev := cum
+		cum += counts[i]
+		if float64(cum) >= rank {
+			lo, hi := bucketLower(i), bucketUpper(i)
+			frac := (rank - float64(prev)) / float64(counts[i])
+			return lo + (hi-lo)*frac
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// metricMeta remembers a registered metric's identity for snapshots.
+type metricMeta struct {
+	name   string
+	labels []Label
+}
+
+// MetricPoint is one metric in a registry snapshot. For counters, gauges and
+// gauge funcs, Value carries the reading; for histograms, Count/SumNs carry
+// the totals and P50/P99/P999 the estimated quantiles in nanoseconds (Value
+// repeats Count so every point has a headline number).
+type MetricPoint struct {
+	Name   string
+	Labels []Label
+	Kind   string // "counter", "gauge", "histogram"
+	Value  float64
+	Count  int64
+	SumNs  float64
+	P50    float64
+	P99    float64
+	P999   float64
+}
+
+// Registry is a process-local metrics registry. Metric constructors are
+// get-or-create (the same name+labels always returns the same handle), so
+// layers can bind handles independently without coordinating; SetGaugeFunc
+// replaces, because gauge closures capture the component that registered
+// them and the newest component owns the reading (e.g. several brokers over
+// one deployment). The registry lock is taken only on registration and
+// snapshot — never by Inc/Observe.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
+	hists    map[string]*Histogram
+	meta     map[string]metricMeta
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() float64),
+		hists:    make(map[string]*Histogram),
+		meta:     make(map[string]metricMeta),
+	}
+}
+
+// metricKey canonicalizes name+labels (labels sorted by key) so the same
+// family member always resolves to the same handle regardless of label
+// order at the call site.
+func metricKey(name string, labels []Label) (string, []Label) {
+	if len(labels) == 0 {
+		return name, nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, l := range ls {
+		sb.WriteByte('|')
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+	}
+	return sb.String(), ls
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	key, ls := metricKey(name, labels)
+	r.mu.RLock()
+	c := r.counters[key]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[key]; c == nil {
+		c = &Counter{}
+		r.counters[key] = c
+		r.meta[key] = metricMeta{name: name, labels: ls}
+	}
+	return c
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	key, ls := metricKey(name, labels)
+	r.mu.RLock()
+	g := r.gauges[key]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[key]; g == nil {
+		g = &Gauge{}
+		r.gauges[key] = g
+		r.meta[key] = metricMeta{name: name, labels: ls}
+	}
+	return g
+}
+
+// Histogram returns the histogram for name+labels, creating it on first use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	key, ls := metricKey(name, labels)
+	r.mu.RLock()
+	h := r.hists[key]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[key]; h == nil {
+		h = &Histogram{}
+		r.hists[key] = h
+		r.meta[key] = metricMeta{name: name, labels: ls}
+	}
+	return h
+}
+
+// SetGaugeFunc registers (or replaces) a pull gauge: fn is evaluated only at
+// snapshot time, so it may take component locks freely — but must never call
+// back into a registry snapshot. Replacement semantics let a re-created
+// component (a second broker over the same deployment) take over a reading.
+func (r *Registry) SetGaugeFunc(name string, fn func() float64, labels ...Label) {
+	key, ls := metricKey(name, labels)
+	r.mu.Lock()
+	r.gaugeFns[key] = fn
+	r.meta[key] = metricMeta{name: name, labels: ls}
+	r.mu.Unlock()
+}
+
+// Snapshot reads every registered metric into a sorted point list — the
+// payload Deployment.MetricsSnapshot hands to bench/CI tooling. Gauge funcs
+// are evaluated outside the registry lock.
+func (r *Registry) Snapshot() []MetricPoint {
+	r.mu.RLock()
+	points := make([]MetricPoint, 0, len(r.counters)+len(r.gauges)+len(r.gaugeFns)+len(r.hists))
+	for key, c := range r.counters {
+		m := r.meta[key]
+		points = append(points, MetricPoint{Name: m.name, Labels: m.labels, Kind: "counter", Value: float64(c.Value())})
+	}
+	for key, g := range r.gauges {
+		m := r.meta[key]
+		points = append(points, MetricPoint{Name: m.name, Labels: m.labels, Kind: "gauge", Value: float64(g.Value())})
+	}
+	for key, h := range r.hists {
+		m := r.meta[key]
+		count := h.Count()
+		points = append(points, MetricPoint{
+			Name: m.name, Labels: m.labels, Kind: "histogram",
+			Value: float64(count), Count: count, SumNs: float64(h.Sum().Nanoseconds()),
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99), P999: h.Quantile(0.999),
+		})
+	}
+	type fnPoint struct {
+		meta metricMeta
+		fn   func() float64
+	}
+	fns := make([]fnPoint, 0, len(r.gaugeFns))
+	for key, fn := range r.gaugeFns {
+		fns = append(fns, fnPoint{r.meta[key], fn})
+	}
+	r.mu.RUnlock()
+	for _, p := range fns {
+		points = append(points, MetricPoint{Name: p.meta.name, Labels: p.meta.labels, Kind: "gauge", Value: p.fn()})
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].Name != points[j].Name {
+			return points[i].Name < points[j].Name
+		}
+		return labelString(points[i].Labels) < labelString(points[j].Labels)
+	})
+	return points
+}
+
+func labelString(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// labelStringLe renders labels with an extra le bound appended, for
+// histogram bucket lines.
+func labelStringLe(ls []Label, le string) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for _, l := range ls {
+		fmt.Fprintf(&sb, "%s=%q,", l.Key, l.Value)
+	}
+	fmt.Fprintf(&sb, "le=%q}", le)
+	return sb.String()
+}
+
+// WriteProm writes the registry in Prometheus text exposition style:
+// counters and gauges as single samples, histograms as cumulative
+// name_bucket{le="..."} series (le in nanoseconds, one bound per occupied
+// base-2 bucket) plus name_sum and name_count.
+func (r *Registry) WriteProm(w io.Writer) error {
+	points := r.Snapshot()
+	r.mu.RLock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for key, h := range r.hists {
+		m := r.meta[key]
+		hists[m.name+labelString(m.labels)] = h
+	}
+	r.mu.RUnlock()
+	for _, p := range points {
+		ls := labelString(p.Labels)
+		switch p.Kind {
+		case "counter", "gauge":
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", p.Name, ls, p.Value); err != nil {
+				return err
+			}
+		case "histogram":
+			h := hists[p.Name+ls]
+			if h == nil {
+				continue
+			}
+			var cum int64
+			for i := 0; i < histBuckets; i++ {
+				n := h.buckets[i].Load()
+				if n == 0 {
+					continue
+				}
+				cum += n
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, labelStringLe(p.Labels, fmt.Sprintf("%.0f", bucketUpper(i))), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, labelStringLe(p.Labels, "+Inf"), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n", p.Name, ls, p.SumNs, p.Name, ls, p.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

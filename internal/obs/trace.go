@@ -1,0 +1,504 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span attribute. Spans hold a small fixed number inline.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// maxSpanAttrs is the inline attribute capacity per span. Every
+// instrumentation site in the repo sets at most three (server name, cache
+// decision, error), so four avoids any per-span allocation.
+const maxSpanAttrs = 4
+
+// spanData is one node in a trace's flat span arena.
+type spanData struct {
+	name    string
+	parent  int32 // index into the arena; -1 for the root
+	start   time.Time
+	end     time.Time
+	rows    int64
+	bytes   int64
+	attrs   [maxSpanAttrs]Attr
+	nattrs  int8
+	ended   bool
+	dropped int32 // children not recorded because the arena was full
+}
+
+// maxSpansPerTrace bounds a single trace's arena so a query fanning out over
+// thousands of segments cannot balloon a pooled trace. Overflowing children
+// are counted on their parent instead of recorded.
+const maxSpansPerTrace = 256
+
+// trace is the mutable per-query record. It is recycled through the tracer's
+// pool; gen is bumped on every recycle so stale Span handles become no-ops.
+type trace struct {
+	mu    sync.Mutex
+	gen   uint32
+	spans []spanData
+}
+
+// Span is a value-type handle onto one span of one trace. The zero Span is
+// inert: every method is a no-op and Active reports false, so call sites can
+// instrument unconditionally. A Span whose trace has since been finished and
+// recycled (a scatter goroutine outliving an early-terminated query) is
+// detected by the generation stamp and likewise degrades to a no-op.
+type Span struct {
+	t   *trace
+	tr  *Tracer
+	i   int32
+	gen uint32
+}
+
+// Active reports whether the handle refers to a live trace.
+func (s Span) Active() bool { return s.t != nil }
+
+// live must be called with s.t.mu held.
+func (s Span) live() bool { return s.gen == s.t.gen && int(s.i) < len(s.t.spans) }
+
+// Child starts a sub-span under s. Returns an inert Span if s is inert, the
+// trace has been recycled, or the arena is full (the drop is counted on s).
+func (s Span) Child(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if !s.live() {
+		return Span{}
+	}
+	if len(s.t.spans) >= maxSpansPerTrace {
+		s.t.spans[s.i].dropped++
+		return Span{}
+	}
+	idx := int32(len(s.t.spans))
+	s.t.spans = append(s.t.spans, spanData{name: name, parent: s.i, start: time.Now()})
+	return Span{t: s.t, tr: s.tr, i: idx, gen: s.gen}
+}
+
+// End closes the span. Idempotent; safe on inert and stale handles.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.live() && !s.t.spans[s.i].ended {
+		s.t.spans[s.i].ended = true
+		s.t.spans[s.i].end = time.Now()
+	}
+	s.t.mu.Unlock()
+}
+
+// SetRows records the row count attributed to the span.
+func (s Span) SetRows(n int64) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.live() {
+		s.t.spans[s.i].rows = n
+	}
+	s.t.mu.Unlock()
+}
+
+// AddRows adds to the span's row count (for per-batch accumulation).
+func (s Span) AddRows(n int64) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.live() {
+		s.t.spans[s.i].rows += n
+	}
+	s.t.mu.Unlock()
+}
+
+// SetBytes records the byte count attributed to the span.
+func (s Span) SetBytes(n int64) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.live() {
+		s.t.spans[s.i].bytes = n
+	}
+	s.t.mu.Unlock()
+}
+
+// SetAttr records a key/value attribute; silently dropped past the inline
+// capacity. Setting an existing key overwrites it.
+func (s Span) SetAttr(key, value string) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.live() {
+		sd := &s.t.spans[s.i]
+		for j := 0; j < int(sd.nattrs); j++ {
+			if sd.attrs[j].Key == key {
+				sd.attrs[j].Value = value
+				s.t.mu.Unlock()
+				return
+			}
+		}
+		if int(sd.nattrs) < maxSpanAttrs {
+			sd.attrs[sd.nattrs] = Attr{Key: key, Value: value}
+			sd.nattrs++
+		}
+	}
+	s.t.mu.Unlock()
+}
+
+// SpanSummary is one immutable span in a finished trace.
+type SpanSummary struct {
+	Name     string
+	Parent   int           // index into TraceSummary.Spans; -1 for the root
+	Offset   time.Duration // start relative to the trace start
+	Duration time.Duration
+	Rows     int64
+	Bytes    int64
+	Attrs    []Attr
+	Dropped  int // children not recorded (arena overflow)
+}
+
+// TraceSummary is the immutable record of one finished query, stored in the
+// tracer's recent/slow rings and attached to fedsql results.
+type TraceSummary struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Spans    []SpanSummary // index 0 is the root; children follow parents
+}
+
+// Find returns the first span with the given name, or nil.
+func (ts *TraceSummary) Find(name string) *SpanSummary {
+	if ts == nil {
+		return nil
+	}
+	for i := range ts.Spans {
+		if ts.Spans[i].Name == name {
+			return &ts.Spans[i]
+		}
+	}
+	return nil
+}
+
+// Slowest returns the longest span with the given name, or nil.
+func (ts *TraceSummary) Slowest(name string) *SpanSummary {
+	if ts == nil {
+		return nil
+	}
+	var best *SpanSummary
+	for i := range ts.Spans {
+		if ts.Spans[i].Name == name && (best == nil || ts.Spans[i].Duration > best.Duration) {
+			best = &ts.Spans[i]
+		}
+	}
+	return best
+}
+
+// Render formats the span tree, one span per line, indented by depth:
+//
+//	broker.execute cache=miss (1.234ms) rows=12
+//	  route (12µs)
+//	  server.scan server=s0 (800µs) rows=5000
+//
+// Durations are rounded to the microsecond; zero row/byte counts are
+// omitted. Children print in start order under their parent.
+func (ts *TraceSummary) Render() string {
+	if ts == nil || len(ts.Spans) == 0 {
+		return ""
+	}
+	children := make([][]int, len(ts.Spans))
+	roots := []int{}
+	for i := range ts.Spans {
+		p := ts.Spans[i].Parent
+		if p < 0 {
+			roots = append(roots, i)
+		} else {
+			children[p] = append(children[p], i)
+		}
+	}
+	for _, c := range children {
+		sort.Slice(c, func(a, b int) bool { return ts.Spans[c[a]].Offset < ts.Spans[c[b]].Offset })
+	}
+	var sb strings.Builder
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		sp := &ts.Spans[i]
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(sp.Name)
+		for _, a := range sp.Attrs {
+			fmt.Fprintf(&sb, " %s=%s", a.Key, a.Value)
+		}
+		fmt.Fprintf(&sb, " (%s)", sp.Duration.Round(time.Microsecond))
+		if sp.Rows > 0 {
+			fmt.Fprintf(&sb, " rows=%d", sp.Rows)
+		}
+		if sp.Bytes > 0 {
+			fmt.Fprintf(&sb, " bytes=%d", sp.Bytes)
+		}
+		if sp.Dropped > 0 {
+			fmt.Fprintf(&sb, " dropped=%d", sp.Dropped)
+		}
+		sb.WriteByte('\n')
+		for _, c := range children[i] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return sb.String()
+}
+
+// TracerConfig configures a Tracer. Zero values get sane defaults.
+type TracerConfig struct {
+	Recent        int           // recent-trace ring capacity (default 64)
+	Slow          int           // slow-trace ring capacity (default 32)
+	SlowThreshold time.Duration // 0 disables the slow-query log
+	Hist          *Histogram    // optional: root duration observed here
+}
+
+// ringSlot is one reused ring entry holding a finished trace's raw spans.
+// FinishTrace copies into the slot's backing array in place (no steady-state
+// allocation on the hot path); Recent/Slow materialize TraceSummary values
+// from the slots on demand — the rare human-driven read pays instead of
+// every query.
+type ringSlot struct {
+	spans []spanData
+}
+
+// Tracer owns trace lifecycle: a sync.Pool of recycled traces, the bounded
+// ring of recent finished traces, and the threshold-gated slow-query ring.
+// A nil *Tracer is valid and disables tracing entirely.
+type Tracer struct {
+	cfg       TracerConfig
+	pool      sync.Pool
+	slowCount atomic.Int64
+
+	mu        sync.Mutex
+	recent    []ringSlot // ring
+	recentPos int
+	recentN   int
+	slow      []ringSlot // ring
+	slowPos   int
+	slowN     int
+}
+
+// NewTracer creates a tracer.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Recent <= 0 {
+		cfg.Recent = 64
+	}
+	if cfg.Slow <= 0 {
+		cfg.Slow = 32
+	}
+	tr := &Tracer{cfg: cfg}
+	tr.pool.New = func() any {
+		return &trace{spans: make([]spanData, 0, 16)}
+	}
+	tr.recent = make([]ringSlot, cfg.Recent)
+	tr.slow = make([]ringSlot, cfg.Slow)
+	return tr
+}
+
+// StartTrace begins a new trace whose root span has the given name. Returns
+// an inert Span on a nil tracer. The caller must eventually call FinishTrace
+// on the returned root.
+func (tr *Tracer) StartTrace(name string) Span {
+	if tr == nil {
+		return Span{}
+	}
+	t := tr.pool.Get().(*trace)
+	t.mu.Lock()
+	t.spans = append(t.spans[:0], spanData{name: name, parent: -1, start: time.Now()})
+	gen := t.gen
+	t.mu.Unlock()
+	return Span{t: t, tr: tr, i: 0, gen: gen}
+}
+
+// FinishTrace ends the root (and any unended spans), records the trace into
+// the recent ring — and the slow ring when the root duration crosses the
+// threshold — observes the configured histogram, bumps the trace generation
+// and recycles the trace. Must be called on the root Span returned by
+// StartTrace. The hot path builds no summary (ring slots reuse their backing
+// arrays); callers that need the summary use FinishTraceSummary.
+func (tr *Tracer) FinishTrace(root Span) {
+	tr.finish(root, false)
+}
+
+// FinishTraceSummary is FinishTrace plus a materialized summary of the
+// finished trace, for callers that attach it to a result (fedsql). Returns
+// nil on inert or stale handles.
+func (tr *Tracer) FinishTraceSummary(root Span) *TraceSummary {
+	return tr.finish(root, true)
+}
+
+func (tr *Tracer) finish(root Span, wantSummary bool) *TraceSummary {
+	if tr == nil || root.t == nil {
+		return nil
+	}
+	t := root.t
+	t.mu.Lock()
+	if root.gen != t.gen || len(t.spans) == 0 {
+		t.mu.Unlock()
+		return nil
+	}
+	now := time.Now()
+	for i := range t.spans {
+		if !t.spans[i].ended {
+			t.spans[i].ended = true
+			t.spans[i].end = now
+		}
+	}
+	dur := t.spans[0].end.Sub(t.spans[0].start)
+	var sum *TraceSummary
+	if wantSummary {
+		sum = summarize(t.spans)
+	}
+	slow := tr.cfg.SlowThreshold > 0 && dur >= tr.cfg.SlowThreshold
+	// Lock order: t.mu then tr.mu (taken together nowhere else). The copy
+	// must happen before the trace is recycled.
+	tr.mu.Lock()
+	tr.recentPos, tr.recentN = ringStore(tr.recent, tr.recentPos, tr.recentN, t.spans)
+	if slow {
+		tr.slowPos, tr.slowN = ringStore(tr.slow, tr.slowPos, tr.slowN, t.spans)
+	}
+	tr.mu.Unlock()
+	t.gen++ // stale handles held by outliving goroutines become no-ops
+	t.mu.Unlock()
+	tr.pool.Put(t)
+
+	tr.cfg.Hist.Observe(dur)
+	if slow {
+		tr.slowCount.Add(1)
+	}
+	return sum
+}
+
+// ringStore copies spans into the ring's current slot, reusing its backing
+// array, and returns the advanced position and fill count. Caller holds tr.mu.
+func ringStore(ring []ringSlot, pos, n int, spans []spanData) (int, int) {
+	ring[pos].spans = append(ring[pos].spans[:0], spans...)
+	pos = (pos + 1) % len(ring)
+	if n < len(ring) {
+		n++
+	}
+	return pos, n
+}
+
+// summarize materializes the immutable summary of a finished span arena.
+// All span attributes share one backing allocation.
+func summarize(spans []spanData) *TraceSummary {
+	start := spans[0].start
+	sum := &TraceSummary{
+		Name:     spans[0].name,
+		Start:    start,
+		Duration: spans[0].end.Sub(start),
+		Spans:    make([]SpanSummary, len(spans)),
+	}
+	nattrs := 0
+	for i := range spans {
+		nattrs += int(spans[i].nattrs)
+	}
+	backing := make([]Attr, 0, nattrs)
+	for i := range spans {
+		sd := &spans[i]
+		ss := SpanSummary{
+			Name:     sd.name,
+			Parent:   int(sd.parent),
+			Offset:   sd.start.Sub(start),
+			Duration: sd.end.Sub(sd.start),
+			Rows:     sd.rows,
+			Bytes:    sd.bytes,
+			Dropped:  int(sd.dropped),
+		}
+		if sd.nattrs > 0 {
+			off := len(backing)
+			backing = append(backing, sd.attrs[:sd.nattrs]...)
+			ss.Attrs = backing[off:len(backing):len(backing)]
+		}
+		sum.Spans[i] = ss
+	}
+	return sum
+}
+
+// ringSnapshot materializes a ring's traces oldest-first. Caller holds tr.mu.
+func ringSnapshot(ring []ringSlot, pos, n int) []*TraceSummary {
+	out := make([]*TraceSummary, 0, n)
+	for i := 0; i < n; i++ {
+		slot := &ring[(pos-n+i+len(ring))%len(ring)]
+		out = append(out, summarize(slot.spans))
+	}
+	return out
+}
+
+// Recent returns the finished traces still in the ring, oldest first.
+func (tr *Tracer) Recent() []*TraceSummary {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return ringSnapshot(tr.recent, tr.recentPos, tr.recentN)
+}
+
+// Slow returns the slow-query log, oldest first.
+func (tr *Tracer) Slow() []*TraceSummary {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return ringSnapshot(tr.slow, tr.slowPos, tr.slowN)
+}
+
+// SlowCount returns the total number of traces that crossed the slow
+// threshold (including ones since evicted from the ring).
+func (tr *Tracer) SlowCount() int64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.slowCount.Load()
+}
+
+// ctxKey is the context key for the current span.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the current span.
+func ContextWithSpan(ctx context.Context, sp Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanFromContext returns the current span, or an inert Span.
+func SpanFromContext(ctx context.Context) Span {
+	sp, _ := ctx.Value(ctxKey{}).(Span)
+	return sp
+}
+
+// StartSpan opens a child of the context's current span and returns it plus
+// a derived context carrying it. With no span in ctx this is a no-op: the
+// returned Span is inert and ctx is returned unchanged — the disabled-path
+// cost is one value lookup.
+func StartSpan(ctx context.Context, name string) (Span, context.Context) {
+	parent := SpanFromContext(ctx)
+	if parent.t == nil {
+		return Span{}, ctx
+	}
+	child := parent.Child(name)
+	if child.t == nil {
+		return Span{}, ctx
+	}
+	return child, ContextWithSpan(ctx, child)
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/olap/qcache"
 )
 
@@ -90,6 +91,9 @@ func (b *Broker) executeShared(ctx context.Context, req *QueryRequest, q *Query,
 	// hit never fills the cache: the same shape must not be double-served.
 	if b.views != nil && req.Consistency == ConsistencyFull {
 		if resp, stale, ok := b.views.ServeView(viewKey(b.d.cfg.Name, q)); ok {
+			// Recorded as a root attribute, not a child span: the view path
+			// answers at hit latency and must stay inside the overhead budget.
+			obs.SpanFromContext(ctx).SetAttr("view", "hit")
 			return b.respondView(resp, stale), nil
 		}
 	}
@@ -117,8 +121,12 @@ func (b *Broker) executeShared(ctx context.Context, req *QueryRequest, q *Query,
 	cacheable := b.cache != nil && req.Consistency == ConsistencyFull
 	if cacheable {
 		if v, ok := b.cache.Get(key, gen); ok {
+			// A root attribute, not a child span: the hit path is the
+			// obs_overhead budget (instrumented p50 within 5% of plain).
+			obs.SpanFromContext(ctx).SetAttr("cache", "hit")
 			return b.respond(v.(*QueryResponse), true, false, false), nil
 		}
+		obs.SpanFromContext(ctx).SetAttr("cache", "miss")
 	}
 
 	// queued/lateHit are only written by the exec closure, which runs in
@@ -168,6 +176,9 @@ func (b *Broker) executeShared(ctx context.Context, req *QueryRequest, q *Query,
 	fkey := key + "|g" + strconv.FormatInt(gen, 10)
 	for attempt := 0; ; attempt++ {
 		v, shared, err := b.flight.Do(ctx, fkey, exec)
+		if shared {
+			obs.SpanFromContext(ctx).SetAttr("coalesced", "true")
+		}
 		if err != nil {
 			// A follower must not inherit the leader's private deadline:
 			// the flight key deliberately excludes Timeout, so a
@@ -192,7 +203,12 @@ func (b *Broker) executeShared(ctx context.Context, req *QueryRequest, q *Query,
 // the execution waited for a slot.
 func (b *Broker) executeAdmitted(ctx context.Context, req *QueryRequest, q *Query, router Router, queuedOut *bool) (*QueryResponse, error) {
 	if b.admit != nil {
+		sp, _ := obs.StartSpan(ctx, "admission.queue")
 		release, queued, err := b.admit.AcquireSlot(ctx)
+		if queued {
+			sp.SetAttr("queued", "true")
+		}
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("olap: %w", err)
 		}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/objstore"
+	"repro/internal/obs"
 	"repro/internal/olap/qcache"
 	"repro/internal/record"
 )
@@ -58,6 +59,16 @@ type Server struct {
 	down     bool
 	loader   func(name string) (*Segment, error)
 	reloads  int64
+
+	// scanDelay is a fault-injection hook: a per-segment-scan sleep applied
+	// inside the timed scan window, so the slow-query log attributes the
+	// induced latency to this server's segment.scan spans (E22).
+	scanDelay atomic.Int64
+
+	// scanHist/reloadHist are bound by the owning deployment's registry
+	// (labels server=name); nil-safe when the server is used standalone.
+	scanHist   *obs.Histogram
+	reloadHist *obs.Histogram
 }
 
 // NewServer creates an empty server.
@@ -71,6 +82,21 @@ func NewServer(name string) *Server {
 
 // Name returns the server name.
 func (s *Server) Name() string { return s.name }
+
+// SetScanDelay injects a per-segment-scan delay (0 clears it). The sleep
+// happens inside the timed scan window, so tracing attributes it to this
+// server's segment.scan spans — the fault E22 isolates via the slow-query
+// log.
+func (s *Server) SetScanDelay(d time.Duration) { s.scanDelay.Store(int64(d)) }
+
+// bindMetrics attaches this server's latency histograms to a registry.
+// Called by NewDeployment before traffic; replaces any previous binding.
+func (s *Server) bindMetrics(reg *obs.Registry) {
+	s.mu.Lock()
+	s.scanHist = reg.Histogram("olap_segment_scan_ns", obs.Label{Key: "server", Value: s.name})
+	s.reloadHist = reg.Histogram("olap_segment_reload_ns", obs.Label{Key: "server", Value: s.name})
+	s.mu.Unlock()
+}
 
 // SetDown injects or clears a server failure.
 func (s *Server) SetDown(down bool) {
@@ -299,7 +325,9 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 		valids = append(valids, cloneValid(s.valid[name])) // nil when fully valid
 	}
 	loader := s.loader
+	scanHist, reloadHist := s.scanHist, s.reloadHist
 	s.mu.RUnlock()
+	parentSpan := obs.SpanFromContext(ctx)
 
 	// Transparent reload of offloaded segments, outside the server lock
 	// (the deep store may be slow or down). A reload failure fails only
@@ -313,10 +341,12 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 		if loader == nil {
 			return nil, fmt.Errorf("%w: %s offloaded on %s with no loader", ErrSegmentUnavailable, name, s.name)
 		}
+		reloadStart := time.Now()
 		seg, err := loader(name)
 		if err != nil {
 			return nil, fmt.Errorf("%w: reloading %s on %s: %v", ErrSegmentUnavailable, name, s.name, err)
 		}
+		reloadHist.Observe(time.Since(reloadStart))
 		s.mu.Lock()
 		if h, ok := s.segments[name]; ok && h.seg == nil {
 			h.seg = seg
@@ -345,6 +375,32 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 	acc.stats.SegmentsPruned = pruned
 	acc.stats.SegmentsReloaded = reloaded
 	acc.stats.SegmentsSkipped = skipped
+	// scanSegment runs one segment scan with the fault-injection delay,
+	// latency histogram and (when the query carries a trace) a segment.scan
+	// span — the delay sleeps inside the timed window so slow-query capture
+	// attributes it to this scan.
+	scanSegment := func(seg *Segment, valid *Bitmap) (*Partial, error) {
+		sp := parentSpan.Child("segment.scan")
+		start := time.Now()
+		if delay := s.scanDelay.Load(); delay > 0 {
+			time.Sleep(time.Duration(delay))
+		}
+		p, err := seg.executePartialTrim(q, valid, tp)
+		scanHist.Observe(time.Since(start))
+		if sp.Active() {
+			sp.SetAttr("segment", seg.Name)
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			} else {
+				sp.SetRows(p.stats.RowsScanned)
+				if p.stats.StarTreeServed > 0 {
+					sp.SetAttr("path", "startree")
+				}
+			}
+			sp.End()
+		}
+		return p, err
+	}
 	// finish applies the server-level trim to the merged partial — the same
 	// bound the segments used, so at most groupK groups / rowK rows cross
 	// the server→broker boundary — and records what actually shipped.
@@ -365,7 +421,7 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			p, err := seg.executePartialTrim(q, valids[i], tp)
+			p, err := scanSegment(seg, valids[i])
 			if err != nil {
 				return nil, err
 			}
@@ -394,7 +450,7 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 				if i >= len(segs) || ctx.Err() != nil {
 					return
 				}
-				p, err := segs[i].executePartialTrim(q, valids[i], tp)
+				p, err := scanSegment(segs[i], valids[i])
 				if err != nil {
 					errs <- err
 					return
@@ -531,6 +587,14 @@ type Deployment struct {
 	hooks []func(ViewMutation)
 
 	asyncWG sync.WaitGroup
+
+	// metrics is the deployment's registry; every layer (broker, lifecycle,
+	// ingester, matviews) binds its handles and gauge funcs here, and
+	// MetricsSnapshot is what bench/CI tooling reads. Handles below are
+	// bound once in NewDeployment and used lock-free on the hot paths.
+	metrics    *obs.Registry
+	ingestRows *obs.Counter
+	sealHist   *obs.Histogram
 }
 
 // ViewMutation describes one visible-data mutation, delivered to mutation
@@ -608,7 +672,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	if tcfg.Replicas > len(cfg.Servers) {
 		return nil, fmt.Errorf("olap: %d replicas > %d servers", tcfg.Replicas, len(cfg.Servers))
 	}
-	return &Deployment{
+	d := &Deployment{
 		cfg:            tcfg,
 		servers:        cfg.Servers,
 		store:          cfg.SegmentStore,
@@ -621,8 +685,34 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		segMeta:        make(map[string]*segMeta),
 		compactSeq:     make(map[int]int),
 		partitionOwner: make(map[int]int),
-	}, nil
+		metrics:        obs.NewRegistry(),
+	}
+	d.ingestRows = d.metrics.Counter("olap_ingest_rows_total")
+	d.sealHist = d.metrics.Histogram("olap_seal_ns")
+	for _, s := range cfg.Servers {
+		s.bindMetrics(d.metrics)
+	}
+	d.metrics.SetGaugeFunc("olap_table_generation", func() float64 {
+		return float64(d.gen.Load())
+	})
+	d.metrics.SetGaugeFunc("olap_upload_errors_total", func() float64 {
+		_, _, uploadErrors := d.Stats()
+		return float64(uploadErrors)
+	})
+	d.metrics.SetGaugeFunc("olap_sealed_segments_total", func() float64 {
+		_, sealed, _ := d.Stats()
+		return float64(sealed)
+	})
+	return d, nil
 }
+
+// Metrics returns the deployment's metrics registry, the binding point for
+// every layer's counters, gauges and histograms.
+func (d *Deployment) Metrics() *obs.Registry { return d.metrics }
+
+// MetricsSnapshot reads every registered metric — the payload bench/CI
+// tooling and the SLO harness consume.
+func (d *Deployment) MetricsSnapshot() []obs.MetricPoint { return d.metrics.Snapshot() }
 
 // Table returns the deployment's table config.
 func (d *Deployment) Table() TableConfig { return d.cfg }
@@ -689,6 +779,7 @@ func (d *Deployment) Ingest(partition int, r record.Record) error {
 		ms.add(conformed)
 	}
 	d.ingested++
+	d.ingestRows.Inc()
 	d.lastIngestNanos = time.Now().UnixNano()
 	needSeal := len(ms.rows) >= d.cfg.SegmentRows
 	// The bump (and hook delivery) happens inside the same critical section
@@ -719,12 +810,14 @@ func (d *Deployment) segmentName(partition, seq int) string {
 // batch (the future segment name is already in the location map) and are
 // applied to the replicas' validity bitmaps at swap time.
 func (d *Deployment) Seal(partition int) error {
+	sealStart := time.Now()
 	d.mu.Lock()
 	ms, ok := d.consuming[partition]
 	if !ok || len(ms.rows) == 0 {
 		d.mu.Unlock()
 		return nil
 	}
+	defer func() { d.sealHist.Observe(time.Since(sealStart)) }()
 	delete(d.consuming, partition)
 	seq := d.segSeq[partition]
 	d.segSeq[partition] = seq + 1
@@ -1052,6 +1145,13 @@ type BrokerOptions struct {
 	// Typically a *matview.Registry over the same deployment. Nil disables
 	// view serving.
 	Views ViewServer
+	// Tracer enables per-query span tracing: Execute opens a broker.execute
+	// root (unless the caller's context already carries a span — the fedsql
+	// case — in which case it nests under it), the scatter/merge phases
+	// record child spans, and finished traces land in the tracer's recent
+	// ring and slow-query log. Nil disables tracing; the disabled-path cost
+	// is a nil check per query.
+	Tracer *obs.Tracer
 }
 
 // NewBroker creates a broker over a deployment with default options
@@ -1064,9 +1164,21 @@ func NewBrokerWithOptions(d *Deployment, opts BrokerOptions) *Broker {
 	if opts.CacheMaxBytes > 0 {
 		b.cache = qcache.NewCache(opts.CacheMaxBytes)
 		b.flight = qcache.NewGroup()
+		// Pull gauges over the cache: SetGaugeFunc replaces, so the newest
+		// broker over a deployment owns the reading (E20 builds several).
+		reg, cache, flight := d.Metrics(), b.cache, b.flight
+		reg.SetGaugeFunc("qcache_hits_total", func() float64 { return float64(cache.Stats().Hits) })
+		reg.SetGaugeFunc("qcache_misses_total", func() float64 { return float64(cache.Stats().Misses) })
+		reg.SetGaugeFunc("qcache_evictions_total", func() float64 { return float64(cache.Stats().Evictions) })
+		reg.SetGaugeFunc("qcache_entries", func() float64 { return float64(cache.Stats().Entries) })
+		reg.SetGaugeFunc("qcache_bytes", func() float64 { return float64(cache.Bytes()) })
+		reg.SetGaugeFunc("qcache_coalesced_total", func() float64 { return float64(flight.Coalesced()) })
 	}
 	if opts.Admission != nil {
 		b.admit = qcache.NewAdmission(*opts.Admission)
+		reg, admit := d.Metrics(), b.admit
+		reg.SetGaugeFunc("admission_shed_total", func() float64 { return float64(admit.Stats().Shed) })
+		reg.SetGaugeFunc("admission_queue_len", func() float64 { return float64(admit.Stats().QueueLen) })
 	}
 	b.views = opts.Views
 	return b

@@ -53,6 +53,15 @@ func NewRealtimeIngester(cluster *stream.Cluster, topic string, codec *record.Co
 		}
 		ri.positions[i].Store(low)
 	}
+	// Ingestion health as pull gauges on the deployment registry: the rate
+	// counter (olap_ingest_rows_total) is already maintained by Ingest; lag
+	// and errors are sampled at snapshot time.
+	reg := d.Metrics()
+	reg.SetGaugeFunc("ingest_lag_rows", func() float64 { return float64(ri.Lag()) })
+	reg.SetGaugeFunc("ingest_errors_total", func() float64 {
+		n, _ := ri.Errors()
+		return float64(n)
+	})
 	return ri, nil
 }
 

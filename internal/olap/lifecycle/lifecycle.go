@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/olap"
 )
 
@@ -84,6 +85,11 @@ type Manager struct {
 	mu    sync.Mutex
 	stats Stats
 
+	// offloadHist/compactHist record policy-action durations on the
+	// deployment registry; bound once in New.
+	offloadHist *obs.Histogram
+	compactHist *obs.Histogram
+
 	startOnce sync.Once
 	stopOnce  sync.Once
 	stop      chan struct{}
@@ -94,12 +100,28 @@ type Manager struct {
 // loaders that make offloaded segments transparently queryable.
 func New(d *olap.Deployment, cfg Config) *Manager {
 	d.AttachLoaders()
-	return &Manager{
+	m := &Manager{
 		d:    d,
 		cfg:  cfg.withDefaults(d.Table()),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	reg := d.Metrics()
+	m.offloadHist = reg.Histogram("lifecycle_offload_ns")
+	m.compactHist = reg.Histogram("lifecycle_compact_ns")
+	reg.SetGaugeFunc("lifecycle_hot_segments", func() float64 {
+		hot := 0
+		for _, info := range d.SegmentInfos() {
+			if info.Resident > 0 {
+				hot++
+			}
+		}
+		return float64(hot)
+	})
+	reg.SetGaugeFunc("lifecycle_offloaded_total", func() float64 { return float64(m.Stats().Offloaded) })
+	reg.SetGaugeFunc("lifecycle_expired_total", func() float64 { return float64(m.Stats().Expired) })
+	reg.SetGaugeFunc("lifecycle_compactions_total", func() float64 { return float64(m.Stats().Compactions) })
+	return m
 }
 
 // Start launches the background sweep loop.
@@ -204,11 +226,13 @@ func (m *Manager) sweepCompaction() {
 		if len(names) > m.cfg.CompactBatch {
 			names = names[:m.cfg.CompactBatch]
 		}
+		compactStart := time.Now()
 		res, err := m.d.Compact(names)
 		if err != nil {
 			m.fail(err)
 			continue
 		}
+		m.compactHist.Observe(time.Since(compactStart))
 		m.bump(func(s *Stats) {
 			s.Compactions++
 			s.CompactedSegments += int64(len(res.Dropped))
@@ -239,12 +263,14 @@ func (m *Manager) sweepTiering() {
 		return resident[i].Name < resident[j].Name
 	})
 	for _, info := range resident[:over] {
+		offloadStart := time.Now()
 		if _, err := m.d.OffloadSegment(info.Name); err != nil {
 			// Deep store down: leave every remaining segment hot — never
 			// drop data without a durable copy.
 			m.fail(err)
 			return
 		}
+		m.offloadHist.Observe(time.Since(offloadStart))
 		m.bump(func(s *Stats) { s.Offloaded++ })
 	}
 }

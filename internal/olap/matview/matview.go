@@ -111,7 +111,55 @@ func NewRegistry(d *olap.Deployment, cfg Config) *Registry {
 		views:  make(map[string]*View),
 	}
 	d.AddMutationHook(r.onMutation)
+	// Pull gauges on the deployment registry: view counters plus the two
+	// maintenance-health signals (undrained mutation backlog, worst-case
+	// staleness of any dirty view). Evaluated only at snapshot time.
+	reg := d.Metrics()
+	reg.SetGaugeFunc("matview_views", func() float64 { return float64(r.Stats().Views) })
+	reg.SetGaugeFunc("matview_hits_total", func() float64 { return float64(r.hits.Load()) })
+	reg.SetGaugeFunc("matview_stale_hits_total", func() float64 { return float64(r.staleHits.Load()) })
+	reg.SetGaugeFunc("matview_misses_total", func() float64 { return float64(r.misses.Load()) })
+	reg.SetGaugeFunc("matview_rows_merged_total", func() float64 { return float64(r.rowsMerged.Load()) })
+	reg.SetGaugeFunc("matview_remat_total", func() float64 { return float64(r.remats.Load()) })
+	reg.SetGaugeFunc("matview_drain_lag_rows", func() float64 { return float64(r.DrainLag()) })
+	reg.SetGaugeFunc("matview_staleness_ms", func() float64 { return float64(r.MaxStalenessMs()) })
 	return r
+}
+
+// DrainLag returns the total number of queued, not-yet-applied mutations
+// across all views — the registry's maintenance backlog.
+func (r *Registry) DrainLag() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	lag := 0
+	// Lock order mu → qmu matches onMutation and serve.
+	for _, v := range r.views {
+		v.qmu.Lock()
+		lag += len(v.pending)
+		v.qmu.Unlock()
+	}
+	return lag
+}
+
+// MaxStalenessMs returns the age in milliseconds of the oldest dirty episode
+// across all views (0 when every view is clean) — how far behind the most
+// stale served answer can be.
+func (r *Registry) MaxStalenessMs() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var oldest time.Time
+	for _, v := range r.views {
+		v.qmu.Lock()
+		dirtyAt := v.dirtyAt
+		v.qmu.Unlock()
+		if !dirtyAt.IsZero() && (oldest.IsZero() || dirtyAt.Before(oldest)) {
+			oldest = dirtyAt
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return time.Since(oldest).Milliseconds()
 }
 
 // Register adds a standing aggregate shape and synchronously materializes

@@ -239,3 +239,48 @@ func TestStalenessBoundFallsThrough(t *testing.T) {
 		t.Fatalf("zero bound must never serve stale, stats %+v", st)
 	}
 }
+
+// TestRegistryMetricsGauges asserts the registry's gauges on the deployment
+// metrics registry reflect view traffic: view count, hit counter, and the
+// drain-lag/staleness gauges reading zero on a fresh, clean view.
+func TestRegistryMetricsGauges(t *testing.T) {
+	d, _ := newUnitDeployment(t)
+	for i := 0; i < 40; i++ {
+		if err := d.Ingest(0, diffRow(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := matview.NewRegistry(d, matview.Config{})
+	b := olap.NewBrokerWithOptions(d, olap.BrokerOptions{Views: reg})
+	view, err := reg.Register(context.Background(), unitCountReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if resp, err := b.Execute(context.Background(), unitCountReq()); err != nil || resp.Stats.ViewHit != 1 {
+			t.Fatalf("view serve %d: %v %+v", i, err, resp.Stats)
+		}
+	}
+	if !view.Fresh() {
+		t.Fatal("append-only ingest must leave the view fresh")
+	}
+	points := map[string]float64{}
+	for _, p := range d.MetricsSnapshot() {
+		points[p.Name] = p.Value
+	}
+	if points["matview_views"] != 1 {
+		t.Errorf("matview_views = %v, want 1", points["matview_views"])
+	}
+	if points["matview_hits_total"] < 3 {
+		t.Errorf("matview_hits_total = %v, want >= 3", points["matview_hits_total"])
+	}
+	if points["matview_drain_lag_rows"] != 0 {
+		t.Errorf("matview_drain_lag_rows = %v, want 0 on a drained view", points["matview_drain_lag_rows"])
+	}
+	if points["matview_staleness_ms"] != 0 {
+		t.Errorf("matview_staleness_ms = %v, want 0 on a clean view", points["matview_staleness_ms"])
+	}
+	if _, ok := points["matview_misses_total"]; !ok {
+		t.Error("matview_misses_total gauge not registered")
+	}
+}

@@ -1,0 +1,169 @@
+package olap
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/olap/qcache"
+)
+
+// TestBrokerTraceSpanTree asserts the broker's query path records the full
+// span taxonomy: a cache-miss query produces
+// broker.execute → admission.queue / route / server.scan → segment.scan /
+// merge / finalize, and the following identical query is answered from the
+// cache with the decision recorded as a root attribute.
+func TestBrokerTraceSpanTree(t *testing.T) {
+	d, _ := newDeployment(t, 2, 1, false, BackupP2P, nil)
+	ingestOrders(t, d, 220, 2)
+	tracer := obs.NewTracer(obs.TracerConfig{Recent: 8})
+	b := NewBrokerWithOptions(d, BrokerOptions{
+		Tracer:        tracer,
+		CacheMaxBytes: 1 << 20,
+		Admission:     &qcache.AdmissionConfig{MaxConcurrent: 4, MaxQueue: 4},
+	})
+	q := &Query{GroupBy: []string{"city"}, Aggs: []AggSpec{{Kind: AggSum, Column: "amount"}, {Kind: AggCount}}}
+
+	if _, err := b.Execute(t.Context(), &QueryRequest{Query: q}); err != nil {
+		t.Fatal(err)
+	}
+	recent := tracer.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("recent ring holds %d traces, want 1", len(recent))
+	}
+	miss := recent[0]
+	if miss.Name != "broker.execute" {
+		t.Fatalf("root span = %q, want broker.execute", miss.Name)
+	}
+	root := &miss.Spans[0]
+	var cacheAttr string
+	for _, a := range root.Attrs {
+		if a.Key == "cache" {
+			cacheAttr = a.Value
+		}
+	}
+	if cacheAttr != "miss" {
+		t.Fatalf("root cache attr = %q, want miss (attrs %+v)", cacheAttr, root.Attrs)
+	}
+	for _, name := range []string{"admission.queue", "route", "server.scan", "segment.scan", "merge", "finalize"} {
+		if miss.Find(name) == nil {
+			t.Errorf("trace missing span %q:\n%s", name, miss.Render())
+		}
+	}
+	// segment.scan must nest under server.scan, and server.scan must carry
+	// the server name and the scanned rows.
+	seg := miss.Find("segment.scan")
+	if seg == nil || miss.Spans[seg.Parent].Name != "server.scan" {
+		t.Fatalf("segment.scan not nested under server.scan:\n%s", miss.Render())
+	}
+	srv := miss.Slowest("server.scan")
+	if srv.Rows <= 0 {
+		t.Errorf("server.scan rows = %d, want > 0", srv.Rows)
+	}
+	var serverAttr string
+	for _, a := range srv.Attrs {
+		if a.Key == "server" {
+			serverAttr = a.Value
+		}
+	}
+	if serverAttr == "" {
+		t.Errorf("server.scan has no server attr: %+v", srv.Attrs)
+	}
+
+	// Second identical query: a cache hit, recorded as a root attribute with
+	// no scatter spans.
+	if _, err := b.Execute(t.Context(), &QueryRequest{Query: q}); err != nil {
+		t.Fatal(err)
+	}
+	recent = tracer.Recent()
+	hit := recent[len(recent)-1]
+	cacheAttr = ""
+	for _, a := range hit.Spans[0].Attrs {
+		if a.Key == "cache" {
+			cacheAttr = a.Value
+		}
+	}
+	if cacheAttr != "hit" {
+		t.Fatalf("hit trace root cache attr = %q, want hit:\n%s", cacheAttr, hit.Render())
+	}
+	if hit.Find("server.scan") != nil {
+		t.Fatalf("cache hit should not scatter:\n%s", hit.Render())
+	}
+}
+
+// TestDeploymentMetricsSnapshot asserts the deployment registry carries the
+// per-layer metrics after traffic: ingest counter, seal histogram, per-server
+// scan histograms and the broker cache gauges.
+func TestDeploymentMetricsSnapshot(t *testing.T) {
+	d, _ := newDeployment(t, 2, 1, false, BackupP2P, nil)
+	ingestOrders(t, d, 220, 2)
+	b := NewBrokerWithOptions(d, BrokerOptions{CacheMaxBytes: 1 << 20})
+	q := &Query{Aggs: []AggSpec{{Kind: AggCount}}}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	byName := map[string]obs.MetricPoint{}
+	for _, p := range d.MetricsSnapshot() {
+		byName[p.Name] = p
+	}
+	if got := byName["olap_ingest_rows_total"].Value; got != 220 {
+		t.Errorf("olap_ingest_rows_total = %v, want 220", got)
+	}
+	if got := byName["olap_seal_ns"].Count; got != 4 {
+		t.Errorf("olap_seal_ns count = %v, want 4", got)
+	}
+	if p, ok := byName["olap_segment_scan_ns"]; !ok || p.Count <= 0 {
+		t.Errorf("olap_segment_scan_ns missing or empty: %+v", p)
+	}
+	if got := byName["qcache_hits_total"].Value; got != 2 {
+		t.Errorf("qcache_hits_total = %v, want 2", got)
+	}
+	if got := byName["olap_table_generation"].Value; got <= 0 {
+		t.Errorf("olap_table_generation = %v, want > 0", got)
+	}
+}
+
+// TestScanDelayIsolatedBySlowLog asserts the E22 mechanism: an induced
+// per-scan delay on one server makes the slow-query log's worst segment.scan
+// attribute the latency to that server.
+func TestScanDelayIsolatedBySlowLog(t *testing.T) {
+	d, servers := newDeployment(t, 2, 1, false, BackupP2P, nil)
+	ingestOrders(t, d, 220, 2)
+	tracer := obs.NewTracer(obs.TracerConfig{SlowThreshold: 20 * time.Millisecond})
+	b := NewBrokerWithOptions(d, BrokerOptions{Tracer: tracer})
+	q := &Query{Aggs: []AggSpec{{Kind: AggCount}}}
+	if _, err := b.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if n := tracer.SlowCount(); n != 0 {
+		t.Fatalf("undelayed query counted slow (%d)", n)
+	}
+	servers[1].SetScanDelay(30 * time.Millisecond)
+	defer servers[1].SetScanDelay(0)
+	if _, err := b.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	slow := tracer.Slow()
+	if len(slow) != 1 {
+		t.Fatalf("slow log holds %d traces, want 1", len(slow))
+	}
+	seg := slow[0].Slowest("segment.scan")
+	if seg == nil {
+		t.Fatalf("slow trace has no segment.scan:\n%s", slow[0].Render())
+	}
+	srv := slow[0].Spans[seg.Parent]
+	var name string
+	for _, a := range srv.Attrs {
+		if a.Key == "server" {
+			name = a.Value
+		}
+	}
+	if name != servers[1].Name() {
+		t.Fatalf("slow log blamed %q, want %q:\n%s", name, servers[1].Name(), slow[0].Render())
+	}
+	if seg.Duration < 30*time.Millisecond {
+		t.Fatalf("slowest segment.scan %v does not cover the induced 30ms delay", seg.Duration)
+	}
+}
