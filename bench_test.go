@@ -205,6 +205,17 @@ func BenchmarkE22_Observability(b *testing.B) {
 	}
 }
 
+// BenchmarkE23_Rebalance — internal/olap/rebalance: sticky segment
+// rebalancing moves ~1/N of replica slots on a scale-out (naive re-hash
+// moves most), queries stay exact and error-free throughout, and offloaded
+// segments relocate with zero bytes copied (gated in benchjson as
+// segments_moved_ratio / rebalance_exact / offload_zero_copy).
+func BenchmarkE23_Rebalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E23(12_000))
+	}
+}
+
 // BenchmarkCacheHitPath is the tier-1 hit-path microbenchmark the CI
 // baseline gate watches (cmd/benchjson): one warmed cached Execute per
 // iteration, so ns/op is the pure cache-hit service time.

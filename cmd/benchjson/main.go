@@ -138,6 +138,19 @@ func measure() Report {
 	rep.Metrics["obs_overhead"] = Metric{obsRatio, "x", "lower"}
 	rep.Metrics["obs_traced_hit_p50_ns"] = Metric{float64(tracedHit.Nanoseconds()), "ns/op", "info"}
 	rep.Metrics["obs_metric_points"] = Metric{points, "points", "info"}
+
+	// E23: cluster elasticity. The moved ratio (sticky/naive on the same
+	// snapshot) is machine-independent and gated "lower"; the correctness
+	// claims are booleans gated "higher" — a zero-count metric gated
+	// "lower" would never fail (the gate skips zero baselines), so the
+	// error count itself is informational and rebalance_exact carries the
+	// zero-errors/zero-wrong-answers gate.
+	e23 := rows(experiments.E23(24_000))
+	rep.Metrics["segments_moved_ratio"] = Metric{e23["segments_moved_ratio"], "x", "lower"}
+	rep.Metrics["rebalance_query_errors"] = Metric{e23["rebalance_query_errors"], "queries", "info"}
+	rep.Metrics["rebalance_exact"] = Metric{e23["rebalance_exact"], "bool", "higher"}
+	rep.Metrics["offload_zero_copy"] = Metric{e23["offload_zero_copy"], "bool", "higher"}
+	rep.Metrics["rebalance_bytes_copied"] = Metric{e23["scaleout_bytes_copied"], "B", "info"}
 	return rep
 }
 

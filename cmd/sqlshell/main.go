@@ -41,6 +41,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fedsql"
@@ -56,13 +58,13 @@ import (
 func main() {
 	timeout := flag.Duration("timeout", 0, "per-query deadline (e.g. 500ms, 2s); 0 disables")
 	flag.Parse()
-	engine, err := buildDemo()
+	engine, deployment, err := buildDemo()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlshell:", err)
 		os.Exit(1)
 	}
 	fmt.Println("catalogs:", strings.Join(engine.Catalogs(), ", "),
-		"— tables: pinot.orders (fresh), hive.orders (archive). EXPLAIN <select> shows decisions. \\q to quit.")
+		"— tables: pinot.orders (fresh), hive.orders (archive). EXPLAIN <select> shows decisions. \\scale joins servers, \\cluster shows placement, \\q quits.")
 	scanner := bufio.NewScanner(os.Stdin)
 	fmt.Print("sql> ")
 	for scanner.Scan() {
@@ -71,6 +73,10 @@ func main() {
 		case line == "":
 		case line == `\q`, line == "exit", line == "quit":
 			return
+		case line == `\cluster`:
+			printCluster(deployment)
+		case line == `\scale`:
+			scaleDemo(engine, deployment, *timeout)
 		case len(line) > 8 && strings.EqualFold(line[:8], "EXPLAIN "):
 			rest := strings.TrimSpace(line[8:])
 			analyze := len(rest) > 8 && strings.EqualFold(rest[:8], "ANALYZE ")
@@ -156,6 +162,109 @@ func printTrace(res *fedsql.Result) {
 	}
 }
 
+// printCluster renders the membership and replica-slot placement: which
+// servers are active, how many segment replicas each holds, and how many
+// segments are offloaded to the deep store.
+func printCluster(d *olap.Deployment) {
+	counts := make(map[int]int)
+	offloaded := 0
+	infos := d.SegmentInfos()
+	for _, info := range infos {
+		for _, ri := range info.Replicas {
+			counts[ri]++
+		}
+		if info.Resident == 0 {
+			offloaded++
+		}
+	}
+	fmt.Printf("cluster: %d servers, %d sealed segments (%d offloaded)\n", d.NumServers(), len(infos), offloaded)
+	for i := 0; i < d.NumServers(); i++ {
+		state := "active"
+		if d.Decommissioned(i) {
+			state = "decommissioned"
+		}
+		fmt.Printf("  server %d: %-14s %d replica slots\n", i, state, counts[i])
+	}
+}
+
+// scaleDemo is the elasticity walkthrough: join two servers and rebalance
+// while a dashboard workload keeps querying — sticky planning moves only the
+// balanced share of segment replicas, and no query ever errors or sees a
+// segment twice.
+func scaleDemo(engine *fedsql.Engine, d *olap.Deployment, timeout time.Duration) {
+	before := d.NumServers()
+	fmt.Printf("scaling pinot.orders %d -> %d servers with a live dashboard workload...\n", before, before+2)
+
+	stop := make(chan struct{})
+	var queries, errs atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := runQuery(engine, "SELECT city, SUM(amount) AS revenue, COUNT(*) FROM pinot.orders GROUP BY city", timeout); err != nil {
+					errs.Add(1)
+				} else {
+					queries.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Let the dashboard ramp so queries genuinely overlap the moves.
+	for queries.Load() == 0 && errs.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	var applied, metaMoves int
+	var bytesCopied int64
+	var slots int
+	for i := 0; i < 2; i++ {
+		idx := d.AddServer(olap.NewServer(fmt.Sprintf("s%d", before+i)))
+		rep, err := d.Rebalance(context.Background())
+		if err != nil {
+			fmt.Println("rebalance error:", err)
+			break
+		}
+		applied += rep.Applied
+		metaMoves += rep.MetadataMoves
+		bytesCopied += rep.BytesCopied
+		slots = rep.Slots
+		fmt.Printf("  joined server %d: moved %d of %d replica slots (%.0f%%), %s copied, %d metadata-only\n",
+			idx, rep.Applied, rep.Slots, 100*float64(rep.Applied)/float64(rep.Slots),
+			fmtBytes(rep.BytesCopied), rep.MetadataMoves)
+	}
+	elapsed := time.Since(start)
+	// Keep the workload flying a beat past the last move before stopping.
+	tail := queries.Load() + 4
+	for queries.Load() < tail && errs.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	fmt.Printf("scale-out done in %v: %d slots moved of %d total, %s copied (%d metadata-only)\n",
+		elapsed.Round(time.Microsecond), applied, slots, fmtBytes(bytesCopied), metaMoves)
+	fmt.Printf("dashboard workload during rebalance: %d queries, %d errors\n", queries.Load(), errs.Load())
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
 func demoSchema() *metadata.Schema {
 	return &metadata.Schema{
 		Name:    "orders",
@@ -191,7 +300,7 @@ func demoRows(n int) []record.Record {
 // partition function (city-hash over 4 partitions) and the connector routes
 // with partition awareness, so EXPLAIN on a city-filtered query shows
 // servers being skipped entirely.
-func buildDemo() (*fedsql.Engine, error) {
+func buildDemo() (*fedsql.Engine, *olap.Deployment, error) {
 	const partitions = 4
 	schema := demoSchema()
 	rows := demoRows(20_000)
@@ -212,11 +321,11 @@ func buildDemo() (*fedsql.Engine, error) {
 		Backup:       olap.BackupP2P,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, r := range rows {
 		if err := d.Ingest(olap.PartitionFor(r["city"], partitions), r); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	pinot := fedsql.NewPinotConnector("pinot")
@@ -235,20 +344,20 @@ func buildDemo() (*fedsql.Engine, error) {
 		GroupBy: []string{"city"},
 		Aggs:    []sqlparse.SelectItem{{Func: sqlparse.FuncSum, Column: "amount", Alias: "revenue"}},
 	}); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	store := objstore.NewMemStore()
 	codec, err := record.NewCodec(schema)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	w := objstore.NewRawLogWriter(store, "orders", codec)
 	if err := w.Append(rows); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if _, err := objstore.NewCompactor(store, "orders", codec).Compact(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hive := fedsql.NewArchiveConnector("hive", store)
 	hive.AddTable("orders", schema)
@@ -263,5 +372,5 @@ func buildDemo() (*fedsql.Engine, error) {
 		Slow:          8,
 		SlowThreshold: 250 * time.Millisecond,
 	})
-	return engine, nil
+	return engine, d, nil
 }

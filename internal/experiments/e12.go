@@ -142,5 +142,6 @@ func AllWithIntegration() []Experiment {
 	merged = append(merged, cacheAdmissionExperiments()...)
 	merged = append(merged, matviewExperiments()...)
 	merged = append(merged, observabilityExperiments()...)
+	merged = append(merged, elasticityExperiments()...)
 	return append(merged, Ablations()...)
 }

@@ -211,6 +211,33 @@ func TestExperimentShapes(t *testing.T) {
 			t.Error("deployment registry exported no metric points")
 		}
 	})
+	t.Run("E23", func(t *testing.T) {
+		rows := E23(8_000)
+		// The acceptance bound: sticky moves at most 1.5/(N+1) of the
+		// replica slots on an N→N+1 scale-out (here N=4).
+		if f := get(rows, "sticky_moved_frac"); f > 1.5/5.0 {
+			t.Errorf("sticky moved fraction = %.3f, want <= %.3f", f, 1.5/5.0)
+		}
+		if r := get(rows, "segments_moved_ratio"); r >= 0.5 {
+			t.Errorf("sticky/naive move ratio = %.3f, want < 0.5", r)
+		}
+		if get(rows, "rebalance_query_errors") != 0 {
+			t.Error("queries errored during rebalance")
+		}
+		if get(rows, "rebalance_wrong_answers") != 0 {
+			t.Error("queries saw wrong answers during rebalance")
+		}
+		if get(rows, "rebalance_exact") != 1 {
+			t.Error("rebalance was not query-invisible")
+		}
+		if get(rows, "offload_zero_copy") != 1 {
+			t.Errorf("offloaded rebalance copied %v bytes over %v moves",
+				get(rows, "cold_bytes_copied"), get(rows, "cold_moves"))
+		}
+		if get(rows, "drain_applied") == 0 {
+			t.Error("decommission drained nothing")
+		}
+	})
 	t.Run("E18", func(t *testing.T) {
 		rows := E18(12_000)
 		if r := get(rows, "rows_reduction"); r < 10 {
@@ -237,7 +264,7 @@ func TestAllListsEverything(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23"} {
 		if !ids[want] {
 			t.Errorf("experiment %s missing from AllWithIntegration", want)
 		}

@@ -218,10 +218,12 @@ func (b *Broker) executeAdmitted(ctx context.Context, req *QueryRequest, q *Quer
 		}
 	}
 	resp, err := b.executeRouted(ctx, req, q, router)
-	if err != nil && errors.Is(err, ErrServerDown) && ctx.Err() == nil {
-		// One re-route: the failed server is down now, so the router's
-		// liveness closures steer the retry around it (unless the strategy
-		// pins the segment there, e.g. upsert owner routing).
+	if err != nil && (errors.Is(err, ErrServerDown) || errors.Is(err, ErrSegmentUnavailable)) && ctx.Err() == nil {
+		// One re-route: the failed server is down now (or a rebalance /
+		// compaction swap retired the routed copy after this query's
+		// snapshot), so a fresh snapshot steers the retry to the current
+		// placement (unless the strategy pins the segment on the failed
+		// server, e.g. upsert owner routing).
 		resp, err = b.executeRouted(ctx, req, q, router)
 	}
 	return resp, err

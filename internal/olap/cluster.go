@@ -22,6 +22,16 @@ var (
 	// ErrSegmentUnavailable is returned when no live replica holds a
 	// segment and recovery from the segment store failed too.
 	ErrSegmentUnavailable = errors.New("olap: segment unavailable")
+	// ErrSegmentsBusy is returned when a maintenance operation (compaction,
+	// rebalance move) finds its segments already claimed by another
+	// in-flight operation. Retryable: the claim is released when that
+	// operation finishes.
+	ErrSegmentsBusy = errors.New("olap: segments busy")
+	// errPlanStale marks a rebalance move whose placement changed between
+	// planning and the swap (compaction replaced the segment, another move
+	// won the slot, the target left the active set). Retryable by
+	// re-planning.
+	errPlanStale = errors.New("olap: rebalance plan stale")
 )
 
 // location tracks an upsert key's latest record.
@@ -127,6 +137,32 @@ func (s *Server) AddSegment(seg *Segment, valid *Bitmap) {
 	s.segments[seg.Name] = h
 	if valid != nil {
 		s.valid[seg.Name] = valid
+	} else {
+		// A fresh install must not inherit the bitmap of a retired copy
+		// this server held earlier (a segment rebalanced away and back).
+		delete(s.valid, seg.Name)
+	}
+	s.mu.Unlock()
+}
+
+// AddOffloaded installs a sealed segment in its offloaded state: routing
+// metadata only, no resident data — the metadata-only half of a rebalance
+// move, where the deep store already holds the bytes and queries reload
+// them transparently through the loader.
+func (s *Server) AddOffloaded(name string, numRows int, minTime, maxTime int64, hasBounds bool, valid *Bitmap) {
+	h := &hosted{
+		numRows:   numRows,
+		minTime:   minTime,
+		maxTime:   maxTime,
+		hasBounds: hasBounds,
+	}
+	h.lastQuery.Store(time.Now().UnixNano())
+	s.mu.Lock()
+	s.segments[name] = h
+	if valid != nil {
+		s.valid[name] = valid
+	} else {
+		delete(s.valid, name)
 	}
 	s.mu.Unlock()
 }
@@ -138,6 +174,19 @@ func (s *Server) HasSegment(name string) bool {
 	defer s.mu.RUnlock()
 	h, ok := s.segments[name]
 	return ok && h.retiredAt.IsZero()
+}
+
+// Hosts reports whether the server can still serve the named segment,
+// including retired copies kept resident for in-flight queries. Routing
+// uses this (not HasSegment) so a query whose snapshot predates a
+// rebalance or compaction swap can land on the old replica during the
+// retire grace window instead of failing — the segment data is immutable,
+// so the retired copy answers exactly.
+func (s *Server) Hosts(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.segments[name]
+	return ok
 }
 
 // Segment returns a hosted segment's resident data (nil when absent,
@@ -531,12 +580,28 @@ type DeploymentConfig struct {
 // stream layer, seals and replicates segments, maintains upsert metadata and
 // answers broker queries.
 type Deployment struct {
-	cfg     TableConfig
-	servers []*Server
-	store   objstore.Store
-	backup  BackupMode
+	cfg    TableConfig
+	store  objstore.Store
+	backup BackupMode
+
+	// servers is the membership list. It is append-only — indexes are the
+	// stable identity placement and partition ownership are keyed by, so a
+	// removed server is marked decommissioned, never deleted. The atomic
+	// pointer lets the query hot path (routing closures, scatter) read the
+	// list lock-free while AddServer publishes a new one under mu.
+	servers atomic.Pointer[[]*Server]
 
 	mu sync.Mutex
+	// decommissioned marks servers leaving the cluster: they accept no new
+	// placements (and own no partitions) but keep serving their remaining
+	// segments until the rebalancer drains them — membership change without
+	// a query-visible gap.
+	decommissioned map[int]bool
+	// busy claims segments under an in-flight multi-step operation
+	// (compaction's gather→swap, a rebalance move's copy→swap) so two such
+	// operations never interleave on one segment. Claims are all-or-nothing
+	// per operation and released when it finishes.
+	busy map[string]bool
 	// consuming per partition.
 	consuming map[int]*mutableSegment
 	// sealing holds batches of rows that left the consuming segment but
@@ -595,6 +660,103 @@ type Deployment struct {
 	metrics    *obs.Registry
 	ingestRows *obs.Counter
 	sealHist   *obs.Histogram
+
+	// loadersOn records that AttachLoaders ran, so servers joining later
+	// (AddServer) get the same transparent deep-store reload wiring.
+	loadersOn atomic.Bool
+
+	// Rebalance instrumentation (see elastic.go): slots moved, data volume
+	// copied, and zero-copy metadata moves of offloaded segments.
+	rebalanceMoves *obs.Counter
+	rebalanceBytes *obs.Counter
+	rebalanceMeta  *obs.Counter
+}
+
+// serverList reads the current membership lock-free. The slice is
+// append-only and never mutated in place; indexes are stable server ids.
+func (d *Deployment) serverList() []*Server { return *d.servers.Load() }
+
+// serverAt returns the server with the given stable index.
+func (d *Deployment) serverAt(i int) *Server { return (*d.servers.Load())[i] }
+
+// NumServers returns the membership size, including decommissioned servers
+// (indexes stay allocated; see Decommissioned).
+func (d *Deployment) NumServers() int { return len(*d.servers.Load()) }
+
+// Decommissioned reports whether a server has been removed from the active
+// set (it accepts no new placements; the rebalancer drains its segments).
+func (d *Deployment) Decommissioned(i int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.decommissioned[i]
+}
+
+// activeCountLocked counts servers accepting placements. Caller holds d.mu.
+func (d *Deployment) activeCountLocked() int {
+	n := 0
+	for i := range d.serverList() {
+		if !d.decommissioned[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// pickOwnerLocked picks a partition's primary server: partition mod servers,
+// advanced past decommissioned indexes. Caller holds d.mu.
+func (d *Deployment) pickOwnerLocked(partition int) int {
+	n := len(d.serverList())
+	for i := 0; i < n; i++ {
+		si := (partition + i) % n
+		if !d.decommissioned[si] {
+			return si
+		}
+	}
+	return partition % n
+}
+
+// replicasForLocked picks replica indexes for a new segment: the partition
+// owner first, then the following active servers in index order. Caller
+// holds d.mu.
+func (d *Deployment) replicasForLocked(owner int) []int {
+	n := len(d.serverList())
+	out := make([]int, 0, d.cfg.Replicas)
+	for i := 0; i < n && len(out) < d.cfg.Replicas; i++ {
+		si := (owner + i) % n
+		if d.decommissioned[si] {
+			continue
+		}
+		out = append(out, si)
+	}
+	if len(out) == 0 {
+		out = append(out, owner)
+	}
+	return out
+}
+
+// activeSubstituteLocked finds an active server not already in replicas, to
+// stand in for a replica decommissioned while a seal or compaction was in
+// flight. Returns -1 when every active server already holds one. Caller
+// holds d.mu.
+func (d *Deployment) activeSubstituteLocked(replicas []int, from int) int {
+	n := len(d.serverList())
+	for i := 0; i < n; i++ {
+		si := (from + i) % n
+		if d.decommissioned[si] {
+			continue
+		}
+		taken := false
+		for _, r := range replicas {
+			if r == si {
+				taken = true
+				break
+			}
+		}
+		if !taken {
+			return si
+		}
+	}
+	return -1
 }
 
 // ViewMutation describes one visible-data mutation, delivered to mutation
@@ -674,9 +836,10 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	}
 	d := &Deployment{
 		cfg:            tcfg,
-		servers:        cfg.Servers,
 		store:          cfg.SegmentStore,
 		backup:         cfg.Backup,
+		decommissioned: make(map[int]bool),
+		busy:           make(map[string]bool),
 		consuming:      make(map[int]*mutableSegment),
 		sealing:        make(map[int][]*sealingBatch),
 		segSeq:         make(map[int]int),
@@ -687,8 +850,13 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		partitionOwner: make(map[int]int),
 		metrics:        obs.NewRegistry(),
 	}
+	servers := append([]*Server(nil), cfg.Servers...)
+	d.servers.Store(&servers)
 	d.ingestRows = d.metrics.Counter("olap_ingest_rows_total")
 	d.sealHist = d.metrics.Histogram("olap_seal_ns")
+	d.rebalanceMoves = d.metrics.Counter("rebalance_segments_moved_total")
+	d.rebalanceBytes = d.metrics.Counter("rebalance_bytes_copied_total")
+	d.rebalanceMeta = d.metrics.Counter("rebalance_metadata_moves_total")
 	for _, s := range cfg.Servers {
 		s.bindMetrics(d.metrics)
 	}
@@ -738,7 +906,7 @@ func (d *Deployment) Ingest(partition int, r record.Record) error {
 	d.mu.Lock()
 	owner, ok := d.partitionOwner[partition]
 	if !ok {
-		owner = partition % len(d.servers)
+		owner = d.pickOwnerLocked(partition)
 		d.partitionOwner[partition] = owner
 	}
 	ms, ok := d.consuming[partition]
@@ -764,11 +932,11 @@ func (d *Deployment) Ingest(partition int, r record.Record) error {
 				// excludes it.
 				sb.invalid[old.doc] = true
 			} else {
-				d.servers[owner].invalidate(old.segment, old.doc)
+				d.serverAt(owner).invalidate(old.segment, old.doc)
 				// Keep replica validity consistent too.
 				for _, ri := range d.placement[old.segment] {
 					if ri != owner {
-						d.servers[ri].invalidate(old.segment, old.doc)
+						d.serverAt(ri).invalidate(old.segment, old.doc)
 					}
 				}
 			}
@@ -822,6 +990,10 @@ func (d *Deployment) Seal(partition int) error {
 	seq := d.segSeq[partition]
 	d.segSeq[partition] = seq + 1
 	owner := d.partitionOwner[partition]
+	// Replica placement: owner plus the next Replicas-1 active servers,
+	// chosen under the lock so a concurrent membership change cannot hand
+	// out a decommissioned target (and re-checked at swap time below).
+	replicas := d.replicasForLocked(owner)
 	upsertPartition := -1
 	if d.cfg.Upsert {
 		upsertPartition = partition
@@ -866,12 +1038,6 @@ func (d *Deployment) Seal(partition int) error {
 		}
 	}
 
-	// Replica placement: owner plus the next Replicas-1 servers.
-	replicas := make([]int, 0, d.cfg.Replicas)
-	for i := 0; i < d.cfg.Replicas; i++ {
-		replicas = append(replicas, (owner+i)%len(d.servers))
-	}
-
 	switch d.backup {
 	case BackupCentralized:
 		// Synchronous upload through the single controller; ingestion (this
@@ -889,13 +1055,13 @@ func (d *Deployment) Seal(partition int) error {
 		}
 		// Replicas download from the store.
 		for _, ri := range replicas {
-			d.servers[ri].AddSegment(seg, cloneValid(valid))
+			d.serverAt(ri).AddSegment(seg, cloneValid(valid))
 		}
 	case BackupP2P:
 		// Peer replication first: the segment is immediately durable across
 		// servers and serveable; deep-store upload is async best-effort.
 		for _, ri := range replicas {
-			d.servers[ri].AddSegment(seg, cloneValid(valid))
+			d.serverAt(ri).AddSegment(seg, cloneValid(valid))
 		}
 		d.asyncWG.Add(1)
 		go func() {
@@ -913,6 +1079,20 @@ func (d *Deployment) Seal(partition int) error {
 	}
 
 	d.mu.Lock()
+	// A replica may have been decommissioned while the segment built (the
+	// install above still landed — decommissioned servers keep serving).
+	// Swap it for an active substitute now, inside the placement critical
+	// section, so the decommission's drain is not reopened by this seal.
+	for i, ri := range replicas {
+		if !d.decommissioned[ri] {
+			continue
+		}
+		if sub := d.activeSubstituteLocked(replicas, ri); sub >= 0 {
+			d.serverAt(sub).AddSegment(seg, cloneValid(valid))
+			d.serverAt(ri).Retire(seg.Name)
+			replicas[i] = sub
+		}
+	}
 	d.placement[seg.Name] = replicas
 	d.segMeta[seg.Name] = &segMeta{
 		partition: partition,
@@ -928,7 +1108,7 @@ func (d *Deployment) Seal(partition int) error {
 		for doc := range batch.invalid {
 			if !invalidSnap[doc] {
 				for _, ri := range replicas {
-					d.servers[ri].invalidate(seg.Name, doc)
+					d.serverAt(ri).invalidate(seg.Name, doc)
 				}
 			}
 		}
@@ -1014,81 +1194,6 @@ func (d *Deployment) Stats() (ingested, sealed, uploadErrors int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.ingested, d.sealed, d.uploadErrors
-}
-
-// RecoverServer re-hosts the segments a failed server held on the remaining
-// live servers: from peer replicas in P2P mode, or by downloading from the
-// segment store in centralized mode. It returns the number of re-hosted
-// segments and an error if any segment could not be recovered.
-func (d *Deployment) RecoverServer(failed int) (int, error) {
-	d.mu.Lock()
-	placement := make(map[string][]int, len(d.placement))
-	for s, r := range d.placement {
-		placement[s] = append([]int(nil), r...)
-	}
-	d.mu.Unlock()
-	recovered := 0
-	var firstErr error
-	for segName, replicas := range placement {
-		holdsFailed := false
-		for _, ri := range replicas {
-			if ri == failed {
-				holdsFailed = true
-			}
-		}
-		if !holdsFailed {
-			continue
-		}
-		// Pick a live target not already holding the segment.
-		target := -1
-		for i := range d.servers {
-			if i == failed || d.servers[i].Down() || d.servers[i].HasSegment(segName) {
-				continue
-			}
-			target = i
-			break
-		}
-		if target < 0 {
-			continue // every live server already has it
-		}
-		var seg *Segment
-		if d.backup == BackupP2P {
-			for _, ri := range replicas {
-				if ri != failed && !d.servers[ri].Down() {
-					seg = d.servers[ri].Segment(segName)
-					if seg != nil {
-						break
-					}
-				}
-			}
-		}
-		if seg == nil {
-			// Centralized path (or no live peer): download from the store.
-			data, err := d.store.Get(d.storeKey(segName))
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%w: %s: %v", ErrSegmentUnavailable, segName, err)
-				}
-				continue
-			}
-			seg, err = DecodeSegment(data)
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-		}
-		d.servers[target].AddSegment(seg, nil)
-		d.mu.Lock()
-		d.placement[segName] = append(d.placement[segName], target)
-		d.mu.Unlock()
-		recovered++
-	}
-	if recovered > 0 {
-		d.bumpGen() // placement and residency changed
-	}
-	return recovered, firstErr
 }
 
 // Broker answers queries over a deployment with scatter-gather-merge: the

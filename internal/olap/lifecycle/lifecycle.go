@@ -1,6 +1,7 @@
 package lifecycle
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"time"
@@ -229,6 +230,11 @@ func (m *Manager) sweepCompaction() {
 		compactStart := time.Now()
 		res, err := m.d.Compact(names)
 		if err != nil {
+			// A rebalance move holds one of the inputs; the batch stays a
+			// candidate and the next sweep retries it.
+			if errors.Is(err, olap.ErrSegmentsBusy) {
+				continue
+			}
 			m.fail(err)
 			continue
 		}

@@ -70,7 +70,7 @@ func (d *Deployment) SegmentInfos() []SegmentInfo {
 			Replicas:  replicas,
 		}
 		for _, ri := range replicas {
-			srv := d.servers[ri]
+			srv := d.serverAt(ri)
 			if srv.Resident(name) {
 				info.Resident++
 				if info.MemBytes == 0 {
@@ -93,7 +93,7 @@ func (d *Deployment) SegmentInfos() []SegmentInfo {
 // quantity the lifecycle manager keeps bounded.
 func (d *Deployment) ResidentBytes() int64 {
 	var n int64
-	for _, s := range d.servers {
+	for _, s := range d.serverList() {
 		n += s.MemBytes()
 	}
 	return n
@@ -102,23 +102,30 @@ func (d *Deployment) ResidentBytes() int64 {
 // Reloads sums deep-store segment reloads across all servers.
 func (d *Deployment) Reloads() int64 {
 	var n int64
-	for _, s := range d.servers {
+	for _, s := range d.serverList() {
 		n += s.Reloads()
 	}
 	return n
 }
 
 // AttachLoaders installs a deep-store loader on every server so queries
-// over offloaded segments transparently reload them. Idempotent.
+// over offloaded segments transparently reload them. Idempotent; servers
+// joining later (AddServer) are wired the same way.
 func (d *Deployment) AttachLoaders() {
-	for _, s := range d.servers {
-		s.SetLoader(func(name string) (*Segment, error) {
-			data, err := d.store.Get(d.storeKey(name))
-			if err != nil {
-				return nil, err
-			}
-			return DecodeSegment(data)
-		})
+	d.loadersOn.Store(true)
+	for _, s := range d.serverList() {
+		s.SetLoader(d.segmentLoader())
+	}
+}
+
+// segmentLoader is the deep-store fetch AttachLoaders installs per server.
+func (d *Deployment) segmentLoader() func(name string) (*Segment, error) {
+	return func(name string) (*Segment, error) {
+		data, err := d.store.Get(d.storeKey(name))
+		if err != nil {
+			return nil, err
+		}
+		return DecodeSegment(data)
 	}
 }
 
@@ -149,7 +156,7 @@ func (d *Deployment) residentSegment(name string) *Segment {
 	replicas := append([]int(nil), d.placement[name]...)
 	d.mu.Unlock()
 	for _, ri := range replicas {
-		if seg := d.servers[ri].Segment(name); seg != nil {
+		if seg := d.serverAt(ri).Segment(name); seg != nil {
 			return seg
 		}
 	}
@@ -187,7 +194,7 @@ func (d *Deployment) OffloadSegment(name string) (int, error) {
 	}
 	released := 0
 	for _, ri := range replicas {
-		if d.servers[ri].Offload(name) {
+		if d.serverAt(ri).Offload(name) {
 			released++
 		}
 	}
@@ -230,7 +237,7 @@ func (d *Deployment) DropSegment(name string, deleteArchive bool) {
 	d.emitMutationLocked(part, nil, true)
 	d.mu.Unlock()
 	for _, ri := range replicas {
-		d.servers[ri].Retire(name)
+		d.serverAt(ri).Retire(name)
 	}
 	if deleteArchive {
 		// Best-effort: the archive may never have landed (P2P upload
@@ -244,7 +251,7 @@ func (d *Deployment) DropSegment(name string, deleteArchive bool) {
 func (d *Deployment) PurgeRetired(grace time.Duration) int {
 	cutoff := time.Now().Add(-grace)
 	n := 0
-	for _, s := range d.servers {
+	for _, s := range d.serverList() {
 		n += s.PurgeRetired(cutoff)
 	}
 	return n
@@ -291,10 +298,30 @@ func (d *Deployment) Compact(names []string) (CompactResult, error) {
 			return res, fmt.Errorf("olap: compaction inputs span partitions %d and %d", part, m.partition)
 		}
 	}
+	// Claim every input all-or-nothing: a rebalance move mid-flight on any
+	// of them would otherwise race this merge's gather-then-swap (the swap
+	// re-reads placement, but the gathered rows came from a replica the
+	// move may be retiring). The claim is released on every exit path.
+	for _, name := range names {
+		if d.busy[name] {
+			d.mu.Unlock()
+			return res, fmt.Errorf("%w: compaction input %s", ErrSegmentsBusy, name)
+		}
+	}
+	for _, name := range names {
+		d.busy[name] = true
+	}
 	cseq := d.compactSeq[part]
 	d.compactSeq[part] = cseq + 1
 	owner := replicas[0]
 	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		for _, name := range names {
+			delete(d.busy, name)
+		}
+		d.mu.Unlock()
+	}()
 
 	// Gather phase (no deployment lock): decode the still-valid rows of
 	// every input, remembering each row's provenance for the upsert
@@ -311,7 +338,7 @@ func (d *Deployment) Compact(names []string) (CompactResult, error) {
 		if err != nil {
 			return res, err
 		}
-		valid := d.servers[owner].validSnapshot(name)
+		valid := d.serverAt(owner).validSnapshot(name)
 		for doc, r := range seg.DecodeRows() {
 			if valid != nil && !valid.Get(doc) {
 				continue
@@ -360,8 +387,20 @@ func (d *Deployment) Compact(names []string) (CompactResult, error) {
 			}
 		}
 	}
+	// A replica decommissioned while the merge built must not receive the
+	// new segment (its drain would never finish); substitute an active
+	// server inside the same critical section that swaps routing. The
+	// inputs still retire from their original holders.
+	inputReplicas := append([]int(nil), replicas...)
+	for i, ri := range replicas {
+		if d.decommissioned[ri] {
+			if sub := d.activeSubstituteLocked(replicas, ri); sub >= 0 {
+				replicas[i] = sub
+			}
+		}
+	}
 	for _, ri := range replicas {
-		d.servers[ri].AddSegment(merged, cloneValid(valid))
+		d.serverAt(ri).AddSegment(merged, cloneValid(valid))
 	}
 	d.placement[mergedName] = replicas
 	d.segMeta[mergedName] = &segMeta{
@@ -380,8 +419,8 @@ func (d *Deployment) Compact(names []string) (CompactResult, error) {
 	d.bumpGen() // segment set swapped (inputs replaced by the merged segment)
 	d.mu.Unlock()
 	for _, name := range names {
-		for _, ri := range replicas {
-			d.servers[ri].Retire(name)
+		for _, ri := range inputReplicas {
+			d.serverAt(ri).Retire(name)
 		}
 	}
 
@@ -411,7 +450,7 @@ func (d *Deployment) retireSegments(names []string) {
 	d.mu.Unlock()
 	for _, name := range names {
 		for _, ri := range replicasOf[name] {
-			d.servers[ri].Retire(name)
+			d.serverAt(ri).Retire(name)
 		}
 	}
 }

@@ -1,0 +1,90 @@
+package rebalance
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// MoveResult reports what one applied move actually did.
+type MoveResult struct {
+	// BytesCopied is the data volume transferred (0 for metadata-only
+	// moves: the deep store already holds the bytes).
+	BytesCopied int64
+	// MetadataOnly marks a zero-copy move of an offloaded segment.
+	MetadataOnly bool
+}
+
+// Mover applies one planned move against the real cluster. The
+// implementation owns all consistency discipline: validating the move is
+// still current, copying outside locks, and swapping placement atomically
+// with respect to queries (the Deployment's applyMove).
+type Mover interface {
+	Move(ctx context.Context, m Move) (MoveResult, error)
+}
+
+// Report aggregates one Execute pass.
+type Report struct {
+	// Applied counts moves that landed.
+	Applied int
+	// MetadataMoves counts applied moves that copied zero bytes.
+	MetadataMoves int
+	// BytesCopied sums data volume across applied moves.
+	BytesCopied int64
+	// Skipped lists moves deferred by a retryable condition (segment busy
+	// under compaction, or the plan went stale mid-flight); the caller
+	// re-plans and retries.
+	Skipped []Move
+}
+
+// Execute applies a plan's moves in order through the Mover. A move failing
+// with a retryable error (per the retryable predicate; nil means nothing is
+// retryable) is recorded in Report.Skipped and execution continues; any
+// other failure is remembered and execution still continues, so one
+// unreachable segment never blocks the rest of the plan. The first hard
+// error is returned after the pass. Each move records a segment.move span
+// under whatever span the context carries.
+func Execute(ctx context.Context, mv Mover, plan Plan, retryable func(error) bool) (Report, error) {
+	var rep Report
+	var firstErr error
+	for _, m := range plan.Moves {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		sp, mctx := obs.StartSpan(ctx, "segment.move")
+		if sp.Active() {
+			sp.SetAttr("segment", m.Segment)
+			sp.SetAttr("from_to", fmt.Sprintf("%d->%d", m.From, m.To))
+		}
+		res, err := mv.Move(mctx, m)
+		switch {
+		case err == nil:
+			rep.Applied++
+			rep.BytesCopied += res.BytesCopied
+			if res.MetadataOnly {
+				rep.MetadataMoves++
+				if sp.Active() {
+					sp.SetAttr("metadata_only", "true")
+				}
+			}
+		case retryable != nil && retryable(err):
+			rep.Skipped = append(rep.Skipped, m)
+			if sp.Active() {
+				sp.SetAttr("skipped", err.Error())
+			}
+		default:
+			if firstErr == nil {
+				firstErr = err
+			}
+			if sp.Active() {
+				sp.SetAttr("error", err.Error())
+			}
+		}
+		sp.End()
+	}
+	return rep, firstErr
+}

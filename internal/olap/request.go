@@ -373,8 +373,8 @@ func (b *Broker) gather(ctx context.Context, req *QueryRequest, q *Query, router
 			// finishes (and recycles) the trace while this goroutine is still
 			// scanning, its span ops degrade to safe no-ops.
 			sp, sctx := obs.StartSpan(ctx, "server.scan")
-			sp.SetAttr("server", b.d.servers[si].Name())
-			p, err := b.d.servers[si].ExecuteOn(sctx, q, segs, execOpts)
+			sp.SetAttr("server", b.d.serverAt(si).Name())
+			p, err := b.d.serverAt(si).ExecuteOn(sctx, q, segs, execOpts)
 			if err != nil {
 				sp.SetAttr("error", err.Error())
 				sp.End()
@@ -393,8 +393,8 @@ func (b *Broker) gather(ctx context.Context, req *QueryRequest, q *Query, router
 	for _, cs := range consuming {
 		contacted[cs.owner] = true
 		go func(cs consumingScan) {
-			if b.d.servers[cs.owner].Down() {
-				errs <- fmt.Errorf("%w: consuming partition %d owner %s", ErrServerDown, cs.part, b.d.servers[cs.owner].Name())
+			if b.d.serverAt(cs.owner).Down() {
+				errs <- fmt.Errorf("%w: consuming partition %d owner %s", ErrServerDown, cs.part, b.d.serverAt(cs.owner).Name())
 				return
 			}
 			sp, _ := obs.StartSpan(ctx, "consuming.scan")
@@ -490,7 +490,7 @@ func (b *Broker) routeView() (*RouteView, *querySnapshot) {
 		PartitionColumn: d.cfg.PartitionColumn,
 		Partitions:      d.cfg.Partitions,
 		Replicas:        d.cfg.Replicas,
-		NumServers:      len(d.servers),
+		NumServers:      d.NumServers(),
 	}
 	view.Segments = make([]SegmentRoute, 0, len(d.placement))
 	for name, replicas := range d.placement {
@@ -545,9 +545,13 @@ func (b *Broker) routeView() (*RouteView, *querySnapshot) {
 	d.mu.Unlock()
 	sort.Slice(view.Segments, func(i, j int) bool { return view.Segments[i].Name < view.Segments[j].Name })
 	sort.Ints(view.ConsumingPartitions)
-	view.Live = func(i int) bool { return !d.servers[i].Down() }
-	view.Has = func(i int, seg string) bool { return d.servers[i].HasSegment(seg) }
-	view.ServerName = func(i int) string { return d.servers[i].Name() }
+	view.Live = func(i int) bool { return !d.serverAt(i).Down() }
+	// Hosts, not HasSegment: a snapshot that routed just before a rebalance
+	// or compaction swap may name a replica whose copy was retired in the
+	// meantime — the retired copy still answers exactly during the grace
+	// window, so the router must not prune the segment's only live replica.
+	view.Has = func(i int, seg string) bool { return d.serverAt(i).Hosts(seg) }
+	view.ServerName = func(i int) string { return d.serverAt(i).Name() }
 	return view, snapshot
 }
 

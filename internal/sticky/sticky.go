@@ -1,0 +1,168 @@
+// Package sticky is the uReplicator sticky-assignment algebra (§4.1.4),
+// extracted so every layer that balances items across a mutable worker set
+// shares one implementation: the stream replicator balances topic-partitions
+// across replication workers, and the OLAP segment rebalancer balances
+// sealed-segment replica slots across servers.
+//
+// The algebra is: keep every item on its current worker when that worker
+// survives, shed only the overload above the balanced share, and place the
+// orphans (items from dead workers, new items, shed overload) on the
+// least-loaded workers in deterministic order. The number of moved items is
+// minimal up to the balanced-share constraint — on a scale-out from N to N+1
+// workers roughly 1/(N+1) of the items move, where a naive re-hash moves
+// almost all of them.
+//
+// Two optional constraints generalize the core beyond the replicator's use:
+//
+//   - Conflict forbids an item from joining a worker's tentative list (the
+//     segment rebalancer uses it to keep a segment's replicas on distinct
+//     servers);
+//   - Pin forces an item onto one worker regardless of balance (the upsert
+//     partition-owner anchor: §4.3.1 routes an upsert segment to its
+//     partition owner, so that replica slot must not wander).
+package sticky
+
+import "sort"
+
+// Options tunes one Rebalance call. The zero value reproduces the original
+// replicator behavior except for orphan ordering, which Less must supply.
+type Options[K comparable] struct {
+	// Less orders orphaned items deterministically before placement
+	// (required — placement order decides which orphan lands where).
+	Less func(a, b K) bool
+	// Conflict, when non-nil, reports that item must not join a worker whose
+	// tentative assignment is assigned. A conflicted-everywhere orphan is
+	// dropped from the result (the caller sees the slot unassigned).
+	Conflict func(item K, assigned []K) bool
+	// Pin, when non-nil, names the worker an item must stay on ("" for
+	// unpinned). Pinned items are never shed and count toward their worker's
+	// load; a pin to a worker outside the live set degrades to unpinned.
+	Pin func(item K) string
+}
+
+// Rebalance computes a new assignment of items to workers, keeping every
+// item on its current worker when possible and moving only the minimum
+// needed to fill new workers up to the balanced share. It returns the new
+// assignment and the number of moved items (an item whose previous owner
+// differs from its new one; items without a previous owner are not counted).
+func Rebalance[K comparable](current map[string][]K, workers []string, items []K, opt Options[K]) (map[string][]K, int) {
+	next := make(map[string][]K, len(workers))
+	live := make(map[string]bool, len(workers))
+	for _, w := range workers {
+		next[w] = nil
+		live[w] = true
+	}
+	// Previous ownership, live or dead: used for the affected-item count (an
+	// item orphaned by a dead worker is affected when it lands elsewhere).
+	prevOwner := make(map[K]string)
+	for w, ks := range current {
+		for _, k := range ks {
+			prevOwner[k] = w
+		}
+	}
+	moved := 0
+	// Pinned items first: they sit on their pinned worker no matter what and
+	// are immune to shedding.
+	pinned := make(map[K]bool)
+	var rest []K
+	for _, k := range items {
+		if opt.Pin != nil {
+			if w := opt.Pin(k); w != "" && live[w] {
+				pinned[k] = true
+				next[w] = append(next[w], k)
+				if prev, had := prevOwner[k]; had && prev != w {
+					moved++
+				}
+				continue
+			}
+		}
+		rest = append(rest, k)
+	}
+	// Keep items on live workers; collect orphans (from dead workers or
+	// newly appearing items).
+	var orphans []K
+	for _, k := range rest {
+		if w, ok := prevOwner[k]; ok && live[w] {
+			next[w] = append(next[w], k)
+		} else {
+			orphans = append(orphans, k)
+		}
+	}
+	if len(workers) == 0 {
+		return next, moved
+	}
+	target := (len(items) + len(workers) - 1) / len(workers)
+	// Shed overload: workers above the balanced share give up their excess,
+	// newest-kept first (the tail), skipping pinned items.
+	sortedWorkers := append([]string(nil), workers...)
+	sort.Strings(sortedWorkers)
+	for _, w := range sortedWorkers {
+		for i := len(next[w]) - 1; i >= 0 && len(next[w]) > target; i-- {
+			k := next[w][i]
+			if pinned[k] {
+				continue
+			}
+			next[w] = append(next[w][:i], next[w][i+1:]...)
+			orphans = append(orphans, k)
+		}
+	}
+	// Place orphans on the least-loaded workers, in deterministic order.
+	if opt.Less != nil {
+		sort.Slice(orphans, func(i, j int) bool { return opt.Less(orphans[i], orphans[j]) })
+	}
+	for _, k := range orphans {
+		best := ""
+		for _, w := range sortedWorkers {
+			if opt.Conflict != nil && opt.Conflict(k, next[w]) {
+				continue
+			}
+			if best == "" || len(next[w]) < len(next[best]) {
+				best = w
+			}
+		}
+		if best == "" {
+			continue // conflicted everywhere: leave the slot unassigned
+		}
+		next[best] = append(next[best], k)
+		if prev, had := prevOwner[k]; had && prev != best {
+			moved++
+		}
+	}
+	return next, moved
+}
+
+// Naive is the baseline strategy the sticky algorithm is measured against:
+// item i (in Less order) goes to worker i % len(workers), with no regard for
+// current placement. It returns the new assignment and the number of items
+// that changed workers (items without a previous owner count as moved —
+// they must be transferred either way).
+func Naive[K comparable](current map[string][]K, workers []string, items []K, less func(a, b K) bool) (map[string][]K, int) {
+	next := make(map[string][]K, len(workers))
+	sortedWorkers := append([]string(nil), workers...)
+	sort.Strings(sortedWorkers)
+	for _, w := range sortedWorkers {
+		next[w] = nil
+	}
+	prevOwner := make(map[K]string)
+	for w, ks := range current {
+		for _, k := range ks {
+			prevOwner[k] = w
+		}
+	}
+	sorted := append([]K(nil), items...)
+	if less != nil {
+		sort.Slice(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
+	}
+	moved := 0
+	if len(sortedWorkers) == 0 {
+		return next, 0
+	}
+	for i, k := range sorted {
+		w := sortedWorkers[i%len(sortedWorkers)]
+		next[w] = append(next[w], k)
+		if prev, ok := prevOwner[k]; !ok || prev != w {
+			moved++
+		}
+	}
+	return next, moved
+}

@@ -1,0 +1,231 @@
+package sticky
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func count(a map[string][]int) int {
+	n := 0
+	for _, ks := range a {
+		n += len(ks)
+	}
+	return n
+}
+
+func owners(a map[string][]int) map[int]string {
+	o := make(map[int]string)
+	for w, ks := range a {
+		for _, k := range ks {
+			o[k] = w
+		}
+	}
+	return o
+}
+
+func TestRebalanceFromScratchBalances(t *testing.T) {
+	workers := []string{"w0", "w1", "w2"}
+	next, moved := Rebalance[int](nil, workers, seq(9), Options[int]{Less: intLess})
+	if moved != 0 {
+		t.Errorf("fresh assignment moved %d, want 0 (nothing had a previous owner)", moved)
+	}
+	if count(next) != 9 {
+		t.Fatalf("assigned %d items, want 9", count(next))
+	}
+	for _, w := range workers {
+		if len(next[w]) != 3 {
+			t.Errorf("worker %s got %d items, want 3", w, len(next[w]))
+		}
+	}
+}
+
+func TestRebalanceScaleOutMovesMinimum(t *testing.T) {
+	items := seq(12)
+	cur, _ := Rebalance[int](nil, []string{"w0", "w1", "w2"}, items, Options[int]{Less: intLess})
+	next, moved := Rebalance(cur, []string{"w0", "w1", "w2", "w3"}, items, Options[int]{Less: intLess})
+	// 12 items across 4 workers: target 3; each old worker sheds 1.
+	if moved != 3 {
+		t.Errorf("scale-out moved %d, want 3 (1/N of the items)", moved)
+	}
+	if len(next["w3"]) != 3 {
+		t.Errorf("new worker got %d items, want 3", len(next["w3"]))
+	}
+	// Unmoved items stayed on their previous workers.
+	prev, now := owners(cur), owners(next)
+	stayed := 0
+	for k, w := range prev {
+		if now[k] == w {
+			stayed++
+		}
+	}
+	if stayed != 9 {
+		t.Errorf("%d items stayed, want 9", stayed)
+	}
+}
+
+func TestRebalanceDeadWorkerOrphans(t *testing.T) {
+	items := seq(9)
+	cur, _ := Rebalance[int](nil, []string{"w0", "w1", "w2"}, items, Options[int]{Less: intLess})
+	lost := len(cur["w2"])
+	next, moved := Rebalance(cur, []string{"w0", "w1"}, items, Options[int]{Less: intLess})
+	if moved != lost {
+		t.Errorf("moved %d, want exactly the dead worker's %d items", moved, lost)
+	}
+	if count(next) != 9 {
+		t.Errorf("assigned %d, want all 9", count(next))
+	}
+}
+
+func TestRebalanceConflictKeepsReplicasApart(t *testing.T) {
+	// Items 0 and 1 are two replica slots of the same logical unit: they
+	// must never share a worker.
+	same := func(a, b int) bool { return a/2 == b/2 }
+	conflict := func(item int, assigned []int) bool {
+		for _, k := range assigned {
+			if same(item, k) {
+				return true
+			}
+		}
+		return false
+	}
+	items := seq(8) // 4 units x 2 replicas
+	next, _ := Rebalance[int](nil, []string{"w0", "w1", "w2", "w3"}, items, Options[int]{Less: intLess, Conflict: conflict})
+	if count(next) != 8 {
+		t.Fatalf("assigned %d, want 8", count(next))
+	}
+	for w, ks := range next {
+		for i := 0; i < len(ks); i++ {
+			for j := i + 1; j < len(ks); j++ {
+				if same(ks[i], ks[j]) {
+					t.Errorf("worker %s holds both replicas of unit %d", w, ks[i]/2)
+				}
+			}
+		}
+	}
+}
+
+func TestRebalanceConflictedEverywhereDropsSlot(t *testing.T) {
+	conflict := func(int, []int) bool { return true }
+	next, moved := Rebalance[int](nil, []string{"w0"}, seq(3), Options[int]{Less: intLess, Conflict: conflict})
+	if count(next) != 0 || moved != 0 {
+		t.Errorf("fully conflicted items should stay unassigned, got %v moved=%d", next, moved)
+	}
+}
+
+func TestRebalancePinOverridesBalanceAndShed(t *testing.T) {
+	pin := func(k int) string {
+		if k < 4 {
+			return "w0" // all four pinned items crowd one worker
+		}
+		return ""
+	}
+	items := seq(6)
+	next, _ := Rebalance[int](nil, []string{"w0", "w1", "w2"}, items, Options[int]{Less: intLess, Pin: pin})
+	got := append([]int(nil), next["w0"]...)
+	sort.Ints(got)
+	want := []int{0, 1, 2, 3}
+	if len(got) < 4 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] || got[3] != want[3] {
+		t.Errorf("pinned items not all on w0: %v", next["w0"])
+	}
+	// Re-running with the same pins moves nothing.
+	_, moved := Rebalance(next, []string{"w0", "w1", "w2"}, items, Options[int]{Less: intLess, Pin: pin})
+	if moved != 0 {
+		t.Errorf("stable pinned rebalance moved %d, want 0", moved)
+	}
+}
+
+func TestRebalancePinToDeadWorkerDegradesToUnpinned(t *testing.T) {
+	pin := func(k int) string { return "gone" }
+	next, _ := Rebalance[int](nil, []string{"w0", "w1"}, seq(4), Options[int]{Less: intLess, Pin: pin})
+	if count(next) != 4 {
+		t.Errorf("items pinned to a dead worker must still be placed, got %d/4", count(next))
+	}
+}
+
+func TestRebalanceIdempotent(t *testing.T) {
+	items := seq(10)
+	workers := []string{"a", "b", "c"}
+	cur, _ := Rebalance[int](nil, workers, items, Options[int]{Less: intLess})
+	again, moved := Rebalance(cur, workers, items, Options[int]{Less: intLess})
+	if moved != 0 {
+		t.Errorf("stable rebalance moved %d, want 0", moved)
+	}
+	if fmt.Sprint(owners(cur)) != fmt.Sprint(owners(again)) {
+		t.Error("stable rebalance changed ownership")
+	}
+}
+
+func TestNaiveMovesAlmostEverythingOnScaleOut(t *testing.T) {
+	items := seq(30)
+	cur, _ := Naive[int](nil, []string{"w0", "w1", "w2"}, items, intLess)
+	_, naiveMoved := Naive(cur, []string{"w0", "w1", "w2", "w3"}, items, intLess)
+	_, stickyMoved := Rebalance(cur, []string{"w0", "w1", "w2", "w3"}, items, Options[int]{Less: intLess})
+	if naiveMoved <= 2*stickyMoved {
+		t.Errorf("naive should move far more than sticky: naive=%d sticky=%d", naiveMoved, stickyMoved)
+	}
+	target := (len(items) + 3) / 4
+	if stickyMoved > target {
+		t.Errorf("sticky moved %d, want <= balanced share %d", stickyMoved, target)
+	}
+}
+
+func TestRebalanceRandomizedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nItems := 1 + rng.Intn(40)
+		nWorkers := 1 + rng.Intn(6)
+		items := seq(nItems)
+		var workers []string
+		for i := 0; i < nWorkers; i++ {
+			workers = append(workers, fmt.Sprintf("w%d", i))
+		}
+		cur, _ := Rebalance[int](nil, workers, items, Options[int]{Less: intLess})
+		// Membership change: drop up to one worker, add up to two.
+		next := append([]string(nil), workers...)
+		if nWorkers > 1 && rng.Intn(2) == 0 {
+			next = next[1:]
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			next = append(next, fmt.Sprintf("n%d", i))
+		}
+		out, moved := Rebalance(cur, next, items, Options[int]{Less: intLess})
+		if count(out) != nItems {
+			t.Fatalf("trial %d: %d items assigned, want %d", trial, count(out), nItems)
+		}
+		target := (nItems + len(next) - 1) / len(next)
+		for w, ks := range out {
+			if len(ks) > target {
+				t.Fatalf("trial %d: worker %s over target: %d > %d", trial, w, len(ks), target)
+			}
+		}
+		// Minimality bound: at most the dead workers' items plus the shed
+		// overload move.
+		bound := 0
+		liveNext := make(map[string]bool)
+		for _, w := range next {
+			liveNext[w] = true
+		}
+		for w, ks := range cur {
+			if !liveNext[w] {
+				bound += len(ks)
+			} else if len(ks) > target {
+				bound += len(ks) - target
+			}
+		}
+		if moved > bound {
+			t.Fatalf("trial %d: moved %d > minimality bound %d", trial, moved, bound)
+		}
+	}
+}

@@ -16,10 +16,10 @@ package replicator
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/sticky"
 	"repro/internal/stream"
 )
 
@@ -60,69 +60,25 @@ func (a Assignment) count() int {
 	return n
 }
 
+// tpLess is the deterministic topic-partition order the rebalance
+// strategies place orphans in.
+func tpLess(a, b stream.TopicPartition) bool {
+	if a.Topic != b.Topic {
+		return a.Topic < b.Topic
+	}
+	return a.Partition < b.Partition
+}
+
 // StickyRebalance computes a new assignment for the given workers, keeping
 // every partition on its current worker when possible and moving only the
 // minimum needed to fill new workers up to the balanced share. It returns
-// the new assignment and the number of moved partitions.
+// the new assignment and the number of moved partitions. The algorithm is
+// the shared sticky-assignment core (internal/sticky) with no placement
+// constraints — the same algebra the OLAP segment rebalancer applies to
+// sealed-segment replicas.
 func StickyRebalance(current Assignment, workers []string, partitions []stream.TopicPartition) (Assignment, int) {
-	next := make(Assignment, len(workers))
-	live := make(map[string]bool, len(workers))
-	for _, w := range workers {
-		next[w] = nil
-		live[w] = true
-	}
-	// Previous ownership, live or dead: used for the affected-partition
-	// count (a partition orphaned by a dead worker is affected).
-	prevOwner := make(map[stream.TopicPartition]string)
-	for w, tps := range current {
-		for _, tp := range tps {
-			prevOwner[tp] = w
-		}
-	}
-	// Keep partitions on live workers; collect orphans (from dead workers
-	// or newly appearing partitions).
-	var orphans []stream.TopicPartition
-	for _, tp := range partitions {
-		if w, ok := prevOwner[tp]; ok && live[w] {
-			next[w] = append(next[w], tp)
-		} else {
-			orphans = append(orphans, tp)
-		}
-	}
-	if len(workers) == 0 {
-		return next, 0
-	}
-	target := (len(partitions) + len(workers) - 1) / len(workers)
-	// Shed overload: workers above the balanced share give up their excess.
-	sortedWorkers := append([]string(nil), workers...)
-	sort.Strings(sortedWorkers)
-	for _, w := range sortedWorkers {
-		for len(next[w]) > target {
-			tp := next[w][len(next[w])-1]
-			next[w] = next[w][:len(next[w])-1]
-			orphans = append(orphans, tp)
-		}
-	}
-	// Place orphans on the least-loaded workers.
-	sort.Slice(orphans, func(i, j int) bool {
-		if orphans[i].Topic != orphans[j].Topic {
-			return orphans[i].Topic < orphans[j].Topic
-		}
-		return orphans[i].Partition < orphans[j].Partition
-	})
-	moved := 0
-	for _, tp := range orphans {
-		best := ""
-		for _, w := range sortedWorkers {
-			if best == "" || len(next[w]) < len(next[best]) {
-				best = w
-			}
-		}
-		next[best] = append(next[best], tp)
-		if prev, had := prevOwner[tp]; had && prev != best {
-			moved++
-		}
-	}
+	next, moved := sticky.Rebalance(current, workers, partitions,
+		sticky.Options[stream.TopicPartition]{Less: tpLess})
 	return next, moved
 }
 
@@ -130,33 +86,7 @@ func StickyRebalance(current Assignment, workers []string, partitions []stream.T
 // i % len(workers), with no regard for current placement. It returns the new
 // assignment and the number of partitions that changed workers.
 func NaiveRebalance(current Assignment, workers []string, partitions []stream.TopicPartition) (Assignment, int) {
-	next := make(Assignment, len(workers))
-	sortedWorkers := append([]string(nil), workers...)
-	sort.Strings(sortedWorkers)
-	for _, w := range sortedWorkers {
-		next[w] = nil
-	}
-	prevOwner := make(map[stream.TopicPartition]string)
-	for w, tps := range current {
-		for _, tp := range tps {
-			prevOwner[tp] = w
-		}
-	}
-	sorted := append([]stream.TopicPartition(nil), partitions...)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Topic != sorted[j].Topic {
-			return sorted[i].Topic < sorted[j].Topic
-		}
-		return sorted[i].Partition < sorted[j].Partition
-	})
-	moved := 0
-	for i, tp := range sorted {
-		w := sortedWorkers[i%len(sortedWorkers)]
-		next[w] = append(next[w], tp)
-		if prev, ok := prevOwner[tp]; !ok || prev != w {
-			moved++
-		}
-	}
+	next, moved := sticky.Naive(current, workers, partitions, tpLess)
 	return next, moved
 }
 
