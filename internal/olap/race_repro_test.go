@@ -1,0 +1,47 @@
+package olap
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Repro: applyMove reads src.valid under d.mu only, while PurgeRetired
+// mutates s.valid under s.mu only.
+func TestRaceApplyMoveVsPurge(t *testing.T) {
+	d, _ := newDeployment(t, 4, 2, false, BackupP2P, nil)
+	ingestOrders(t, d, 2000, 4)
+	for p := 0; p < 4; p++ {
+		if err := d.Seal(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.AddServer(NewServer("server-4"))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.PurgeRetired(0)
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if _, err := d.Rebalance(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		ingestOrders(t, d, 200, 4)
+		for p := 0; p < 4; p++ {
+			_ = d.Seal(p)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
