@@ -1,0 +1,131 @@
+// Package analysistest runs repolint analyzers over fixture packages and
+// checks their diagnostics against // want annotations, mirroring
+// x/tools/go/analysis/analysistest on the stdlib-only framework in
+// internal/analysis.
+//
+// A fixture is a directory of Go files (conventionally under
+// testdata/src/<analyzer>/, which the go tool never builds). Lines that
+// must produce a diagnostic carry a trailing comment:
+//
+//	s.ch <- 1 // want `channel send while s\.mu is held`
+//
+// The quoted text (backquotes or double quotes; several per comment are
+// allowed for lines with multiple findings) is a regexp matched against
+// the diagnostic message. Every expectation must be met by exactly one
+// diagnostic on its line and every diagnostic must meet an expectation,
+// so fixtures prove both that violations are caught and that conforming
+// code stays clean.
+package analysistest
+
+import (
+	"regexp"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// wantText finds the expectation section of a comment.
+var wantText = regexp.MustCompile(`// want (.*)$`)
+
+// wantPattern extracts each backquoted or double-quoted regexp.
+var wantPattern = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads dir as package pkgPath, applies the analyzers under cfg, and
+// reports any mismatch between diagnostics and // want annotations as test
+// errors. It returns the diagnostics for additional assertions.
+func Run(t *testing.T, dir, pkgPath string, analyzers []*analysis.Analyzer, cfg *analysis.Config) []analysis.Diagnostic {
+	t.Helper()
+	unit, err := load.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(unit, cfg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers over %s: %v", dir, err)
+	}
+	wants := collectWants(t, unit)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range wants {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", e.file, e.line, e.raw)
+		}
+	}
+	return diags
+}
+
+// RunNoWants loads and analyzes the fixture like Run but ignores its
+// // want annotations, returning the raw diagnostics — for tests that
+// reuse a fixture under a config where the annotations don't apply.
+func RunNoWants(t *testing.T, dir, pkgPath string, analyzers []*analysis.Analyzer, cfg *analysis.Config) []analysis.Diagnostic {
+	t.Helper()
+	unit, err := load.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(unit, cfg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers over %s: %v", dir, err)
+	}
+	return diags
+}
+
+// collectWants scans the fixture's comments for // want annotations.
+func collectWants(t *testing.T, unit *analysis.Unit) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantText.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := unit.Fset.Position(c.Pos())
+				patterns := wantPattern.FindAllStringSubmatch(m[1], -1)
+				if len(patterns) == 0 {
+					t.Fatalf("%s:%d: want comment without a quoted pattern: %s", pos.Filename, pos.Line, c.Text)
+				}
+				for _, p := range patterns {
+					raw := p[1]
+					if raw == "" {
+						raw = p[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line that
+// its message satisfies.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range wants {
+		if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+			continue
+		}
+		if e.re.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,78 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// VetConfig mirrors the JSON configuration cmd/go writes for a vet tool
+// (one file per compilation unit; see cmd/go/internal/work's vet action).
+// Only the fields repolint needs are decoded.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// LoadVetConfig reads a vet.cfg and type-checks its compilation unit. The
+// boolean reports whether the unit should be analyzed at all (cmd/go asks
+// for facts-only passes over dependencies with VetxOnly).
+func LoadVetConfig(path string) (*analysis.Unit, *VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+
+	lookup := func(p string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[p]; ok {
+			p = mapped
+		}
+		f, ok := cfg.PackageFile[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(f)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, cfg.Compiler, lookup)
+	unit, err := typecheck(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, &cfg, nil
+		}
+		return nil, &cfg, err
+	}
+	return unit, &cfg, nil
+}
+
+// WriteVetx writes the (empty) facts output cmd/go expects to exist after
+// a successful run. Repolint's analyzers are configured from the facts
+// layer in internal/analysis/config.go instead of serialized facts, so the
+// file only marks completion.
+func (cfg *VetConfig) WriteVetx() error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte("repolint\n"), 0o666)
+}

@@ -1,0 +1,350 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Lock-region computation: a control-flow-aware lexical approximation of
+// "which statements run while recv.mu is held", shared by genbump and
+// lockscope.
+//
+// A function body's statement lists are walked structurally. A Lock/RLock
+// on a configured mutex opens a region; the matching Unlock closes it;
+// `defer mu.Unlock()` (directly or inside a deferred closure, which is
+// excluded from scanning anyway) extends the region to the end of the
+// function. An Unlock in a nested early-exit branch —
+//
+//	if !ok {
+//	    d.mu.Unlock()
+//	    return nil
+//	}
+//
+// does not close the outer region: it punches an unlocked "hole" covering
+// the branch remainder, because control either leaves the function through
+// the branch or continues past the if with the lock still held. Ambiguous
+// shapes (an Unlock in a branch that falls through) close the region,
+// which can only under-report, never over-report, "X happened under the
+// lock".
+//
+// Function literals are attributed to the function in which they appear
+// only when invoked immediately; bodies of go statements, deferred
+// closures and stored closures execute outside the lexical critical
+// section and are excluded (cutouts).
+
+type posRange struct{ start, end token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return p > r.start && p < r.end }
+
+// lockRegion is one lexically-held interval of a specific mutex.
+type lockRegion struct {
+	key   lockKey
+	read  bool // RLock region
+	start token.Pos
+	end   token.Pos
+	holes []posRange // early-exit branch remainders after a nested Unlock
+	depth int        // statement-list nesting level at the Lock
+}
+
+// lockKey identifies a mutex instance well enough for intra-function
+// matching: the root object of the selector path plus the spelled path.
+type lockKey struct {
+	root types.Object
+	path string
+}
+
+// lockInfo is the result: held intervals plus the cutout subtrees that
+// must not count as locked.
+type lockInfo struct {
+	regions []lockRegion
+	cutouts []ast.Node
+}
+
+// inside reports whether pos falls in a locked region (optionally only
+// write-locked ones) and is not inside a hole or cutout.
+func (li *lockInfo) inside(pos token.Pos, writeOnly bool) (lockRegion, bool) {
+	for _, cut := range li.cutouts {
+		if pos >= cut.Pos() && pos < cut.End() {
+			return lockRegion{}, false
+		}
+	}
+	for _, r := range li.regions {
+		if writeOnly && r.read {
+			continue
+		}
+		if pos <= r.start || pos >= r.end {
+			continue
+		}
+		holed := false
+		for _, h := range r.holes {
+			if h.contains(pos) {
+				holed = true
+				break
+			}
+		}
+		if !holed {
+			return r, true
+		}
+	}
+	return lockRegion{}, false
+}
+
+// locksAny reports whether the function acquires any configured mutex.
+func (li *lockInfo) locksAny() bool { return len(li.regions) > 0 }
+
+type lockScanner struct {
+	p       *Pass
+	specs   []LockSpec
+	li      *lockInfo
+	open    map[lockKey][]int // indexes into li.regions, innermost last
+	bodyEnd token.Pos
+}
+
+// computeLockInfo scans body for configured mutex acquisitions.
+func computeLockInfo(p *Pass, body *ast.BlockStmt, specs []LockSpec) *lockInfo {
+	li := &lockInfo{}
+	if body == nil {
+		return li
+	}
+	collectCutouts(li, body)
+	sc := &lockScanner{p: p, specs: specs, li: li, open: map[lockKey][]int{}, bodyEnd: body.End()}
+	sc.scanList(body.List, 0)
+	return li
+}
+
+// collectCutouts records the subtrees that do not run inline: go-statement
+// calls, deferred closures, and stored/passed function literals. Only an
+// immediately-invoked literal (the Fun of a plain CallExpr) runs within
+// the lexical critical section.
+func collectCutouts(li *lockInfo, body *ast.BlockStmt) {
+	iife := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			li.cutouts = append(li.cutouts, n.Call)
+		case *ast.DeferStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				li.cutouts = append(li.cutouts, lit)
+			}
+		case *ast.CallExpr:
+			if lit, ok := n.Fun.(*ast.FuncLit); ok {
+				iife[lit] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && !iife[lit] {
+			li.cutouts = append(li.cutouts, lit)
+			return false
+		}
+		return true
+	})
+}
+
+// scanList walks one statement list at the given nesting depth.
+func (sc *lockScanner) scanList(list []ast.Stmt, depth int) {
+	for i, st := range list {
+		sc.scanStmt(st, list[i+1:], depth)
+	}
+}
+
+func (sc *lockScanner) scanStmt(st ast.Stmt, rest []ast.Stmt, depth int) {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			sc.handleCall(call, rest, depth)
+		}
+	case *ast.DeferStmt:
+		if key, op, ok := mutexOp(sc.p, s.Call, sc.specs); ok && (op == "Unlock" || op == "RUnlock") {
+			if opens := sc.open[key]; len(opens) > 0 {
+				idx := opens[len(opens)-1]
+				sc.open[key] = opens[:len(opens)-1]
+				sc.li.regions[idx].end = sc.bodyEnd
+			}
+		}
+	case *ast.IfStmt:
+		sc.scanList(s.Body.List, depth+1)
+		if s.Else != nil {
+			sc.scanStmt(s.Else, nil, depth)
+		}
+	case *ast.ForStmt:
+		sc.scanList(s.Body.List, depth+1)
+	case *ast.RangeStmt:
+		sc.scanList(s.Body.List, depth+1)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				sc.scanList(clause.Body, depth+1)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				sc.scanList(clause.Body, depth+1)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CommClause); ok {
+				sc.scanList(clause.Body, depth+1)
+			}
+		}
+	case *ast.BlockStmt:
+		sc.scanList(s.List, depth+1)
+	case *ast.LabeledStmt:
+		sc.scanStmt(s.Stmt, rest, depth)
+	}
+}
+
+// handleCall processes one statement-level call; rest is the remainder of
+// the enclosing statement list after it.
+func (sc *lockScanner) handleCall(call *ast.CallExpr, rest []ast.Stmt, depth int) {
+	key, op, ok := mutexOp(sc.p, call, sc.specs)
+	if !ok {
+		return
+	}
+	switch op {
+	case "Lock", "RLock":
+		sc.li.regions = append(sc.li.regions, lockRegion{
+			key:   key,
+			read:  op == "RLock",
+			start: call.End(),
+			end:   sc.bodyEnd, // provisional: until Unlock or function end
+			depth: depth,
+		})
+		sc.open[key] = append(sc.open[key], len(sc.li.regions)-1)
+	case "Unlock", "RUnlock":
+		opens := sc.open[key]
+		if len(opens) == 0 {
+			return
+		}
+		idx := opens[len(opens)-1]
+		r := &sc.li.regions[idx]
+		if r.depth < depth && terminates(rest) {
+			// Early-exit branch: the lock is released only on the path that
+			// leaves through this branch. The outer region stays open; the
+			// branch remainder becomes an unlocked hole.
+			r.holes = append(r.holes, posRange{start: call.End(), end: rest[len(rest)-1].End()})
+			return
+		}
+		sc.open[key] = opens[:len(opens)-1]
+		r.end = call.Pos()
+	}
+}
+
+// terminates reports whether a statement-list remainder definitely leaves
+// the enclosing list (return, branch, panic) rather than falling through.
+func terminates(rest []ast.Stmt) bool {
+	if len(rest) == 0 {
+		return false
+	}
+	switch last := rest[len(rest)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mutexOp matches a call of the form <path>.<mutex>.(R)Lock/(R)Unlock on a
+// configured mutex and returns its key and operation.
+func mutexOp(p *Pass, call *ast.CallExpr, specs []LockSpec) (lockKey, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	// sel.X must be a selector ending in a configured mutex field.
+	mutexSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	ownerType := p.TypeOf(mutexSel.X)
+	if ownerType == nil {
+		return lockKey{}, "", false
+	}
+	named := namedOf(ownerType)
+	if named == nil {
+		return lockKey{}, "", false
+	}
+	matched := false
+	for _, s := range specs {
+		if named.Obj().Name() == s.Type && pkgPathOf(named) == s.Pkg && mutexSel.Sel.Name == s.Field {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return lockKey{}, "", false
+	}
+	return lockKey{root: rootObject(p, mutexSel.X), path: exprPath(mutexSel)}, op, true
+}
+
+// namedOf unwraps pointers and aliases down to a named type.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		case *types.Alias:
+			t = types.Unalias(tt)
+		default:
+			return nil
+		}
+	}
+}
+
+func pkgPathOf(n *types.Named) string {
+	if n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path()
+}
+
+// rootObject resolves the base identifier's object of a selector chain.
+func rootObject(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch ee := e.(type) {
+		case *ast.Ident:
+			return p.ObjectOf(ee)
+		case *ast.SelectorExpr:
+			e = ee.X
+		case *ast.ParenExpr:
+			e = ee.X
+		case *ast.IndexExpr:
+			e = ee.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprPath renders a selector chain as text (d.mu, s.peers[i].mu → approx).
+func exprPath(e ast.Expr) string {
+	switch ee := e.(type) {
+	case *ast.Ident:
+		return ee.Name
+	case *ast.SelectorExpr:
+		return exprPath(ee.X) + "." + ee.Sel.Name
+	case *ast.ParenExpr:
+		return exprPath(ee.X)
+	case *ast.IndexExpr:
+		return exprPath(ee.X) + "[…]"
+	default:
+		return "…"
+	}
+}

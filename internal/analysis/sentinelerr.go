@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SentinelErr enforces errors.Is matching for package sentinel errors. The
+// retry and failover paths (the broker's one re-route on ErrServerDown, the
+// lifecycle sweep's ErrSegmentsBusy soft-skip, admission's typed
+// ErrOverloaded) depend on sentinel matching surviving %w wrapping; a
+// ==/!= comparison silently stops matching the moment any layer adds
+// context to the error, which is exactly how PR 3's fmt.Errorf("%w: …")
+// chains deliver them.
+//
+// A sentinel is any package-level variable of type error whose name starts
+// with Err or err. Comparisons against nil are fine; switch statements
+// over an error value with sentinel cases are the same bug in disguise and
+// are flagged too.
+var SentinelErr = &Analyzer{
+	Name: "sentinelerr",
+	Doc:  "package sentinel Err* values must be matched with errors.Is, not ==/!=",
+	Run:  runSentinelErr,
+}
+
+func runSentinelErr(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if name, ok := sentinelRef(p, side); ok {
+						p.Reportf(n.Pos(), "error compared with %s against sentinel %s: use errors.Is so wrapped errors still match", n.Op, name)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorType(p.TypeOf(n.Tag)) {
+					return true
+				}
+				for _, cc := range n.Body.List {
+					clause, ok := cc.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range clause.List {
+						if name, ok := sentinelRef(p, e); ok {
+							p.Reportf(e.Pos(), "switch over an error with sentinel case %s: use errors.Is so wrapped errors still match", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelRef reports whether e denotes a package-level error variable
+// following the Err*/err* naming convention.
+func sentinelRef(p *Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch ee := e.(type) {
+	case *ast.Ident:
+		id = ee
+	case *ast.SelectorExpr:
+		id = ee.Sel
+	default:
+		return "", false
+	}
+	obj := p.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return "", false
+	}
+	// Package-level: declared directly in the package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !strings.HasPrefix(v.Name(), "Err") && !strings.HasPrefix(v.Name(), "err") {
+		return "", false
+	}
+	if !isErrorType(v.Type()) {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}

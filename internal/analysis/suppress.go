@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression syntax:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// The directive covers diagnostics on its own line (end-of-line comment)
+// and on the line directly below (comment-above style). The justification
+// is mandatory: a suppression without one is itself reported, and so is a
+// directive that suppressed nothing — stale excuses fail the build exactly
+// like the violations they once covered.
+
+const ignorePrefix = "//lint:ignore "
+
+type suppression struct {
+	pos       token.Position
+	analyzers []string
+	justified bool
+	used      bool
+}
+
+type suppressionSet struct {
+	// byLine indexes suppressions by (filename, covered line).
+	byLine map[string][]*suppression
+	all    []*suppression
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	// strconv-free tiny helper to keep imports minimal is not worth it;
+	// but fmt.Sprintf in a hot loop is. Lines are small positive ints.
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// collectSuppressions scans every comment in the files for lint:ignore
+// directives.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
+	set := &suppressionSet{byLine: make(map[string][]*suppression)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(text[len(ignorePrefix):])
+				name, just, _ := strings.Cut(rest, " ")
+				s := &suppression{
+					pos:       fset.Position(c.Pos()),
+					analyzers: strings.Split(name, ","),
+					justified: strings.TrimSpace(just) != "",
+				}
+				set.all = append(set.all, s)
+				// Cover the directive's own line (EOL style) and the next
+				// line (above style).
+				set.byLine[lineKey(s.pos.Filename, s.pos.Line)] = append(set.byLine[lineKey(s.pos.Filename, s.pos.Line)], s)
+				set.byLine[lineKey(s.pos.Filename, s.pos.Line+1)] = append(set.byLine[lineKey(s.pos.Filename, s.pos.Line+1)], s)
+			}
+		}
+	}
+	return set
+}
+
+// filter drops suppressed diagnostics, marking the directives used.
+func (set *suppressionSet) filter(diags []Diagnostic) []Diagnostic {
+	if len(set.all) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if set.match(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func (set *suppressionSet) match(d Diagnostic) bool {
+	for _, s := range set.byLine[lineKey(d.Pos.Filename, d.Pos.Line)] {
+		for _, a := range s.analyzers {
+			if a == d.Analyzer {
+				s.used = true
+				// An unjustified directive still suppresses nothing: the
+				// finding stays, alongside the justification complaint.
+				return s.justified
+			}
+		}
+	}
+	return false
+}
+
+// problems reports malformed or unused directives.
+func (set *suppressionSet) problems(analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, s := range set.all {
+		names := strings.Join(s.analyzers, ",")
+		relevant := false
+		for _, a := range s.analyzers {
+			if known[a] {
+				relevant = true
+				break
+			}
+		}
+		if !relevant {
+			// Directive for an analyzer outside this run (e.g. staticcheck
+			// checks): not ours to police.
+			continue
+		}
+		switch {
+		case !s.justified:
+			out = append(out, Diagnostic{Pos: s.pos, Analyzer: "repolint",
+				Message: "lint:ignore " + names + " needs a justification after the analyzer name"})
+		case !s.used:
+			out = append(out, Diagnostic{Pos: s.pos, Analyzer: "repolint",
+				Message: "lint:ignore " + names + " suppresses nothing on this or the next line; remove it"})
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+func a() {
+	//lint:ignore genbump justified and consuming the finding below
+	_ = 1
+}
+
+func b() {
+	//lint:ignore genbump
+	_ = 2
+}
+
+func c() {
+	//lint:ignore genbump justified but stale: nothing here to excuse
+	_ = 3
+}
+
+func d() {
+	//lint:ignore SA1000 staticcheck's business, not repolint's
+	_ = 4
+}
+`
+
+// TestSuppressionLifecycle covers the three directive fates: a justified,
+// used directive consumes its finding; an unjustified one suppresses
+// nothing and is itself reported; a justified-but-unused one is reported
+// as stale. Directives naming only foreign analyzers are left alone.
+func TestSuppressionLifecycle(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := collectSuppressions(fset, []*ast.File{f})
+	if len(set.all) != 4 {
+		t.Fatalf("collected %d directives, want 4", len(set.all))
+	}
+
+	after := func(s *suppression) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: s.pos.Filename, Line: s.pos.Line + 1},
+			Analyzer: "genbump",
+			Message:  "something mutated",
+		}
+	}
+	// Findings on the line after directives a and b.
+	kept := set.filter([]Diagnostic{after(set.all[0]), after(set.all[1])})
+	if len(kept) != 1 {
+		t.Fatalf("filter kept %d diagnostics, want 1 (the unjustified directive must not suppress)", len(kept))
+	}
+	if kept[0].Pos.Line != set.all[1].pos.Line+1 {
+		t.Fatalf("wrong diagnostic survived: %s", kept[0])
+	}
+
+	probs := set.problems(Analyzers())
+	if len(probs) != 2 {
+		t.Fatalf("problems reported %d diagnostics, want 2: %v", len(probs), probs)
+	}
+	var sawJustification, sawStale bool
+	for _, p := range probs {
+		if strings.Contains(p.Message, "needs a justification") {
+			sawJustification = true
+		}
+		if strings.Contains(p.Message, "suppresses nothing") {
+			sawStale = true
+		}
+	}
+	if !sawJustification || !sawStale {
+		t.Fatalf("missing problem classes in %v", probs)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: 7, Column: 3},
+		Analyzer: "lockscope",
+		Message:  "channel send while d.mu is held",
+	}
+	want := "x.go:7:3: lockscope: channel send while d.mu is held"
+	if d.String() != want {
+		t.Fatalf("String() = %q, want %q", d.String(), want)
+	}
+}

@@ -1,0 +1,38 @@
+// Fixture for the ctxflow analyzer: library packages never mint root
+// contexts, and exported APIs take ctx first.
+package ctxflow
+
+import "context"
+
+func Start() {
+	ctx := context.Background() // want `context\.Background\(\) in a library package`
+	_ = ctx
+}
+
+func Todo() {
+	_ = context.TODO() // want `context\.TODO\(\) in a library package`
+}
+
+func Threaded(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+func BadOrder(name string, ctx context.Context) error { // want `exported BadOrder takes context\.Context at parameter 1`
+	_ = name
+	return ctx.Err()
+}
+
+// badOrderUnexported is a package-internal call shape; only exported APIs
+// are held to the ctx-first convention.
+func badOrderUnexported(name string, ctx context.Context) error {
+	_ = name
+	return ctx.Err()
+}
+
+// allowedConvenience documents the suppression syntax: the justified
+// directive absorbs the finding on the next line.
+func allowedConvenience() {
+	//lint:ignore ctxflow fixture: a sanctioned legacy entry point
+	_ = context.Background()
+}

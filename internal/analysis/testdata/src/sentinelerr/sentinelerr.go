@@ -1,0 +1,51 @@
+// Fixture for the sentinelerr analyzer: sentinel errors must be matched
+// with errors.Is so %w-wrapped chains still match.
+package sentinelerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrDown = errors.New("down")
+var errInternal = errors.New("internal")
+
+func Classify(err error) string {
+	if err == ErrDown { // want `error compared with == against sentinel ErrDown`
+		return "down"
+	}
+	if err != errInternal { // want `error compared with != against sentinel errInternal`
+		return "other"
+	}
+	return ""
+}
+
+func Good(err error) bool {
+	return errors.Is(err, ErrDown)
+}
+
+func GoodNil(err error) bool {
+	return err == nil
+}
+
+func GoodWrap(err error) error {
+	return fmt.Errorf("while routing: %w", err)
+}
+
+func SwitchBad(err error) string {
+	switch err {
+	case ErrDown: // want `switch over an error with sentinel case ErrDown`
+		return "down"
+	default:
+		return "other"
+	}
+}
+
+// SwitchGood switches over a non-error value; not our business.
+func SwitchGood(code int) string {
+	switch code {
+	case 1:
+		return "one"
+	}
+	return ""
+}

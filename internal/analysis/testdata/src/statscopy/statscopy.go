@@ -1,0 +1,65 @@
+// Fixture for the statscopy analyzer: cache/view paths hand each caller
+// its own copy of a shared response, never the stored pointer.
+package statscopy
+
+type Resp struct {
+	Rows  int
+	Stats map[string]int64
+}
+
+type entry struct {
+	resp *Resp
+}
+
+type Cache struct {
+	m map[string]*entry
+}
+
+// BadStored returns the stored pointer: every caller shares Stats.
+func (c *Cache) BadStored(k string) *Resp {
+	e, ok := c.m[k]
+	if !ok {
+		return nil
+	}
+	return e.resp // want `returning a stored response pointer`
+}
+
+// GoodCopy hands each caller its own struct copy — the sanctioned idiom.
+func (c *Cache) GoodCopy(k string) *Resp {
+	e, ok := c.m[k]
+	if !ok {
+		return nil
+	}
+	out := *e.resp
+	return &out
+}
+
+// Passthrough returns the caller's stored pointer unchanged.
+func Passthrough(r *Resp) *Resp {
+	return r // want `returning a stored response pointer`
+}
+
+// GoodFresh builds its own response.
+func GoodFresh(rows int) *Resp {
+	return &Resp{Rows: rows}
+}
+
+type flat struct{ m map[string]*Resp }
+
+// BadIndexed returns a map element directly.
+func (f *flat) BadIndexed(k string) *Resp {
+	return f.m[k] // want `returning a stored response pointer`
+}
+
+// BadAssert returns an any-typed cache slot directly.
+func BadAssert(v any) *Resp {
+	return v.(*Resp) // want `returning a stored response pointer`
+}
+
+// GoodReassigned: a shared local overwritten with a fresh copy is clean.
+func GoodReassigned(r *Resp) *Resp {
+	out := r
+	cp := *r
+	out = &cp
+	return out
+}

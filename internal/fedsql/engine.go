@@ -119,6 +119,7 @@ func (e *Engine) Catalogs() []string {
 
 // Query parses and executes one SELECT with the background context.
 func (e *Engine) Query(sql string) (*Result, error) {
+	//lint:ignore ctxflow pre-PR-1 convenience entry point kept for callers with no context; QueryCtx is the cancellable API
 	return e.QueryCtx(context.Background(), sql)
 }
 

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -74,21 +75,39 @@ type managedJob struct {
 type JobManager struct {
 	cfg ManagerConfig
 
+	// ctx parents every managed job's context: cancelling it (via Close or
+	// the parent handed to NewJobManagerCtx) cancels all managed jobs.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu   sync.Mutex
 	jobs map[string]*managedJob
 
-	stop chan struct{}
-	done chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
 }
 
-// NewJobManager creates a manager and starts its monitor loop. Call Close
-// when done.
+// NewJobManager creates a manager with no parent lifecycle and starts its
+// monitor loop. Call Close when done. Prefer NewJobManagerCtx when the
+// embedding process has a shutdown context to thread.
 func NewJobManager(cfg ManagerConfig) *JobManager {
+	//lint:ignore ctxflow convenience for standalone managers with no surrounding lifecycle; NewJobManagerCtx is the threaded API
+	return NewJobManagerCtx(context.Background(), cfg)
+}
+
+// NewJobManagerCtx creates a manager parented on ctx and starts its monitor
+// loop. Cancelling ctx is equivalent to Close: monitoring stops and every
+// managed job is cancelled (each job's context descends from the manager's).
+func NewJobManagerCtx(parent context.Context, cfg ManagerConfig) *JobManager {
+	ctx, cancel := context.WithCancel(parent)
 	m := &JobManager{
-		cfg:  cfg.withDefaults(),
-		jobs: make(map[string]*managedJob),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		cfg:    cfg.withDefaults(),
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   make(map[string]*managedJob),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
 	go m.monitor()
 	return m
@@ -96,13 +115,9 @@ func NewJobManager(cfg ManagerConfig) *JobManager {
 
 // Close stops monitoring and cancels all managed jobs.
 func (m *JobManager) Close() {
-	select {
-	case <-m.stop:
-		return
-	default:
-		close(m.stop)
-	}
+	m.stopOnce.Do(func() { close(m.stop) })
 	<-m.done
+	m.cancel()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, mj := range m.jobs {
@@ -139,6 +154,9 @@ func (m *JobManager) launch(mj *managedJob, withRestore bool) error {
 		mj.lastErr = err
 		return err
 	}
+	// Thread the manager's lifecycle into the job: JobFactory predates
+	// context threading, so reparent the fresh job before it starts.
+	job.rebind(m.ctx)
 	if withRestore && job.spec.CheckpointStore != nil {
 		if err := job.RestoreLatest(); err != nil {
 			mj.lastErr = err
@@ -232,6 +250,8 @@ func (m *JobManager) monitor() {
 		select {
 		case <-m.stop:
 			return
+		case <-m.ctx.Done():
+			return // parent lifecycle ended; jobs die with the shared context
 		case <-ticker.C:
 			m.mu.Lock()
 			jobs := make([]*managedJob, 0, len(m.jobs))

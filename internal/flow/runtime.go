@@ -40,12 +40,22 @@ type Job struct {
 	wg      sync.WaitGroup
 }
 
-// NewJob validates the spec and prepares a job.
+// NewJob validates the spec and prepares a job with no parent lifecycle:
+// only Cancel (or a failure) stops it. Prefer NewJobCtx when the caller has
+// a context to thread — the JobManager does.
 func NewJob(spec JobSpec) (*Job, error) {
+	//lint:ignore ctxflow convenience for standalone jobs with no surrounding lifecycle; NewJobCtx is the threaded API
+	return NewJobCtx(context.Background(), spec)
+}
+
+// NewJobCtx validates the spec and prepares a job parented on ctx:
+// cancelling ctx cancels the job exactly like Cancel, and Wait then
+// returns the context's error.
+func NewJobCtx(parent context.Context, spec JobSpec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(parent)
 	total := 0
 	for _, st := range spec.Stages {
 		total += st.Parallelism
@@ -59,6 +69,18 @@ func NewJob(spec JobSpec) (*Job, error) {
 	}
 	j.coord = newCheckpointCoordinator(j)
 	return j, nil
+}
+
+// rebind reparents a not-yet-started job's context — the JobManager uses it
+// to thread its own lifecycle into jobs built by a JobFactory (whose
+// signature predates context threading). It is a no-op after Start.
+func (j *Job) rebind(parent context.Context) {
+	if j.started.Load() {
+		return
+	}
+	j.cancel() // release the placeholder context's resources
+	ctx, cancel := context.WithCancel(parent)
+	j.ctx, j.cancel = ctx, cancel
 }
 
 // Spec returns the job's (defaulted) spec.
@@ -156,6 +178,16 @@ func (j *Job) Start() error {
 	if j.spec.CheckpointStore != nil && j.spec.CheckpointInterval > 0 {
 		go j.autoCheckpoint()
 	}
+
+	// Surface external cancellation (a parent context from NewJobCtx, or
+	// Cancel) as the job's terminal error; first failure still wins.
+	go func() {
+		select {
+		case <-j.ctx.Done():
+			j.fail(j.ctx.Err())
+		case <-j.done:
+		}
+	}()
 
 	go func() {
 		j.wg.Wait()

@@ -531,6 +531,7 @@ type fakeViews struct {
 func (f *fakeViews) ServeView(key string) (*QueryResponse, int64, bool) {
 	f.calls++
 	if key == f.key {
+		//lint:ignore statscopy test double honoring the ViewServer contract: the broker copies before attaching per-query stats
 		return f.resp, f.stale, true
 	}
 	return nil, 0, false

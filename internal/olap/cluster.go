@@ -986,6 +986,7 @@ func (d *Deployment) Seal(partition int) error {
 		return nil
 	}
 	defer func() { d.sealHist.Observe(time.Since(sealStart)) }()
+	//lint:ignore genbump rows move from consuming to the sealing batch below; routeView folds both, so the visible set is unchanged and cached results stay exact — the swap section bumps
 	delete(d.consuming, partition)
 	seq := d.segSeq[partition]
 	d.segSeq[partition] = seq + 1
@@ -1000,6 +1001,7 @@ func (d *Deployment) Seal(partition int) error {
 	}
 	rows := ms.rows
 	batch := &sealingBatch{name: ms.name, rows: rows, invalid: ms.invalid}
+	//lint:ignore genbump second half of the consuming→sealing handover suppressed above: same rows, same visible set, no invalidation needed until the swap
 	d.sealing[partition] = append(d.sealing[partition], batch)
 	// invalidSnap is the supersede set as of now; anything added to
 	// batch.invalid after this point (concurrent upserts, recorded under
@@ -1173,6 +1175,10 @@ func (d *Deployment) restoreSealing(partition int, batch *sealingBatch, seq int)
 	if d.segSeq[partition] == seq+1 {
 		d.segSeq[partition] = seq
 	}
+	// The rollback restores the exact pre-seal visible set, but the row→
+	// segment attribution changed (batch rows are mutable again); bump so
+	// any view or cache entry keyed on the aborted layout refreshes.
+	d.bumpGen()
 }
 
 func (d *Deployment) storeKey(segment string) string {
@@ -1291,6 +1297,7 @@ func NewBrokerWithOptions(d *Deployment, opts BrokerOptions) *Broker {
 
 // Query executes a structured query with the broker's default context.
 func (b *Broker) Query(q *Query) (*Result, error) {
+	//lint:ignore ctxflow pre-PR-1 convenience entry point kept for callers with no context; QueryCtx is the cancellable API
 	return b.QueryCtx(context.Background(), q)
 }
 

@@ -1,6 +1,7 @@
 package olap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -190,6 +191,41 @@ func TestReplicaFailover(t *testing.T) {
 	}
 	if !reflect.DeepEqual(before.Rows, after.Rows) {
 		t.Errorf("failover changed result: %v vs %v", before.Rows, after.Rows)
+	}
+}
+
+// TestRerouteMatchesWrappedErrServerDown pins the errors.Is discipline the
+// sentinelerr analyzer enforces: ExecuteOn delivers ErrServerDown wrapped
+// with server context via %w, so the broker's one re-route must match by
+// unwrapping — a == comparison would see only the wrapper, never re-route,
+// and surface the outage to a caller whose data has a healthy replica.
+func TestRerouteMatchesWrappedErrServerDown(t *testing.T) {
+	d, servers := newDeployment(t, 3, 2, false, BackupP2P, nil)
+	ingestOrders(t, d, 200, 2)
+	for p := 0; p < 2; p++ {
+		if err := d.Seal(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	servers[0].SetDown(true)
+
+	// The failure the re-route path observes is the wrapped sentinel, not
+	// the bare value: errors.Is matches, string equality does not.
+	_, err := servers[0].ExecuteOn(context.Background(), &Query{Aggs: []AggSpec{{Kind: AggCount}}}, nil, ExecOptions{})
+	if !errors.Is(err, ErrServerDown) {
+		t.Fatalf("down server returned %v, want a wrapped ErrServerDown", err)
+	}
+	if err.Error() == ErrServerDown.Error() {
+		t.Fatalf("error %q is the bare sentinel; expected %%w wrapping to add server context", err)
+	}
+
+	// One re-route onto the surviving replica must absorb the wrapped error.
+	res, err := NewBroker(d).Query(&Query{Aggs: []AggSpec{{Kind: AggCount}}})
+	if err != nil {
+		t.Fatalf("re-route did not absorb the wrapped ErrServerDown: %v", err)
+	}
+	if got := res.Rows[0][0].(int64); got != 200 {
+		t.Errorf("count after failover = %v, want 200", got)
 	}
 }
 

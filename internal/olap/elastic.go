@@ -257,6 +257,7 @@ func (d *Deployment) rebalanceExcluding(ctx context.Context, exclude int) (Rebal
 // and applying only the moves off it. It returns the number of re-hosted
 // segments and an error if any segment could not be recovered.
 func (d *Deployment) RecoverServer(failed int) (int, error) {
+	//lint:ignore ctxflow recovery must run to completion even if the detecting caller goes away; a severed chain is the contract here
 	rep, err := d.rebalanceExcluding(context.Background(), failed)
 	return rep.Applied, err
 }

@@ -61,6 +61,11 @@ type Config struct {
 	MaxStaleness time.Duration
 	// Timeout bounds each (re)materialization execution; 0 means none.
 	Timeout time.Duration
+	// BaseContext, when set, parents every background re-materialization:
+	// cancelling it stops in-flight cold executions and retry loops, so an
+	// embedding process can shut a registry's maintenance down cleanly.
+	// Nil means maintenance is not tied to any lifecycle.
+	BaseContext context.Context
 }
 
 // Stats snapshots a registry's counters.
@@ -94,6 +99,9 @@ type Registry struct {
 	cold *olap.Broker
 	cfg  Config
 
+	// ctx parents background re-materializations (Config.BaseContext).
+	ctx context.Context
+
 	mu    sync.RWMutex
 	views map[string]*View
 
@@ -103,11 +111,17 @@ type Registry struct {
 // NewRegistry creates a registry over the deployment and subscribes it to
 // the deployment's mutation feed.
 func NewRegistry(d *olap.Deployment, cfg Config) *Registry {
+	ctx := cfg.BaseContext
+	if ctx == nil {
+		//lint:ignore ctxflow default for registries wired without a lifecycle; callers that need maintenance shutdown set Config.BaseContext
+		ctx = context.Background()
+	}
 	r := &Registry{
 		d:      d,
 		schema: d.Table().Schema,
 		cold:   olap.NewBroker(d),
 		cfg:    cfg,
+		ctx:    ctx,
 		views:  make(map[string]*View),
 	}
 	d.AddMutationHook(r.onMutation)
@@ -399,6 +413,7 @@ func (v *View) serve() (*olap.QueryResponse, int64, bool) {
 			return nil, 0, false
 		}
 		v.reg.hits.Add(1)
+		//lint:ignore statscopy documented ViewServer contract: the returned response is shared and the broker hands each caller a struct copy (respondView)
 		return v.snap, 0, true
 	}
 	// Dirty: serve the last consistent snapshot within the bound. A read
@@ -422,6 +437,7 @@ func (v *View) serve() (*olap.QueryResponse, int64, bool) {
 				ms = 1 // a stale serve is always explicit, even under 1ms
 			}
 			v.reg.staleHits.Add(1)
+			//lint:ignore statscopy same ViewServer contract as the fresh path: broker copies before attaching per-query stats
 			return v.last, ms, true
 		}
 	}
@@ -578,8 +594,16 @@ func (v *View) rematerialize() {
 	errs := 0
 	for {
 		r.remats.Add(1)
-		p, snapGen, err := r.cold.MaterializePartial(context.Background(), v.req)
+		p, snapGen, err := r.cold.MaterializePartial(r.ctx, v.req)
 		if err != nil {
+			if r.ctx.Err() != nil {
+				// Registry lifecycle ended: stop retrying and leave the view
+				// dirty; the broker falls through to normal execution.
+				v.qmu.Lock()
+				v.rematOn = false
+				v.qmu.Unlock()
+				return
+			}
 			errs++
 			if errs >= rematMaxRetries {
 				v.qmu.Lock()

@@ -222,6 +222,7 @@ func (p *Partial) Finalize(q *Query) (*Result, error) {
 // consuming-segment scan path, so the partial merges and finalizes
 // identically to scatter-gathered partials.
 func PartialOfRows(schema *metadata.Schema, rows []record.Record, q *Query) (*Partial, error) {
+	//lint:ignore ctxflow synchronous in-memory fold over an already-materialized batch: no I/O to cancel, and callers hold no context
 	return executeRows(context.Background(), schema, rows, q, func(int) bool { return true })
 }
 
