@@ -38,6 +38,11 @@ type Config struct {
 	// shared-result paths; elsewhere returning a response pointer you were
 	// handed is normal plumbing.
 	StatscopyPkgs []string
+
+	// Iterators lists the streaming-iterator types whose values, once
+	// obtained from an opening call, must be Closed on every path
+	// (analyzer: iterclose).
+	Iterators []TypeSpec
 }
 
 // GenGuard names one generation-guarded type: mutations of the listed
@@ -113,10 +118,16 @@ func DefaultConfig() *Config {
 				Methods: []string{"Get", "Put", "Delete", "List", "Len"}},
 			{Pkg: "repro/internal/fedsql", Type: "Connector",
 				Methods: []string{"Scan", "AggregateScan"}},
+			{Pkg: "repro/internal/fedsql", Type: "StreamingConnector",
+				Methods: []string{"OpenScan", "OpenAggregateScan"}},
+			{Pkg: "repro/internal/fedsql", Type: "RowIterator",
+				Methods: []string{"Next", "Close"}},
 			{Pkg: "repro/internal/olap", Type: "Broker",
-				Methods: []string{"Execute", "QueryCtx", "Query", "MaterializePartial"}},
+				Methods: []string{"Execute", "QueryCtx", "Query", "MaterializePartial", "ExecuteStream"}},
 			{Pkg: "repro/internal/olap", Type: "Server",
-				Methods: []string{"ExecuteOn"}},
+				Methods: []string{"ExecuteOn", "StreamOn"}},
+			{Pkg: "repro/internal/olap", Type: "QueryStream",
+				Methods: []string{"Next", "Close"}},
 			{Pkg: "time", Methods: []string{"Sleep"}},
 			{Pkg: "sync", Type: "WaitGroup", Methods: []string{"Wait"}},
 		},
@@ -134,6 +145,13 @@ func DefaultConfig() *Config {
 		StatscopyPkgs: []string{
 			"repro/internal/olap",
 			"repro/internal/olap/matview",
+		},
+		Iterators: []TypeSpec{
+			// PR 10: the Connector v3 streaming contract — a RowIterator from
+			// OpenScan holds broker producers and pooled batches until Close;
+			// a leaked one strands goroutines for the query's lifetime.
+			{Pkg: "repro/internal/fedsql", Name: "RowIterator"},
+			{Pkg: "repro/internal/olap", Name: "QueryStream"},
 		},
 	}
 }

@@ -2,7 +2,7 @@ package analysis
 
 // Analyzers returns the full repolint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{GenBump, LockScope, SentinelErr, CtxFlow, StatsCopy}
+	return []*Analyzer{GenBump, LockScope, SentinelErr, CtxFlow, StatsCopy, IterClose}
 }
 
 // ByName resolves a comma-separated analyzer selection; empty selects all.

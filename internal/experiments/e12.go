@@ -143,5 +143,6 @@ func AllWithIntegration() []Experiment {
 	merged = append(merged, matviewExperiments()...)
 	merged = append(merged, observabilityExperiments()...)
 	merged = append(merged, elasticityExperiments()...)
+	merged = append(merged, streamingExperiments()...)
 	return append(merged, Ablations()...)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/metadata"
@@ -85,6 +86,18 @@ type QueryStats struct {
 	// Router names the backend routing strategy ("" when the backend has
 	// none, e.g. the archive).
 	Router string
+	// Streamed marks that the row-scan fragment crossed the connector
+	// boundary as a pull-based batch stream (Connector v3 OpenScan) instead
+	// of one materialized slice — EXPLAIN's exec=streaming vs
+	// exec=materialized.
+	Streamed bool
+	// BatchesStreamed counts the batches that crossed the boundary (both
+	// true streams and materialized adapters chunk into batches).
+	BatchesStreamed int64
+	// PeakEngineBytes estimates the largest engine-resident row footprint
+	// the query needed at any one moment: the whole scan result for
+	// materialized paths, one in-flight batch for streaming paths.
+	PeakEngineBytes int64
 	// Exec carries the backend's execution counters (segment scans, time
 	// pruning, server fan-out, partition pruning) when the backend is the
 	// OLAP layer; zero otherwise.
@@ -106,14 +119,24 @@ func (s *QueryStats) Merge(o QueryStats) {
 	if s.Router == "" {
 		s.Router = o.Router
 	}
+	s.Streamed = s.Streamed || o.Streamed
+	s.BatchesStreamed += o.BatchesStreamed
+	// Scans of a join overlap, so the peaks could add; keeping the max is
+	// the conservative (never over-claiming) report.
+	if o.PeakEngineBytes > s.PeakEngineBytes {
+		s.PeakEngineBytes = o.PeakEngineBytes
+	}
 	s.Exec.Add(o.Exec)
 }
 
-// Connector is the backend interface (Presto's Connector API), v2: Scan
-// pulls (possibly filtered, projected, limited) rows; AggregateScan pushes
-// a whole aggregate query into the backend. Connectors that cannot run
-// aggregates return ErrPushdownUnsupported from AggregateScan and let the
-// engine aggregate the scanned rows itself.
+// Connector is the backend interface (Presto's Connector API). The modern
+// surface is Connector v3 — StreamingConnector's OpenScan/OpenAggregateScan
+// returning pull-based RowIterators (see iterator.go); the slice-returning
+// Scan/AggregateScan here remain as the v2 compatibility contract so
+// out-of-tree connectors keep compiling, and the engine adapts them through
+// a materialized iterator (EXPLAIN's exec=materialized). Connectors that
+// cannot run aggregates return ErrPushdownUnsupported from AggregateScan
+// and let the engine aggregate the scanned rows itself.
 type Connector interface {
 	// Name returns the catalog name ("pinot", "hive", ...).
 	Name() string
@@ -262,21 +285,26 @@ func (p *PinotConnector) Capabilities() Capabilities {
 	return Capabilities{Filters: true, Aggregations: true, GroupBy: true, OrderBy: true, Limit: true}
 }
 
-// Scan implements Connector by translating the row-scan fragment into an
-// OLAP selection query executed under the caller's context, so the broker's
-// parallel scatter-gather (and its cancellation) reaches federated queries
-// too.
-func (p *PinotConnector) Scan(ctx context.Context, table string, pd Pushdown) ([]record.Record, QueryStats, error) {
+// OpenScan implements StreamingConnector: the row-scan fragment becomes an
+// OLAP streaming query (Broker.ExecuteStream), so batches flow from the
+// servers' vectorized segment kernels straight to the engine — the first
+// batch arrives while the slowest server is still scanning, and closing
+// the iterator early (LIMIT satisfied, join done, query cancelled) stops
+// the backend scan. Note the native streaming path bypasses the broker's
+// result cache, views and admission — a stream is consumed once, not
+// shared; ORDER BY scans fall back to Broker.Execute internally (batches
+// still stream across the boundary, with those services intact).
+func (p *PinotConnector) OpenScan(ctx context.Context, table string, pd Pushdown) (RowIterator, error) {
 	broker, ok := p.brokers[table]
 	if !ok {
-		return nil, QueryStats{}, fmt.Errorf("fedsql: pinot table %q not found", table)
+		return nil, fmt.Errorf("fedsql: pinot table %q not found", table)
 	}
 	q := &olap.Query{Table: table, Select: pd.Columns}
-	stats := QueryStats{PushedFilters: len(pd.Filters) > 0}
+	stats := QueryStats{PushedFilters: len(pd.Filters) > 0, Streamed: true}
 	for _, f := range pd.Filters {
 		of, err := toOlapFilter(f)
 		if err != nil {
-			return nil, QueryStats{}, err
+			return nil, err
 		}
 		q.Filters = append(q.Filters, of)
 	}
@@ -287,13 +315,105 @@ func (p *PinotConnector) Scan(ctx context.Context, table string, pd Pushdown) ([
 		q.Limit = pd.Limit
 		stats.PushedLimit = true
 	}
-	return p.run(ctx, broker, q, stats)
+	qs, err := broker.ExecuteStream(ctx, &olap.QueryRequest{Query: q, TrimExact: p.TrimExact, Tenant: p.Tenant})
+	if err != nil {
+		return nil, err
+	}
+	return &brokerIterator{qs: qs, stats: stats}, nil
+}
+
+// OpenAggregateScan implements StreamingConnector. Aggregate pushdown
+// produces finalized per-group rows — there is nothing to stream until the
+// backend has seen every input row — so this executes eagerly (through the
+// broker's cache, views and admission, exactly like AggregateScan) and
+// chunks the small result.
+func (p *PinotConnector) OpenAggregateScan(ctx context.Context, table string, aq AggregateQuery) (RowIterator, error) {
+	rows, stats, err := p.AggregateScan(ctx, table, aq)
+	if err != nil {
+		return nil, err
+	}
+	return newMaterializedIterator(rows, aggColumns(aq), stats), nil
+}
+
+// aggColumns is the deterministic column order of an aggregate fragment's
+// result rows: group-by columns, then aggregate output names.
+func aggColumns(aq AggregateQuery) []string {
+	cols := append([]string(nil), aq.GroupBy...)
+	for _, a := range aq.Aggs {
+		cols = append(cols, a.OutputName())
+	}
+	return cols
+}
+
+// Scan implements Connector (v2). It is a thin compatibility adapter that
+// drains OpenScan into the legacy slice shape; new callers should use
+// OpenScan and pull batches.
+func (p *PinotConnector) Scan(ctx context.Context, table string, pd Pushdown) ([]record.Record, QueryStats, error) {
+	it, err := p.OpenScan(ctx, table, pd)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return drainIterator(ctx, it)
+}
+
+// brokerIterator adapts an olap.QueryStream to the RowIterator contract.
+// The olap layer's RowBatch backing arrays are shared directly into the
+// fedsql Batch — both contracts scope a batch's validity to the next
+// Next/Close call, so no copy is needed at the boundary.
+type brokerIterator struct {
+	qs    *olap.QueryStream
+	stats QueryStats
+	batch Batch
+	done  bool
+}
+
+func (b *brokerIterator) Columns() []string { return b.qs.Columns() }
+
+func (b *brokerIterator) Next(ctx context.Context) (*Batch, error) {
+	rb, err := b.qs.Next(ctx)
+	if err == io.EOF {
+		b.finish()
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, err
+	}
+	b.stats.RowsReturned += int64(rb.Len)
+	b.stats.BatchesStreamed++
+	b.batch.Columns = rb.Columns
+	b.batch.Cols = rb.Cols
+	b.batch.Len = rb.Len
+	// The engine-resident footprint of a streaming scan is one batch.
+	if bb := b.batch.Bytes(); bb > b.stats.PeakEngineBytes {
+		b.stats.PeakEngineBytes = bb
+	}
+	return &b.batch, nil
+}
+
+// finish folds the backend's end-of-stream stats in (routing, execution
+// counters, applied trim budget).
+func (b *brokerIterator) finish() {
+	if b.done {
+		return
+	}
+	b.done = true
+	b.stats.Exec = b.qs.Stats()
+	b.stats.Router = b.qs.Route().Router
+	b.stats.TrimK = b.qs.TrimK()
+}
+
+func (b *brokerIterator) Stats() QueryStats { return b.stats }
+
+func (b *brokerIterator) Close() error {
+	err := b.qs.Close()
+	b.finish()
+	return err
 }
 
 // AggregateScan implements Connector by executing the whole aggregate
 // query in the OLAP layer: servers ship mergeable partial-aggregate states
 // to the broker, and only the finalized per-group rows cross the connector
-// boundary.
+// boundary. (v2 surface; OpenAggregateScan wraps this same execution.)
 func (p *PinotConnector) AggregateScan(ctx context.Context, table string, aq AggregateQuery) ([]record.Record, QueryStats, error) {
 	if p.DisablePushdown {
 		return nil, QueryStats{}, ErrPushdownUnsupported

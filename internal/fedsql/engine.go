@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -155,7 +156,9 @@ func (e *Engine) QueryCtx(ctx context.Context, sql string) (*Result, error) {
 }
 
 // relation is an intermediate result: named rows plus the predicates the
-// backend did not absorb.
+// backend did not absorb. A relation with src != nil has not materialized
+// yet — the consumer pulls batches from the iterator (and must complete or
+// fail the scan, which closes the span and renders the plan line).
 type relation struct {
 	rows  []record.Record
 	cols  []string // known column order (may be empty for star)
@@ -169,6 +172,55 @@ type relation struct {
 	aggregated bool
 	// ordered marks that ORDER BY/LIMIT already applied in the backend.
 	ordered bool
+	// src is the unconsumed batch iterator of a streaming table scan; rows
+	// is empty until it is drained. The path that consumes it owns Close.
+	src RowIterator
+	// meta carries the deferred plan-line/span context of the src scan —
+	// rendered only at completeScan, when stats are finally known.
+	meta *scanMeta
+}
+
+// scanMeta is the deferred EXPLAIN/tracing context of one streaming scan.
+type scanMeta struct {
+	catalog, table, kind string
+	residual             int
+	span                 obs.Span
+	start                time.Time
+	// fallback marks an aggregate query that fell back to row scan +
+	// engine-side aggregation; counted once the scan completes.
+	fallback bool
+}
+
+// completeScan finalizes a streaming scan after its iterator was drained:
+// folds the iterator's end-of-stream stats into the relation, renders the
+// plan line, and ends the scan span.
+func (rel *relation) completeScan() {
+	if rel.meta == nil || rel.src == nil {
+		return
+	}
+	st := rel.src.Stats()
+	if rel.meta.fallback {
+		st.PushdownFallbacks++
+	}
+	rel.stats = st
+	rel.plan = []string{planLine(rel.meta.catalog, rel.meta.table, rel.meta.kind, st, rel.meta.residual, time.Since(rel.meta.start))}
+	if rel.meta.span.Active() {
+		rel.meta.span.SetRows(st.RowsReturned)
+		rel.meta.span.End()
+	}
+	rel.meta = nil
+}
+
+// failScan ends a streaming scan's span with the error that aborted it.
+func (rel *relation) failScan(err error) {
+	if rel.meta == nil {
+		return
+	}
+	if rel.meta.span.Active() {
+		rel.meta.span.SetAttr("error", err.Error())
+		rel.meta.span.End()
+	}
+	rel.meta = nil
 }
 
 func (e *Engine) execute(ctx context.Context, stmt *sqlparse.SelectStmt) (*Result, error) {
@@ -184,6 +236,11 @@ func (e *Engine) execute(ctx context.Context, stmt *sqlparse.SelectStmt) (*Resul
 	rel, err := e.resolveFrom(ctx, stmt)
 	if err != nil {
 		return nil, err
+	}
+	if rel.src != nil {
+		// Streaming table scan: consume batch-at-a-time instead of
+		// materializing the scan into records first.
+		return e.consumeSource(ctx, rel, stmt)
 	}
 	rows := rel.rows
 
@@ -220,6 +277,154 @@ func (e *Engine) execute(ctx context.Context, stmt *sqlparse.SelectStmt) (*Resul
 		}
 	}
 	return res, nil
+}
+
+// consumeSource executes a single-table query over a streaming scan: the
+// iterator's batches flow through residual filtering straight into either
+// the engine aggregator or the result rows, so the engine never holds the
+// scan as a []record.Record. Unordered LIMIT queries stop pulling (and
+// close the backend scan) as soon as the limit is met.
+func (e *Engine) consumeSource(ctx context.Context, rel *relation, stmt *sqlparse.SelectStmt) (*Result, error) {
+	it := rel.src
+	defer it.Close()
+	if stmt.HasAggregates() {
+		return e.consumeAggregate(ctx, rel, stmt)
+	}
+	cols, err := outputColumns(stmt, nil, rel)
+	if err != nil {
+		rel.failScan(err)
+		return nil, err
+	}
+	res := &Result{Columns: cols}
+	// Unordered LIMIT: any stmt.Limit rows are a correct answer, so stop
+	// pulling once collected — the backend scan is cancelled via Close.
+	earlyStop := !rel.ordered && len(stmt.OrderBy) == 0 && stmt.Limit > 0
+	var idx []int
+scan:
+	for {
+		b, err := it.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			rel.failScan(err)
+			return nil, err
+		}
+		if idx == nil {
+			idx = batchColumnIndexes(b.Columns, cols)
+		}
+		for r := 0; r < b.Len; r++ {
+			if len(rel.residual) > 0 && !recordSatisfies(b.Record(r), rel.residual) {
+				continue
+			}
+			row := make([]any, len(cols))
+			for ci, bi := range idx {
+				if bi >= 0 {
+					row[ci] = b.Cols[bi][r]
+				}
+			}
+			res.Rows = append(res.Rows, row)
+			if earlyStop && len(res.Rows) >= stmt.Limit {
+				break scan
+			}
+		}
+	}
+	rel.completeScan()
+	res.Stats = rel.stats
+	res.Plan = rel.plan
+	if !rel.ordered {
+		if err := orderAndLimit(res, stmt); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// consumeAggregate folds a streaming scan into the engine's hash
+// aggregator batch-at-a-time — the peak engine footprint is one batch plus
+// the group table, not the scanned rows (the E24 measurement).
+func (e *Engine) consumeAggregate(ctx context.Context, rel *relation, stmt *sqlparse.SelectStmt) (*Result, error) {
+	it := rel.src
+	// Output columns derive from the aggregate rows, not the scan.
+	rel.cols = nil
+	agg := newEngineAggregator(stmt)
+	for {
+		b, err := it.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			rel.failScan(err)
+			return nil, err
+		}
+		for r := 0; r < b.Len; r++ {
+			rec := b.Record(r)
+			if len(rel.residual) > 0 && !recordSatisfies(rec, rel.residual) {
+				continue
+			}
+			if err := agg.add(rec); err != nil {
+				rel.failScan(err)
+				return nil, err
+			}
+		}
+	}
+	rel.completeScan()
+	rows := agg.result()
+	cols, err := outputColumns(stmt, rows, rel)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: cols, Stats: rel.stats, Plan: rel.plan}
+	for _, r := range rows {
+		row := make([]any, len(cols))
+		for ci, c := range cols {
+			row[ci] = lookupColumn(r, c)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if !rel.ordered {
+		if err := orderAndLimit(res, stmt); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// recordSatisfies applies every residual predicate to one record.
+func recordSatisfies(r record.Record, preds []sqlparse.Predicate) bool {
+	for _, p := range preds {
+		if !rowSatisfies(r, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// batchColumnIndexes maps each output column to its batch column (-1 when
+// absent → NULL), with lookupColumn's qualified-name fallback semantics.
+func batchColumnIndexes(bcols, out []string) []int {
+	idx := make([]int, len(out))
+	for oi, col := range out {
+		idx[oi] = -1
+		for bi, bc := range bcols {
+			if bc == col {
+				idx[oi] = bi
+				break
+			}
+		}
+		if idx[oi] >= 0 {
+			continue
+		}
+		if _, c := sqlSplit(col); c != col {
+			for bi, bc := range bcols {
+				if bc == c {
+					idx[oi] = bi
+					break
+				}
+			}
+		}
+	}
+	return idx
 }
 
 // resolveFrom evaluates the FROM clause (table / subquery / join) and
@@ -299,7 +504,14 @@ func (e *Engine) scanTable(ctx context.Context, ref *sqlparse.TableRef, stmt *sq
 			}
 			sp, sctx := scanSpan(ctx, catalog, ref.Name, "aggregate-scan")
 			scanStart := time.Now()
-			rows, stats, err := conn.AggregateScan(sctx, ref.Name, aq)
+			it, err := openAggregateScan(sctx, conn, ref.Name, aq)
+			var rows []record.Record
+			var stats QueryStats
+			if err == nil {
+				// Aggregate results are per-group rows — small by
+				// construction — so the v3 iterator is drained eagerly.
+				rows, stats, err = drainIterator(sctx, it)
+			}
 			elapsed := time.Since(scanStart)
 			endScanSpan(sp, rows, err)
 			if err == nil {
@@ -317,27 +529,14 @@ func (e *Engine) scanTable(ctx context.Context, ref *sqlparse.TableRef, stmt *sq
 			// A capable-looking connector refused: fall through to the
 			// row-scan fallback below.
 		}
-		// Fallback: pull rows (with whatever filter pushdown the backend
-		// offers) and aggregate in the engine.
-		sp, sctx := scanSpan(ctx, catalog, ref.Name, "row-scan+engine-agg")
-		scanStart := time.Now()
-		rows, stats, err := conn.Scan(sctx, ref.Name, Pushdown{Filters: pushFilters})
-		elapsed := time.Since(scanStart)
-		endScanSpan(sp, rows, err)
-		if err != nil {
-			return nil, err
-		}
-		stats.PushdownFallbacks++
+		// Fallback: stream rows (with whatever filter pushdown the backend
+		// offers) and aggregate in the engine, batch-at-a-time.
 		e.event(obs.LevelWarn, "pushdown fallback",
 			fmt.Sprintf("fedsql: aggregate pushdown fallback for %s.%s (connector capabilities %+v)", catalog, ref.Name, caps),
 			obs.F("catalog", catalog), obs.F("table", ref.Name),
 			obs.F("fragment", "aggregate"), obs.F("capabilities", fmt.Sprintf("%+v", caps)))
-		return &relation{
-			rows:     rows,
-			stats:    stats,
-			plan:     []string{planLine(catalog, ref.Name, "row-scan+engine-agg", stats, len(residual), elapsed)},
-			residual: residual,
-		}, nil
+		return e.openScanRelation(ctx, conn, catalog, ref.Name, "row-scan+engine-agg",
+			Pushdown{Filters: pushFilters}, residual, false, true)
 	}
 
 	// Projection pushdown for plain selections.
@@ -353,26 +552,41 @@ func (e *Engine) scanTable(ctx context.Context, ref *sqlparse.TableRef, stmt *sq
 			}
 		}
 	}
-	sp, sctx := scanSpan(ctx, catalog, ref.Name, "row-scan")
-	scanStart := time.Now()
-	rows, stats, err := conn.Scan(sctx, ref.Name, pd)
-	elapsed := time.Since(scanStart)
-	endScanSpan(sp, rows, err)
-	if err != nil {
-		return nil, err
-	}
 	// ordered marks ORDER BY and LIMIT as fully applied in the backend, so
 	// the engine's own orderAndLimit pass can be skipped.
 	ordered := (len(stmt.OrderBy) == 0 || len(pd.OrderBy) > 0) &&
 		(stmt.Limit == 0 || pd.Limit > 0) &&
 		(len(pd.OrderBy) > 0 || pd.Limit > 0)
-	return &relation{
-		rows:     rows,
-		stats:    stats,
-		plan:     []string{planLine(catalog, ref.Name, "row-scan", stats, len(residual), elapsed)},
+	return e.openScanRelation(ctx, conn, catalog, ref.Name, "row-scan", pd, residual, ordered, false)
+}
+
+// openScanRelation opens a v3 row-scan iterator and wraps it as an
+// unconsumed streaming relation. The plan line and span close when the
+// consumer drains the iterator (completeScan) — stats exist only then.
+func (e *Engine) openScanRelation(ctx context.Context, conn Connector, catalog, table, kind string, pd Pushdown, residual []sqlparse.Predicate, ordered, fallback bool) (*relation, error) {
+	sp, sctx := scanSpan(ctx, catalog, table, kind)
+	start := time.Now()
+	it, err := openScan(sctx, conn, table, pd)
+	if err != nil {
+		endScanSpan(sp, nil, err)
+		return nil, err
+	}
+	rel := &relation{
+		src:      it,
 		residual: residual,
 		ordered:  ordered,
-	}, nil
+		meta: &scanMeta{
+			catalog: catalog, table: table, kind: kind,
+			residual: len(residual), span: sp, start: start, fallback: fallback,
+		},
+	}
+	// Star projections need a column order before rows exist: the sorted
+	// iterator columns — identical to the legacy sorted-record-keys order
+	// for any column with at least one non-NULL value.
+	cols := append([]string(nil), it.Columns()...)
+	sort.Strings(cols)
+	rel.cols = cols
+	return rel, nil
 }
 
 // scanSpan opens the scan child span for one connector call (no-op without
@@ -418,6 +632,13 @@ func planLine(catalog, table, kind string, st QueryStats, residual int, elapsed 
 		fmt.Fprintf(&b, " pushdown=%s", strings.Join(pushed, "+"))
 	} else {
 		b.WriteString(" pushdown=none")
+	}
+	// Execution transport across the connector boundary: a pull-based batch
+	// stream (Connector v3 OpenScan) or one materialized slice.
+	if st.Streamed {
+		fmt.Fprintf(&b, " exec=streaming batch=%d", BatchRows)
+	} else {
+		b.WriteString(" exec=materialized")
 	}
 	if residual > 0 {
 		fmt.Fprintf(&b, " residual_filters=%d", residual)
@@ -468,10 +689,12 @@ func planLine(catalog, table, kind string, st QueryStats, residual int, elapsed 
 	return b.String()
 }
 
-// resolveJoin executes both sides concurrently (with their single-table
-// predicates pushed toward the connectors) and hash-joins them. Running the
-// sides in parallel lets each backend's own scatter-gather overlap — the
-// end-to-end concurrency path for federated joins.
+// resolveJoin hash-joins the two sides: the right side is the build side
+// (materialized into the hash table, concurrently with opening the left
+// side so both backends' scatter-gathers overlap), and the left side is
+// the probe side, consumed batch-at-a-time when its scan streams — probe
+// rows flow through the join as they arrive and are never held as a
+// materialized input slice.
 func (e *Engine) resolveJoin(ctx context.Context, j *sqlparse.JoinSpec, stmt *sqlparse.SelectStmt) (*relation, error) {
 	leftStmt := &sqlparse.SelectStmt{
 		Items: []sqlparse.SelectItem{{Star: true}},
@@ -486,61 +709,56 @@ func (e *Engine) resolveJoin(ctx context.Context, j *sqlparse.JoinSpec, stmt *sq
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
-		wg                sync.WaitGroup
-		leftRes, rightRes *Result
-		leftErr, rightErr error
+		wg       sync.WaitGroup
+		buildRes *Result
+		buildErr error
 	)
-	wg.Add(2)
+	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		leftRes, leftErr = e.execute(ctx, leftStmt)
-		if leftErr != nil {
-			cancel() // abort the other side
+		buildRes, buildErr = e.execute(ctx, rightStmt)
+		if buildErr != nil {
+			cancel() // abort the probe side
 		}
 	}()
-	go func() {
-		defer wg.Done()
-		rightRes, rightErr = e.execute(ctx, rightStmt)
-		if rightErr != nil {
-			cancel()
-		}
-	}()
+	// Opening the probe side starts its backend scan immediately; batches
+	// buffer in the stream while the build side materializes.
+	probeRel, probeErr := e.resolveRef(ctx, j.Left, leftStmt)
+	if probeErr != nil {
+		cancel()
+	}
 	wg.Wait()
+	if probeErr == nil && probeRel.src != nil {
+		defer probeRel.src.Close()
+	}
 	// Prefer the side that actually failed: the other side usually reports
 	// context.Canceled only because our cancel() aborted it.
-	if leftErr != nil && !errors.Is(leftErr, context.Canceled) {
-		return nil, leftErr
+	if buildErr != nil && !errors.Is(buildErr, context.Canceled) {
+		if probeErr == nil {
+			probeRel.failScan(buildErr)
+		}
+		return nil, buildErr
 	}
-	if rightErr != nil && !errors.Is(rightErr, context.Canceled) {
-		return nil, rightErr
+	if probeErr != nil && !errors.Is(probeErr, context.Canceled) {
+		return nil, probeErr
 	}
-	if leftErr != nil {
-		return nil, leftErr
+	if buildErr != nil {
+		return nil, buildErr
 	}
-	if rightErr != nil {
-		return nil, rightErr
+	if probeErr != nil {
+		return nil, probeErr
 	}
-	_, leftKey := sqlSplit(j.LeftCol)
-	_, rightKey := sqlSplit(j.RightCol)
-	leftRows := leftRes.Records()
-	rightRows := rightRes.Records()
-	// Build side: the smaller input.
-	swap := len(rightRows) > len(leftRows)
-	build, probe := rightRows, leftRows
-	buildKey, probeKey := rightKey, leftKey
-	buildName, probeName := j.Right.RefName(), j.Left.RefName()
-	if swap {
-		build, probe = leftRows, rightRows
-		buildKey, probeKey = leftKey, rightKey
-		buildName, probeName = j.Left.RefName(), j.Right.RefName()
-	}
+	_, probeKey := sqlSplit(j.LeftCol)
+	_, buildKey := sqlSplit(j.RightCol)
+	probeName, buildName := j.Left.RefName(), j.Right.RefName()
+	build := buildRes.Records()
 	ht := make(map[string][]record.Record, len(build))
 	for _, r := range build {
 		k := fmt.Sprintf("%v", r[buildKey])
 		ht[k] = append(ht[k], r)
 	}
 	var joined []record.Record
-	for _, pr := range probe {
+	probeRow := func(pr record.Record) {
 		k := fmt.Sprintf("%v", pr[probeKey])
 		for _, br := range ht[k] {
 			out := make(record.Record, len(pr)+len(br))
@@ -557,9 +775,37 @@ func (e *Engine) resolveJoin(ctx context.Context, j *sqlparse.JoinSpec, stmt *sq
 			joined = append(joined, out)
 		}
 	}
-	stats := leftRes.Stats
-	stats.Merge(rightRes.Stats)
-	plan := append(append([]string(nil), leftRes.Plan...), rightRes.Plan...)
+	if probeRel.src != nil {
+		for {
+			b, err := probeRel.src.Next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				probeRel.failScan(err)
+				return nil, err
+			}
+			for r := 0; r < b.Len; r++ {
+				rec := b.Record(r)
+				if len(probeRel.residual) > 0 && !recordSatisfies(rec, probeRel.residual) {
+					continue
+				}
+				probeRow(rec)
+			}
+		}
+		probeRel.completeScan()
+	} else {
+		rows := probeRel.rows
+		if len(probeRel.residual) > 0 {
+			rows = filterRows(rows, probeRel.residual)
+		}
+		for _, pr := range rows {
+			probeRow(pr)
+		}
+	}
+	stats := probeRel.stats
+	stats.Merge(buildRes.Stats)
+	plan := append(append([]string(nil), probeRel.plan...), buildRes.Plan...)
 	// Residual: predicates with no side qualifier (must run post-join).
 	var residual []sqlparse.Predicate
 	for _, p := range stmt.Where {
@@ -691,114 +937,148 @@ func literalCompare(v any, p sqlparse.Predicate) bool {
 	return false
 }
 
-// aggregateRows runs engine-side hash aggregation.
-func aggregateRows(rows []record.Record, stmt *sqlparse.SelectStmt) ([]record.Record, error) {
-	type agg struct {
-		count int64
-		sum   float64
-		min   float64
-		max   float64
-		seen  bool
+// engineAggregator is the engine-side hash aggregation, fed one record at
+// a time so streaming scans fold into it batch-by-batch without ever
+// materializing their input. aggregateRows wraps it for materialized
+// inputs — one implementation, so both paths are identical by
+// construction.
+type engineAggregator struct {
+	stmt    *sqlparse.SelectStmt
+	groupBy []string
+	groups  map[string]*engineAggGroup
+	order   []string
+}
+
+type engineAggState struct {
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+	seen  bool
+}
+
+type engineAggGroup struct {
+	values map[string]any
+	aggs   []engineAggState
+}
+
+func newEngineAggregator(stmt *sqlparse.SelectStmt) *engineAggregator {
+	return &engineAggregator{
+		stmt:    stmt,
+		groupBy: stripQualifiers(stmt.GroupBy),
+		groups:  make(map[string]*engineAggGroup),
 	}
-	type group struct {
-		values map[string]any
-		aggs   []agg
+}
+
+// add folds one input record into its group's accumulators.
+func (a *engineAggregator) add(r record.Record) error {
+	var kb strings.Builder
+	for _, g := range a.stmt.GroupBy {
+		fmt.Fprintf(&kb, "%v|", lookupColumn(r, g))
 	}
-	groupBy := stripQualifiers(stmt.GroupBy)
-	groups := make(map[string]*group)
-	var order []string
-	for _, r := range rows {
-		var kb strings.Builder
-		for _, g := range stmt.GroupBy {
-			fmt.Fprintf(&kb, "%v|", lookupColumn(r, g))
+	k := kb.String()
+	g, ok := a.groups[k]
+	if !ok {
+		g = &engineAggGroup{values: map[string]any{}, aggs: make([]engineAggState, len(a.stmt.Items))}
+		for i, gc := range a.stmt.GroupBy {
+			g.values[a.groupBy[i]] = lookupColumn(r, gc)
 		}
-		k := kb.String()
-		g, ok := groups[k]
+		a.groups[k] = g
+		a.order = append(a.order, k)
+	}
+	for i, it := range a.stmt.Items {
+		if it.Func == sqlparse.FuncNone {
+			continue
+		}
+		st := &g.aggs[i]
+		if it.Func == sqlparse.FuncCount && it.Column == "" {
+			st.count++
+			continue
+		}
+		v := lookupColumn(r, qualName(it.Table, it.Column))
+		if v == nil {
+			continue
+		}
+		if it.Func == sqlparse.FuncCount {
+			st.count++
+			continue
+		}
+		f, ok := record.ToFloat64(v)
 		if !ok {
-			g = &group{values: map[string]any{}, aggs: make([]agg, len(stmt.Items))}
-			for i, gc := range stmt.GroupBy {
-				g.values[groupBy[i]] = lookupColumn(r, gc)
-			}
-			groups[k] = g
-			order = append(order, k)
+			// Match the OLAP layer's validation: SUM/AVG/MIN/MAX over
+			// non-numeric values are rejected, never coerced to 0, so
+			// the engine-side fallback stays equivalent to pushdown.
+			return fmt.Errorf("fedsql: %s over non-numeric value %T is not supported; use COUNT", it.OutputName(), v)
 		}
-		for i, it := range stmt.Items {
-			if it.Func == sqlparse.FuncNone {
-				continue
-			}
-			a := &g.aggs[i]
-			if it.Func == sqlparse.FuncCount && it.Column == "" {
-				a.count++
-				continue
-			}
-			v := lookupColumn(r, qualName(it.Table, it.Column))
-			if v == nil {
-				continue
-			}
-			if it.Func == sqlparse.FuncCount {
-				a.count++
-				continue
-			}
-			f, ok := record.ToFloat64(v)
-			if !ok {
-				// Match the OLAP layer's validation: SUM/AVG/MIN/MAX over
-				// non-numeric values are rejected, never coerced to 0, so
-				// the engine-side fallback stays equivalent to pushdown.
-				return nil, fmt.Errorf("fedsql: %s over non-numeric value %T is not supported; use COUNT", it.OutputName(), v)
-			}
-			a.count++
-			a.sum += f
-			if !a.seen || f < a.min {
-				a.min = f
-			}
-			if !a.seen || f > a.max {
-				a.max = f
-			}
-			a.seen = true
+		st.count++
+		st.sum += f
+		if !st.seen || f < st.min {
+			st.min = f
 		}
+		if !st.seen || f > st.max {
+			st.max = f
+		}
+		st.seen = true
 	}
-	if len(groups) == 0 && len(stmt.GroupBy) == 0 {
-		groups[""] = &group{values: map[string]any{}, aggs: make([]agg, len(stmt.Items))}
-		order = append(order, "")
+	return nil
+}
+
+// result finalizes the groups into output records, key-sorted.
+func (a *engineAggregator) result() []record.Record {
+	if len(a.groups) == 0 && len(a.stmt.GroupBy) == 0 {
+		a.groups[""] = &engineAggGroup{values: map[string]any{}, aggs: make([]engineAggState, len(a.stmt.Items))}
+		a.order = append(a.order, "")
 	}
-	sort.Strings(order)
+	sort.Strings(a.order)
 	var out []record.Record
-	for _, k := range order {
-		g := groups[k]
-		rec := make(record.Record, len(stmt.Items))
+	for _, k := range a.order {
+		g := a.groups[k]
+		rec := make(record.Record, len(a.stmt.Items))
 		for c, v := range g.values {
 			rec[c] = v
 		}
-		for i, it := range stmt.Items {
+		for i, it := range a.stmt.Items {
 			if it.Func == sqlparse.FuncNone {
 				continue
 			}
-			a := g.aggs[i]
+			st := g.aggs[i]
 			// SQL NULL semantics, matching the OLAP layer's aggValue:
 			// MIN/MAX/AVG over zero non-null values are NULL, so the
 			// engine-side fallback stays equivalent to pushdown.
 			switch it.Func {
 			case sqlparse.FuncCount:
-				rec[it.OutputName()] = a.count
+				rec[it.OutputName()] = st.count
 			case sqlparse.FuncSum:
-				rec[it.OutputName()] = a.sum
+				rec[it.OutputName()] = st.sum
 			case sqlparse.FuncMin:
-				if a.seen {
-					rec[it.OutputName()] = a.min
+				if st.seen {
+					rec[it.OutputName()] = st.min
 				}
 			case sqlparse.FuncMax:
-				if a.seen {
-					rec[it.OutputName()] = a.max
+				if st.seen {
+					rec[it.OutputName()] = st.max
 				}
 			case sqlparse.FuncAvg:
-				if a.count > 0 {
-					rec[it.OutputName()] = a.sum / float64(a.count)
+				if st.count > 0 {
+					rec[it.OutputName()] = st.sum / float64(st.count)
 				}
 			}
 		}
 		out = append(out, rec)
 	}
-	return out, nil
+	return out
+}
+
+// aggregateRows runs engine-side hash aggregation over a materialized
+// input (joins, subqueries).
+func aggregateRows(rows []record.Record, stmt *sqlparse.SelectStmt) ([]record.Record, error) {
+	a := newEngineAggregator(stmt)
+	for _, r := range rows {
+		if err := a.add(r); err != nil {
+			return nil, err
+		}
+	}
+	return a.result(), nil
 }
 
 func qualName(table, column string) string {

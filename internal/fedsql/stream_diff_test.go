@@ -1,0 +1,326 @@
+package fedsql
+
+// Randomized differential harness for the streaming execution path: every
+// query shape runs once through the Connector v3 batch-iterator surface and
+// once through the legacy materialized surface (the same connector with its
+// streaming methods hidden), and the results must be byte-identical after
+// canonical serialization. Unordered results are compared as sorted
+// multisets — the row set is deterministic, the arrival order across
+// concurrent segment producers is not; ORDER BY results compare in exact
+// order. Amounts are quarter-valued so float aggregation is exact and
+// order-independent.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/metadata"
+	"repro/internal/objstore"
+	"repro/internal/olap"
+	"repro/internal/record"
+)
+
+func diffSchema() *metadata.Schema {
+	return &metadata.Schema{
+		Name:    "events",
+		Version: 1,
+		Fields: []metadata.Field{
+			{Name: "id", Type: metadata.TypeString},
+			{Name: "city", Type: metadata.TypeString, Dimension: true},
+			{Name: "status", Type: metadata.TypeString, Dimension: true, Nullable: true},
+			{Name: "amount", Type: metadata.TypeDouble},
+			{Name: "qty", Type: metadata.TypeLong},
+			{Name: "rush", Type: metadata.TypeBool, Nullable: true},
+			{Name: "ts", Type: metadata.TypeTimestamp},
+		},
+		TimeField: "ts",
+	}
+}
+
+var diffCities = []string{"sf", "nyc", "la", "chi"}
+
+// diffRows generates n random rows. Nullable columns are NULL with real
+// probability, but row 0 carries every column so each column has at least
+// one non-NULL value — the condition under which the streaming star
+// projection (sorted schema columns) matches the legacy star projection
+// (sorted union of record keys).
+func diffRows(rng *rand.Rand, n int) []record.Record {
+	rows := make([]record.Record, n)
+	for i := range rows {
+		r := record.Record{
+			"id":     fmt.Sprintf("e%05d", i),
+			"city":   diffCities[rng.Intn(len(diffCities))],
+			"amount": float64(rng.Intn(400)) / 4, // exact quarters: order-independent sums
+			"qty":    int64(rng.Intn(20)),
+			"ts":     int64(1700000000000 + i*1000),
+		}
+		if i == 0 || rng.Float64() > 0.3 {
+			r["status"] = []string{"ok", "late", "lost"}[rng.Intn(3)]
+		}
+		if i == 0 || rng.Float64() > 0.4 {
+			r["rush"] = rng.Intn(2) == 0
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// v2Conn hides a connector's streaming surface: the engine's openScan
+// type-assertion fails and every scan goes through the materialized
+// adapter. This is the differential baseline.
+type v2Conn struct{ Connector }
+
+// buildDiffEngines returns the same data behind two engines: one on the
+// full v3 surface, one forced through the materialized path.
+func buildDiffEngines(t *testing.T, rng *rand.Rand, n int, disablePushdown bool) (streaming, materialized *Engine, servers []*olap.Server) {
+	t.Helper()
+	servers = []*olap.Server{olap.NewServer("s0"), olap.NewServer("s1")}
+	d, err := olap.NewDeployment(olap.DeploymentConfig{
+		Table: olap.TableConfig{
+			Name:        "events",
+			Schema:      diffSchema(),
+			SegmentRows: 64,
+		},
+		Servers:      servers,
+		SegmentStore: objstore.NewMemStore(),
+		Backup:       olap.BackupP2P,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range diffRows(rng, n) {
+		if err := d.Ingest(i%2, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinot := NewPinotConnector("pinot")
+	pinot.DisablePushdown = disablePushdown
+	pinot.AddTable(d)
+
+	store := objstore.NewMemStore()
+	codec, _ := record.NewCodec(citiesSchema())
+	w := objstore.NewRawLogWriter(store, "cities", codec)
+	w.Append([]record.Record{
+		{"city": "sf", "region": "west"},
+		{"city": "la", "region": "west"},
+		{"city": "nyc", "region": "east"},
+		{"city": "chi", "region": "central"},
+	})
+	objstore.NewCompactor(store, "cities", codec).Compact()
+	hive := NewArchiveConnector("hive", store)
+	hive.AddTable("cities", citiesSchema())
+
+	streaming = NewEngine()
+	streaming.Register(pinot)
+	streaming.Register(hive)
+	materialized = NewEngine()
+	materialized.Register(&v2Conn{Connector: pinot})
+	materialized.Register(hive)
+	return streaming, materialized, servers
+}
+
+// serializeRows renders every row to a canonical byte form.
+func serializeRows(res *Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		out[i] = fmt.Sprintf("%#v", row)
+	}
+	return out
+}
+
+// diffQuery runs sql through both engines and fails on any divergence.
+func diffQuery(t *testing.T, streaming, materialized *Engine, sql string, ordered, wantStreamed bool) {
+	t.Helper()
+	sRes, err := streaming.Query(sql)
+	if err != nil {
+		t.Fatalf("streaming %q: %v", sql, err)
+	}
+	mRes, err := materialized.Query(sql)
+	if err != nil {
+		t.Fatalf("materialized %q: %v", sql, err)
+	}
+	if fmt.Sprintf("%q", sRes.Columns) != fmt.Sprintf("%q", mRes.Columns) {
+		t.Fatalf("%q: columns diverge\nstreaming    %q\nmaterialized %q", sql, sRes.Columns, mRes.Columns)
+	}
+	sRows, mRows := serializeRows(sRes), serializeRows(mRes)
+	if !ordered {
+		sort.Strings(sRows)
+		sort.Strings(mRows)
+	}
+	if len(sRows) != len(mRows) {
+		t.Fatalf("%q: row count diverges: streaming %d, materialized %d", sql, len(sRows), len(mRows))
+	}
+	for i := range sRows {
+		if sRows[i] != mRows[i] {
+			t.Fatalf("%q: row %d diverges\nstreaming    %s\nmaterialized %s", sql, i, sRows[i], mRows[i])
+		}
+	}
+	if wantStreamed {
+		if !sRes.Stats.Streamed || sRes.Stats.BatchesStreamed == 0 {
+			t.Fatalf("%q: streaming engine did not stream (streamed=%v batches=%d)",
+				sql, sRes.Stats.Streamed, sRes.Stats.BatchesStreamed)
+		}
+	}
+	if mRes.Stats.Streamed {
+		t.Fatalf("%q: materialized baseline reports Streamed", sql)
+	}
+}
+
+func TestStreamDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dp := range []bool{false, true} {
+		name := "pushdown"
+		if dp {
+			name = "scan-only"
+		}
+		t.Run(name, func(t *testing.T) {
+			streaming, materialized, _ := buildDiffEngines(t, rng, 600, dp)
+			for trial := 0; trial < 4; trial++ {
+				x := float64(rng.Intn(400)) / 4
+				city := diffCities[rng.Intn(len(diffCities))]
+				k := 5 + rng.Intn(40)
+				// Selections stream on the v3 path in both modes; aggregates
+				// stream only when pushdown is off (scan + engine-side agg).
+				shapes := []struct {
+					sql          string
+					ordered      bool
+					wantStreamed bool
+				}{
+					{fmt.Sprintf("SELECT * FROM pinot.events WHERE amount > %v", x), false, true},
+					{fmt.Sprintf("SELECT id, city, amount FROM pinot.events WHERE city = '%s' AND amount <= %v", city, x), false, true},
+					{"SELECT id, status FROM pinot.events WHERE rush = true", false, true},
+					{fmt.Sprintf("SELECT id, amount FROM pinot.events ORDER BY id LIMIT %d", k), true, false},
+					{"SELECT city, COUNT(*) AS n, SUM(amount) AS total FROM pinot.events GROUP BY city ORDER BY city", true, dp},
+					{fmt.Sprintf("SELECT COUNT(*) AS n, AVG(amount) AS mean FROM pinot.events WHERE amount >= %v", x), false, dp},
+					{fmt.Sprintf("SELECT o.id, o.city, c.region FROM pinot.events o JOIN hive.cities c ON o.city = c.city WHERE o.amount > %v", x), false, true},
+				}
+				for _, s := range shapes {
+					diffQuery(t, streaming, materialized, s.sql, s.ordered, s.wantStreamed)
+				}
+			}
+			// Unordered LIMIT picks an arbitrary subset per arrival order;
+			// only the cardinality is comparable.
+			sRes, err := streaming.Query("SELECT id FROM pinot.events LIMIT 17")
+			if err != nil {
+				t.Fatal(err)
+			}
+			mRes, err := materialized.Query("SELECT id FROM pinot.events LIMIT 17")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sRes.Rows) != 17 || len(mRes.Rows) != 17 {
+				t.Fatalf("LIMIT rows: streaming %d, materialized %d, want 17", len(sRes.Rows), len(mRes.Rows))
+			}
+		})
+	}
+}
+
+// TestStreamDiffCancelMidQuery cancels an engine query mid-stream: the
+// error must surface (no silent truncation) and every producer goroutine
+// must be reaped.
+func TestStreamDiffCancelMidQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	streaming, _, servers := buildDiffEngines(t, rng, 2000, false)
+	for _, s := range servers {
+		s.SetScanDelay(2 * time.Millisecond)
+		defer s.SetScanDelay(0)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 8*time.Millisecond)
+		_, err := streaming.QueryCtx(ctx, "SELECT * FROM pinot.events")
+		cancel()
+		if err == nil {
+			t.Fatal("mid-stream deadline produced a clean result: truncation went unreported")
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("mid-stream error = %v, want context.DeadlineExceeded", err)
+		}
+	}
+	waitGoroutines(t, before)
+}
+
+// TestOpenScanCloseMidStreamNoLeak abandons connector-level iterators after
+// one batch; Close alone must reap the broker producers.
+func TestOpenScanCloseMidStreamNoLeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	streaming, _, _ := buildDiffEngines(t, rng, 2000, false)
+	conn, ok := streaming.connectors["pinot"].(StreamingConnector)
+	if !ok {
+		t.Fatal("pinot connector is not streaming")
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		it, err := conn.OpenScan(context.Background(), "events", Pushdown{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := it.Next(context.Background()); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if err := it.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st := it.Stats()
+		if !st.Streamed {
+			t.Fatal("open-scan iterator did not report Streamed")
+		}
+	}
+	waitGoroutines(t, before)
+}
+
+// TestOpenScanContextCancelSticky cancels the pull context mid-stream: Next
+// must converge to context.Canceled and stay there.
+func TestOpenScanContextCancelSticky(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	streaming, _, _ := buildDiffEngines(t, rng, 2000, false)
+	conn := streaming.connectors["pinot"].(StreamingConnector)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	it, err := conn.OpenScan(ctx, "events", Pushdown{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	for {
+		_, err := it.Next(ctx)
+		if err == nil {
+			continue // batches in flight before the cancel may still arrive
+		}
+		if errors.Is(err, context.Canceled) {
+			break
+		}
+		t.Fatalf("post-cancel Next = %v, want context.Canceled", err)
+	}
+	if _, err := it.Next(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error is not sticky: %v", err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, before)
+}
+
+// waitGoroutines waits for the goroutine count to return to its baseline
+// (within the runtime's background slack).
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}

@@ -320,19 +320,31 @@ type ExecOptions struct {
 	TrimSize int
 }
 
-// ExecuteOn runs a query over the named sealed segments hosted here,
-// scanning up to opts.Workers segments concurrently (0 means GOMAXPROCS)
-// and merging their partial-aggregate states as they complete. Segments
-// whose time bounds fall outside the query's TimeRange are pruned before
-// any scan is scheduled (and before any deep-store reload); offloaded
-// segments that survive pruning are transparently reloaded through the
-// attached loader and installed back as resident (or skipped under
-// opts.HotOnly). The context cancels in-flight work between segment scans;
-// ORDER-BY-agnostic LIMIT selections stop as soon as enough rows have been
-// gathered. ORDER BY + LIMIT queries execute through the bounded top-K path
-// (segment heaps / group trims plus a server-level trim of the merged
-// partial) unless opts.TrimExact asks for full-sort execution.
-func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string, opts ExecOptions) (*Partial, error) {
+// segSnapshot is one query's view of the routed segments on this server:
+// resident segment data plus cloned validity bitmaps (index-aligned), with
+// out-of-window segments pruned and offloaded segments transparently
+// reloaded or skipped. Shared by the partial path (ExecuteOn) and the
+// streaming path (StreamOn).
+type segSnapshot struct {
+	segs     []*Segment
+	valids   []*Bitmap
+	pruned   int
+	skipped  int
+	reloaded int
+	scanHist *obs.Histogram
+}
+
+// snapshotSegments runs the ExecuteOn/StreamOn preamble: under the read
+// lock it checks liveness, prunes segments whose time bounds miss the
+// query's window (using hosted metadata, so offloaded segments never touch
+// the deep store), records query touches for the LRU hot-set, and clones
+// validity bitmaps; then — outside the lock, because the deep store may be
+// slow or down — it reloads surviving offloaded segments through the
+// attached loader and installs them back as resident (or skips them when
+// hotOnly). A reload failure fails only queries that need the cold
+// segment; hot-set queries are unaffected — the graceful-degradation
+// contract under a deep-store outage.
+func (s *Server) snapshotSegments(ctx context.Context, q *Query, segmentNames []string, hotOnly bool) (*segSnapshot, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -342,10 +354,11 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 		s.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %s", ErrServerDown, s.name)
 	}
-	segs := make([]*Segment, 0, len(segmentNames))
-	valids := make([]*Bitmap, 0, len(segmentNames))
+	snap := &segSnapshot{
+		segs:   make([]*Segment, 0, len(segmentNames)),
+		valids: make([]*Bitmap, 0, len(segmentNames)),
+	}
 	var offloaded []string
-	pruned, skipped := 0, 0
 	for _, name := range segmentNames {
 		h, ok := s.segments[name]
 		if !ok {
@@ -356,33 +369,28 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 		// out-of-window offloaded segment is skipped without touching the
 		// deep store — pruning composes with tiering.
 		if q.Time != nil && h.hasBounds && !q.Time.Overlaps(h.minTime, h.maxTime) {
-			pruned++
+			snap.pruned++
 			continue
 		}
 		h.lastQuery.Store(now) // atomic: concurrent snapshots share the read lock
 		if h.seg == nil {
-			if opts.HotOnly {
-				skipped++
+			if hotOnly {
+				snap.skipped++
 				continue
 			}
 			offloaded = append(offloaded, name)
 			continue
 		}
-		segs = append(segs, h.seg)
+		snap.segs = append(snap.segs, h.seg)
 		// Snapshot the validity bitmap: Server.invalidate mutates it under
-		// s.mu while scans here run lock-free (and now concurrently).
-		valids = append(valids, cloneValid(s.valid[name])) // nil when fully valid
+		// s.mu while scans here run lock-free (and concurrently).
+		snap.valids = append(snap.valids, cloneValid(s.valid[name])) // nil when fully valid
 	}
 	loader := s.loader
-	scanHist, reloadHist := s.scanHist, s.reloadHist
+	snap.scanHist = s.scanHist
+	reloadHist := s.reloadHist
 	s.mu.RUnlock()
-	parentSpan := obs.SpanFromContext(ctx)
 
-	// Transparent reload of offloaded segments, outside the server lock
-	// (the deep store may be slow or down). A reload failure fails only
-	// queries that need the cold segment; hot-set queries are unaffected —
-	// the graceful-degradation contract under a deep-store outage.
-	reloaded := 0
 	for _, name := range offloaded {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -403,10 +411,33 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 		}
 		v := cloneValid(s.valid[name])
 		s.mu.Unlock()
-		reloaded++
-		segs = append(segs, seg)
-		valids = append(valids, v)
+		snap.reloaded++
+		snap.segs = append(snap.segs, seg)
+		snap.valids = append(snap.valids, v)
 	}
+	return snap, nil
+}
+
+// ExecuteOn runs a query over the named sealed segments hosted here,
+// scanning up to opts.Workers segments concurrently (0 means GOMAXPROCS)
+// and merging their partial-aggregate states as they complete. Segments
+// whose time bounds fall outside the query's TimeRange are pruned before
+// any scan is scheduled (and before any deep-store reload); offloaded
+// segments that survive pruning are transparently reloaded through the
+// attached loader and installed back as resident (or skipped under
+// opts.HotOnly). The context cancels in-flight work between segment scans;
+// ORDER-BY-agnostic LIMIT selections stop as soon as enough rows have been
+// gathered. ORDER BY + LIMIT queries execute through the bounded top-K path
+// (segment heaps / group trims plus a server-level trim of the merged
+// partial) unless opts.TrimExact asks for full-sort execution.
+func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string, opts ExecOptions) (*Partial, error) {
+	snap, err := s.snapshotSegments(ctx, q, segmentNames, opts.HotOnly)
+	if err != nil {
+		return nil, err
+	}
+	segs, valids := snap.segs, snap.valids
+	scanHist := snap.scanHist
+	parentSpan := obs.SpanFromContext(ctx)
 
 	workers := opts.Workers
 	if workers <= 0 {
@@ -421,9 +452,9 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 		tp = planTopK(q, opts.TrimSize)
 	}
 	acc := newPartial(q)
-	acc.stats.SegmentsPruned = pruned
-	acc.stats.SegmentsReloaded = reloaded
-	acc.stats.SegmentsSkipped = skipped
+	acc.stats.SegmentsPruned = snap.pruned
+	acc.stats.SegmentsReloaded = snap.reloaded
+	acc.stats.SegmentsSkipped = snap.skipped
 	// scanSegment runs one segment scan with the fault-injection delay,
 	// latency histogram and (when the query carries a trace) a segment.scan
 	// span — the delay sleeps inside the timed window so slow-query capture
@@ -522,6 +553,63 @@ func (s *Server) ExecuteOn(ctx context.Context, q *Query, segmentNames []string,
 		}
 	}
 	return finish(), nil
+}
+
+// StreamOn scans the named sealed segments hosted here as a stream of
+// column-major row batches, yielding each batch to the caller as it is
+// produced — the scatter half of streaming execution. The same preamble as
+// ExecuteOn applies (liveness, time pruning, transparent reload of
+// offloaded segments); segments then scan serially through the vectorized
+// gather kernel, one segment.stream span each with per-batch row counts.
+// Yielded batches are pool-recycled: they are valid only until yield
+// returns. yield returning false stops the scan early (consumer satisfied
+// or cancelled); the returned stats then cover only the work actually
+// done. Selection queries only — aggregations ship mergeable partials via
+// ExecuteOn.
+func (s *Server) StreamOn(ctx context.Context, q *Query, segmentNames []string, opts ExecOptions, pool *batchPool, yield func(*RowBatch) bool) (ExecStats, error) {
+	snap, err := s.snapshotSegments(ctx, q, segmentNames, opts.HotOnly)
+	if err != nil {
+		return ExecStats{}, err
+	}
+	stats := ExecStats{
+		SegmentsPruned:   snap.pruned,
+		SegmentsReloaded: snap.reloaded,
+		SegmentsSkipped:  snap.skipped,
+	}
+	parentSpan := obs.SpanFromContext(ctx)
+	for i, seg := range snap.segs {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		// One span per segment, not per batch: the batch loop stays
+		// allocation-free on the tracing side; AddRows accumulates the
+		// per-batch counts onto the segment span.
+		sp := parentSpan.Child("segment.stream")
+		start := time.Now()
+		if delay := s.scanDelay.Load(); delay > 0 {
+			time.Sleep(time.Duration(delay))
+		}
+		segStats, more, err := seg.streamSelect(ctx, q, snap.valids[i], pool, func(rb *RowBatch) bool {
+			sp.AddRows(int64(rb.Len))
+			return yield(rb)
+		})
+		snap.scanHist.Observe(time.Since(start))
+		if sp.Active() {
+			sp.SetAttr("segment", seg.Name)
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
+		}
+		stats.Add(segStats)
+		if err != nil {
+			return stats, err
+		}
+		if !more {
+			break
+		}
+	}
+	return stats, nil
 }
 
 // MemBytes approximates the server's resident segment memory. Offloaded

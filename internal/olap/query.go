@@ -388,32 +388,10 @@ func (s *Segment) codeEq(c *column, code int) *Bitmap {
 }
 
 // codeRangeBitmap resolves range predicates to a dictionary code interval
-// and unions the matching rows (the "range index": dictionary order makes
-// ranges cheap).
+// (via rangeCodeBounds, shared with the vectorized kernels) and unions the
+// matching rows (the "range index": dictionary order makes ranges cheap).
 func (s *Segment) codeRangeBitmap(c *column, f Filter) (*Bitmap, error) {
-	var min, max any
-	switch f.Op {
-	case OpLt, OpLe:
-		max = normalizeFilterValue(c, f.Value)
-	case OpGt, OpGe:
-		min = normalizeFilterValue(c, f.Value)
-	case OpBetween:
-		min = normalizeFilterValue(c, f.Value)
-		max = normalizeFilterValue(c, f.Value2)
-	}
-	lo, hi := c.Dict.codeRange(min, max)
-	// Adjust exclusive bounds.
-	if f.Op == OpLt && hi > 0 {
-		// codeRange's hi already excludes > max; for strict < drop equals.
-		if code := c.Dict.lookup(max); code >= 0 && code == hi-1 {
-			hi--
-		}
-	}
-	if f.Op == OpGt {
-		if code := c.Dict.lookup(min); code >= 0 && code == lo {
-			lo++
-		}
-	}
+	lo, hi := rangeCodeBounds(c, f)
 	bm := NewBitmap(s.NumRows)
 	if lo >= hi {
 		return bm, nil
@@ -483,19 +461,13 @@ func (s *Segment) executePartialTrim(q *Query, valid *Bitmap, tp *topKPlan) (*Pa
 		p.stats.StarTreeServed = 1
 		return p, nil
 	}
-	bm, err := s.filterBitmap(s.timeFilters(q))
+	ss, err := s.newSelStream(s.timeFilters(q), valid)
 	if err != nil {
 		return nil, err
 	}
-	var upsertFiltered int64
-	if valid != nil {
-		before := bm.Count()
-		bm.And(valid)
-		upsertFiltered = int64(before - bm.Count())
-	}
 	var p *Partial
 	if len(q.Aggs) > 0 {
-		groups, err := s.executeAgg(q, bm)
+		groups, err := s.executeAgg(q, ss)
 		if err != nil {
 			return nil, err
 		}
@@ -503,18 +475,18 @@ func (s *Segment) executePartialTrim(q *Query, valid *Bitmap, tp *topKPlan) (*Pa
 		p = partialFromGroups(groups)
 		p.stats.GroupsTrimmed = trimmed
 	} else {
-		p, err = s.executeSelect(q, bm, tp)
+		p, err = s.executeSelect(q, ss, tp)
 		if err != nil {
 			return nil, err
 		}
 	}
 	p.stats.SegmentsScanned = 1
-	p.stats.RowsScanned = int64(bm.Count())
-	p.stats.UpsertFiltered = upsertFiltered
+	p.stats.RowsScanned = ss.kept
+	p.stats.UpsertFiltered = ss.dropped
 	return p, nil
 }
 
-func (s *Segment) executeAgg(q *Query, bm *Bitmap) (map[string]*groupAgg, error) {
+func (s *Segment) executeAgg(q *Query, ss *selStream) (map[string]*groupAgg, error) {
 	for _, g := range q.GroupBy {
 		if _, ok := s.Columns[g]; !ok {
 			return nil, fmt.Errorf("olap: unknown group-by column %q", g)
@@ -534,113 +506,91 @@ func (s *Segment) executeAgg(q *Query, bm *Bitmap) (map[string]*groupAgg, error)
 			}
 		}
 	}
-	// Fast path: single group-by column. Dict codes index a dense array of
-	// accumulators — the columnar execution style that gives Pinot its
-	// latency edge (no per-row string keys or map hashing).
-	if len(q.GroupBy) == 1 {
-		return s.executeAggSingleGroup(q, bm)
+	// Fast paths: no group-by folds into one accumulator; a single group-by
+	// column indexes a dense array of accumulators by dict code — the
+	// columnar execution style that gives Pinot its latency edge (no per-row
+	// string keys or map hashing).
+	switch len(q.GroupBy) {
+	case 0:
+		return s.executeAggGlobal(q, ss), nil
+	case 1:
+		return s.executeAggSingleGroup(q, ss), nil
 	}
 	groups := make(map[string]*groupAgg)
+	gcols := make([]*column, len(q.GroupBy))
+	for gi, g := range q.GroupBy {
+		gcols[gi] = s.Columns[g]
+	}
+	cur := s.aggCursors(q)
 	var keyBuf strings.Builder
-	bm.ForEach(func(i int) bool {
-		keyBuf.Reset()
-		values := make([]any, len(q.GroupBy))
-		for gi, g := range q.GroupBy {
-			c := s.Columns[g]
-			if c.Present.Get(i) {
-				code := c.Codes.Get(i)
-				values[gi] = c.Dict.value(code)
-				fmt.Fprintf(&keyBuf, "%d|", code)
-			} else {
-				keyBuf.WriteString("~|")
-			}
-		}
-		key := keyBuf.String()
-		g, ok := groups[key]
-		if !ok {
-			g = newGroupAgg(q, values)
-			groups[key] = g
-		}
-		for ai, spec := range q.Aggs {
-			switch {
-			case spec.Kind == AggCount && spec.Column == "":
-				g.aggs[ai].Count++
-			case spec.Kind == AggCount:
-				if s.Columns[spec.Column].Present.Get(i) {
-					g.aggs[ai].Count++
-				}
-			case spec.Kind == AggDistinctCount:
-				if s.Columns[spec.Column].Present.Get(i) {
-					g.aggs[ai].addDistinct(distinctKey(s.value(spec.Column, i)))
-				}
-			default:
-				if s.Columns[spec.Column].Present.Get(i) {
-					g.aggs[ai].add(s.double(spec.Column, i))
+	for sel := ss.next(); sel != nil; sel = ss.next() {
+		for _, ri := range sel {
+			i := int(ri)
+			keyBuf.Reset()
+			values := make([]any, len(gcols))
+			for gi, c := range gcols {
+				if c.Present.Get(i) {
+					code := c.Codes.Get(i)
+					values[gi] = c.Dict.value(code)
+					fmt.Fprintf(&keyBuf, "%d|", code)
+				} else {
+					keyBuf.WriteString("~|")
 				}
 			}
+			key := keyBuf.String()
+			g, ok := groups[key]
+			if !ok {
+				g = newGroupAgg(q, values)
+				groups[key] = g
+			}
+			foldRow(cur, g.aggs, i)
 		}
-		return true
-	})
+	}
 	return groups, nil
+}
+
+// executeAggGlobal folds a no-group-by aggregation: one accumulator array,
+// no keys, no maps — the batch loop is a straight columnar fold.
+func (s *Segment) executeAggGlobal(q *Query, ss *selStream) map[string]*groupAgg {
+	cur := s.aggCursors(q)
+	var g *groupAgg
+	for sel := ss.next(); sel != nil; sel = ss.next() {
+		if g == nil {
+			g = newGroupAgg(q, make([]any, 0))
+		}
+		for _, ri := range sel {
+			foldRow(cur, g.aggs, int(ri))
+		}
+	}
+	groups := make(map[string]*groupAgg, 1)
+	if g != nil {
+		groups[""] = g
+	}
+	return groups
 }
 
 // executeAggSingleGroup aggregates grouped by one column using dense
 // code-indexed accumulators.
-func (s *Segment) executeAggSingleGroup(q *Query, bm *Bitmap) (map[string]*groupAgg, error) {
+func (s *Segment) executeAggSingleGroup(q *Query, ss *selStream) map[string]*groupAgg {
 	gc := s.Columns[q.GroupBy[0]]
 	nCodes := gc.Dict.size() + 1 // +1 for null
 	accs := make([][]aggState, nCodes)
-	// Pre-resolve aggregation columns.
-	type aggCol struct {
-		countStar bool
-		col       *column
-		nums      []float64
-	}
-	aggCols := make([]aggCol, len(q.Aggs))
-	for ai, spec := range q.Aggs {
-		if spec.Kind == AggCount && spec.Column == "" {
-			aggCols[ai].countStar = true
-			continue
-		}
-		c := s.Columns[spec.Column]
-		aggCols[ai].col = c
-		aggCols[ai].nums = c.Dict.Nums
-	}
-	bm.ForEach(func(i int) bool {
-		code := nCodes - 1
-		if gc.Present.Get(i) {
-			code = gc.Codes.Get(i)
-		}
-		acc := accs[code]
-		if acc == nil {
-			acc = make([]aggState, len(q.Aggs))
-			accs[code] = acc
-		}
-		for ai := range q.Aggs {
-			ac := &aggCols[ai]
-			switch {
-			case ac.countStar:
-				acc[ai].Count++
-			case q.Aggs[ai].Kind == AggCount:
-				if ac.col.Present.Get(i) {
-					acc[ai].Count++
-				}
-			case q.Aggs[ai].Kind == AggDistinctCount:
-				if ac.col.Present.Get(i) {
-					acc[ai].addDistinct(distinctKey(ac.col.Dict.value(ac.col.Codes.Get(i))))
-				}
-			default:
-				if ac.col.Present.Get(i) {
-					v := 0.0
-					if ac.nums != nil {
-						v = ac.nums[ac.col.Codes.Get(i)]
-					}
-					acc[ai].add(v)
-				}
+	cur := s.aggCursors(q)
+	for sel := ss.next(); sel != nil; sel = ss.next() {
+		for _, ri := range sel {
+			i := int(ri)
+			code := nCodes - 1
+			if gc.Present.Get(i) {
+				code = gc.Codes.Get(i)
 			}
+			acc := accs[code]
+			if acc == nil {
+				acc = make([]aggState, len(q.Aggs))
+				accs[code] = acc
+			}
+			foldRow(cur, acc, i)
 		}
-		return true
-	})
+	}
 	groups := make(map[string]*groupAgg, nCodes)
 	for code, acc := range accs {
 		if acc == nil {
@@ -652,7 +602,7 @@ func (s *Segment) executeAggSingleGroup(q *Query, bm *Bitmap) (map[string]*group
 		}
 		groups[fmt.Sprintf("%08d", code)] = &groupAgg{values: []any{val}, aggs: acc}
 	}
-	return groups, nil
+	return groups
 }
 
 // aggValue collapses a partial state into the final user-facing value.
@@ -700,17 +650,28 @@ func aggTypeError(kind AggKind, col string, typ metadata.FieldType) error {
 	return nil
 }
 
-func (s *Segment) executeSelect(q *Query, bm *Bitmap, tp *topKPlan) (*Partial, error) {
+func (s *Segment) executeSelect(q *Query, ss *selStream, tp *topKPlan) (*Partial, error) {
 	cols := q.Select
 	if len(cols) == 0 {
 		cols = s.Schema.FieldNames()
 	}
-	for _, c := range cols {
-		if _, ok := s.Columns[c]; !ok {
-			return nil, fmt.Errorf("olap: unknown select column %q", c)
-		}
+	scols, err := s.selectColumns(cols)
+	if err != nil {
+		return nil, err
 	}
 	p := &Partial{cols: append([]string(nil), cols...)}
+	// gather decodes the selected columns of one row — the gather kernel:
+	// column handles were resolved once, so the loop is Present-bit check +
+	// dictionary decode, no map lookups.
+	gather := func(i int) []any {
+		row := make([]any, len(scols))
+		for ci, c := range scols {
+			if c.Present.Get(i) {
+				row[ci] = c.Dict.value(c.Codes.Get(i))
+			}
+		}
+		return row
+	}
 	// Ordered LIMIT with a trim plan: keep a bounded heap of the best
 	// Limit+Offset rows instead of materializing every match. Per-segment
 	// top-K rows are independent, so their union still contains the global
@@ -718,14 +679,11 @@ func (s *Segment) executeSelect(q *Query, bm *Bitmap, tp *topKPlan) (*Partial, e
 	if tp != nil && tp.rowK > 0 && len(q.OrderBy) > 0 {
 		if cmp, ok := orderComparator(q, cols); ok {
 			tk := newTopKRows(tp.rowK, cmp)
-			bm.ForEach(func(i int) bool {
-				row := make([]any, len(cols))
-				for ci, c := range cols {
-					row[ci] = s.value(c, i)
+			for sel := ss.next(); sel != nil; sel = ss.next() {
+				for _, ri := range sel {
+					tk.push(gather(int(ri)))
 				}
-				tk.push(row)
-				return true
-			})
+			}
 			p.rows = tk.take()
 			p.stats.RowsHeapKept = int64(len(p.rows))
 			return p, nil
@@ -735,15 +693,33 @@ func (s *Segment) executeSelect(q *Query, bm *Bitmap, tp *topKPlan) (*Partial, e
 	// Order-by requires materializing all matches; plain limited selects
 	// can stop early.
 	early := q.Limit > 0 && len(q.OrderBy) == 0
-	bm.ForEach(func(i int) bool {
-		row := make([]any, len(cols))
-		for ci, c := range cols {
-			row[ci] = s.value(c, i)
+scan:
+	for sel := ss.next(); sel != nil; sel = ss.next() {
+		for _, ri := range sel {
+			p.rows = append(p.rows, gather(int(ri)))
+			if early && len(p.rows) >= limit {
+				break scan
+			}
 		}
-		p.rows = append(p.rows, row)
-		return !(early && len(p.rows) >= limit)
-	})
+	}
+	// Early termination must not skew the scan counters: the bitmap path
+	// evaluated filters over the whole segment regardless, so drain the
+	// stream to keep RowsScanned/UpsertFiltered identical.
+	ss.drain()
 	return p, nil
+}
+
+// selectColumns resolves select-column handles, erroring on unknown names.
+func (s *Segment) selectColumns(cols []string) ([]*column, error) {
+	scols := make([]*column, len(cols))
+	for ci, name := range cols {
+		c, ok := s.Columns[name]
+		if !ok {
+			return nil, fmt.Errorf("olap: unknown select column %q", name)
+		}
+		scols[ci] = c
+	}
+	return scols, nil
 }
 
 // sortAndLimit applies ORDER BY / OFFSET / LIMIT to a merged result in

@@ -1,0 +1,346 @@
+package olap
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Vectorized segment kernels: instead of materializing one bitmap of every
+// matching row and walking it row-at-a-time, the scan runs in windows of
+// BatchRows rows. Filter kernels evaluate directly on the bit-packed
+// dictionary *codes* (an equality is one int compare, a range is a code
+// interval from the sorted dictionary — no value decoding at all), and a
+// selection vector of surviving row ids flows from the filter kernels into
+// the aggregate/gather kernels. Columns that carry an inverted index or the
+// sorted-column property keep using the index path (evalFilter), folded
+// into a base bitmap once up front, so the kernels never regress the E4
+// index wins.
+
+// BatchRows is the scan window width: selection vectors and streamed row
+// batches hold at most this many rows. Large enough to amortize per-batch
+// overhead, small enough that a batch of any realistic row width stays in
+// cache and the engine's resident set stays O(BatchRows), not O(table).
+const BatchRows = 4096
+
+// predKind enumerates compiled code-predicate shapes.
+type predKind uint8
+
+const (
+	// predNever matches nothing (literal not in the dictionary, empty range).
+	predNever predKind = iota
+	// predEq keeps rows whose code equals eq.
+	predEq
+	// predNe keeps rows whose code differs from eq and is not null.
+	predNe
+	// predRange keeps rows whose code lies in [lo, hi).
+	predRange
+	// predIn keeps rows whose code is set in the in table.
+	predIn
+)
+
+// codePred is one filter compiled against a column's dictionary: the
+// predicate the kernel evaluates per row is a comparison on the bit-packed
+// code, never on the decoded value.
+type codePred struct {
+	kind   predKind
+	lo, hi int    // predRange bounds, half-open
+	eq     int    // predEq / predNe target code (-1: value absent, predNe only)
+	null   int    // the column's null code (dictionary size)
+	in     []bool // predIn membership, indexed by code (null entry false)
+}
+
+// kernelFilter pairs a compiled predicate with its column's forward index.
+type kernelFilter struct {
+	codes *packedInts
+	pred  codePred
+}
+
+// rangeCodeBounds resolves a range filter to the half-open dictionary code
+// interval [lo, hi) it matches, including the strict-bound adjustments for
+// OpLt/OpGt — shared by the bitmap path (codeRangeBitmap) and the kernel
+// compiler so both evaluate ranges identically.
+func rangeCodeBounds(c *column, f Filter) (int, int) {
+	var min, max any
+	switch f.Op {
+	case OpLt, OpLe:
+		max = normalizeFilterValue(c, f.Value)
+	case OpGt, OpGe:
+		min = normalizeFilterValue(c, f.Value)
+	case OpBetween:
+		min = normalizeFilterValue(c, f.Value)
+		max = normalizeFilterValue(c, f.Value2)
+	}
+	lo, hi := c.Dict.codeRange(min, max)
+	// Adjust exclusive bounds.
+	if f.Op == OpLt && hi > 0 {
+		// codeRange's hi already excludes > max; for strict < drop equals.
+		if code := c.Dict.lookup(max); code >= 0 && code == hi-1 {
+			hi--
+		}
+	}
+	if f.Op == OpGt {
+		if code := c.Dict.lookup(min); code >= 0 && code == lo {
+			lo++
+		}
+	}
+	return lo, hi
+}
+
+// compileCodePred compiles one filter into a code predicate. The null code
+// (dictionary size) can never satisfy predEq/predRange/predIn because
+// codes of real values are < size and range bounds stop at size; predNe
+// excludes it explicitly (SQL semantics: NULL matches neither = nor !=).
+func compileCodePred(c *column, f Filter) (codePred, error) {
+	null := c.Dict.size()
+	switch f.Op {
+	case OpEq:
+		code := c.Dict.lookup(normalizeFilterValue(c, f.Value))
+		if code < 0 {
+			return codePred{kind: predNever}, nil
+		}
+		return codePred{kind: predEq, eq: code}, nil
+	case OpNe:
+		code := c.Dict.lookup(normalizeFilterValue(c, f.Value))
+		return codePred{kind: predNe, eq: code, null: null}, nil
+	case OpIn:
+		in := make([]bool, null+1)
+		matched := false
+		for _, v := range f.Values {
+			if code := c.Dict.lookup(normalizeFilterValue(c, v)); code >= 0 {
+				in[code] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return codePred{kind: predNever}, nil
+		}
+		return codePred{kind: predIn, in: in}, nil
+	case OpLt, OpLe, OpGt, OpGe, OpBetween:
+		lo, hi := rangeCodeBounds(c, f)
+		if lo >= hi {
+			return codePred{kind: predNever}, nil
+		}
+		return codePred{kind: predRange, lo: lo, hi: hi}, nil
+	default:
+		return codePred{}, fmt.Errorf("olap: unsupported filter op %d", f.Op)
+	}
+}
+
+// filterSel refines a selection vector in place through one code predicate.
+// Writes trail reads over the same backing array, so in-place compaction is
+// safe.
+func filterSel(codes *packedInts, pr codePred, sel []int32) []int32 {
+	out := sel[:0]
+	switch pr.kind {
+	case predEq:
+		for _, i := range sel {
+			if codes.Get(int(i)) == pr.eq {
+				out = append(out, i)
+			}
+		}
+	case predNe:
+		for _, i := range sel {
+			if c := codes.Get(int(i)); c != pr.eq && c != pr.null {
+				out = append(out, i)
+			}
+		}
+	case predRange:
+		for _, i := range sel {
+			if c := codes.Get(int(i)); c >= pr.lo && c < pr.hi {
+				out = append(out, i)
+			}
+		}
+	case predIn:
+		for _, i := range sel {
+			if pr.in[codes.Get(int(i))] {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// appendSetBits appends the positions of set bits in [lo, hi) to sel,
+// word-at-a-time.
+func appendSetBits(sel []int32, b *Bitmap, lo, hi int) []int32 {
+	if lo >= hi {
+		return sel
+	}
+	for w := lo / 64; w <= (hi-1)/64 && w < len(b.Words); w++ {
+		word := b.Words[w]
+		if word == 0 {
+			continue
+		}
+		base := w * 64
+		if base < lo {
+			word &= ^uint64(0) << (lo - base)
+		}
+		if base+64 > hi {
+			word &= (uint64(1) << (hi - base)) - 1
+		}
+		for word != 0 {
+			sel = append(sel, int32(base+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return sel
+}
+
+// selStream drives one segment scan as a sequence of selection vectors.
+// Indexed filters (inverted / sorted columns) are folded into one base
+// bitmap up front; every other filter becomes a code-predicate kernel
+// applied per window; the upsert validity bitmap masks last so the dropped
+// count matches the bitmap path's UpsertFiltered exactly.
+type selStream struct {
+	n       int
+	base    *Bitmap // nil: every row is a candidate
+	kernels []kernelFilter
+	valid   *Bitmap
+	dead    bool // a predicate can never match; the stream is empty
+
+	pos     int
+	sel     []int32
+	kept    int64 // rows surviving filters and the valid mask (= old bm.Count())
+	dropped int64 // rows the valid mask removed (= old UpsertFiltered)
+}
+
+// newSelStream compiles the filters against this segment.
+func (s *Segment) newSelStream(filters []Filter, valid *Bitmap) (*selStream, error) {
+	ss := &selStream{n: s.NumRows, valid: valid, sel: make([]int32, 0, BatchRows)}
+	for _, f := range filters {
+		c, ok := s.Columns[f.Column]
+		if !ok {
+			return nil, fmt.Errorf("olap: unknown filter column %q", f.Column)
+		}
+		if c.Inverted != nil || c.Sorted {
+			bm, err := s.evalFilter(c, f)
+			if err != nil {
+				return nil, err
+			}
+			if ss.base == nil {
+				ss.base = bm
+			} else {
+				ss.base.And(bm)
+			}
+			continue
+		}
+		pr, err := compileCodePred(c, f)
+		if err != nil {
+			return nil, err
+		}
+		if pr.kind == predNever {
+			ss.dead = true
+			continue
+		}
+		ss.kernels = append(ss.kernels, kernelFilter{codes: &c.Codes, pred: pr})
+	}
+	return ss, nil
+}
+
+// next returns the next non-empty selection vector, or nil at end of
+// segment. The returned slice is reused by the following next call — the
+// caller must consume it first.
+func (ss *selStream) next() []int32 {
+	if ss.dead {
+		ss.pos = ss.n
+		return nil
+	}
+	for ss.pos < ss.n {
+		end := ss.pos + BatchRows
+		if end > ss.n {
+			end = ss.n
+		}
+		sel := ss.sel[:0]
+		if ss.base != nil {
+			sel = appendSetBits(sel, ss.base, ss.pos, end)
+		} else {
+			for i := ss.pos; i < end; i++ {
+				sel = append(sel, int32(i))
+			}
+		}
+		for _, k := range ss.kernels {
+			if len(sel) == 0 {
+				break
+			}
+			sel = filterSel(k.codes, k.pred, sel)
+		}
+		if ss.valid != nil && len(sel) > 0 {
+			kept := sel[:0]
+			for _, i := range sel {
+				if ss.valid.Get(int(i)) {
+					kept = append(kept, i)
+				}
+			}
+			ss.dropped += int64(len(sel) - len(kept))
+			sel = kept
+		}
+		ss.pos = end
+		if len(sel) > 0 {
+			ss.kept += int64(len(sel))
+			return sel
+		}
+	}
+	return nil
+}
+
+// drain consumes the rest of the stream, updating the match counters
+// without yielding rows — used by early-terminating consumers that must
+// still report the same RowsScanned/UpsertFiltered the bitmap path did
+// (which always evaluated filters over the whole segment).
+func (ss *selStream) drain() {
+	for ss.next() != nil {
+	}
+}
+
+// aggCursor pre-resolves one aggregation's column accessors so the fold
+// loop touches no maps per row.
+type aggCursor struct {
+	kind      AggKind
+	countStar bool
+	col       *column
+	nums      []float64
+}
+
+// aggCursors resolves every aggregation of the query against this segment.
+// Columns were validated by the caller.
+func (s *Segment) aggCursors(q *Query) []aggCursor {
+	cur := make([]aggCursor, len(q.Aggs))
+	for ai, spec := range q.Aggs {
+		cur[ai].kind = spec.Kind
+		if spec.Kind == AggCount && spec.Column == "" {
+			cur[ai].countStar = true
+			continue
+		}
+		c := s.Columns[spec.Column]
+		cur[ai].col = c
+		cur[ai].nums = c.Dict.Nums
+	}
+	return cur
+}
+
+// foldRow folds row i into one group's accumulator states.
+func foldRow(cur []aggCursor, acc []aggState, i int) {
+	for ai := range cur {
+		ac := &cur[ai]
+		switch {
+		case ac.countStar:
+			acc[ai].Count++
+		case ac.kind == AggCount:
+			if ac.col.Present.Get(i) {
+				acc[ai].Count++
+			}
+		case ac.kind == AggDistinctCount:
+			if ac.col.Present.Get(i) {
+				acc[ai].addDistinct(distinctKey(ac.col.Dict.value(ac.col.Codes.Get(i))))
+			}
+		default:
+			if ac.col.Present.Get(i) {
+				v := 0.0
+				if ac.nums != nil {
+					v = ac.nums[ac.col.Codes.Get(i)]
+				}
+				acc[ai].add(v)
+			}
+		}
+	}
+}
